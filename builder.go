@@ -1,0 +1,77 @@
+package fgbs
+
+// Suite authoring surface. The whole point of benchmark subsetting is
+// to apply it to *your* workloads: write each application's hot loops
+// as codelets in the loop-nest IR, then run the same profile/subset/
+// evaluate pipeline the bundled NR and NAS suites use. See
+// examples/customsuite for a complete program.
+
+import "fgbs/internal/ir"
+
+// Element types.
+const (
+	I64 = ir.I64
+	F32 = ir.F32
+	F64 = ir.F64
+)
+
+// DType is an array element type.
+type DType = ir.DType
+
+// Loop is a counted loop over [Lower, Upper) with unit step.
+type Loop = ir.Loop
+
+// Assign is a store statement; the only side effect in the IR.
+type Assign = ir.Assign
+
+// Stmt is a loop-body statement (Assign or nested Loop).
+type Stmt = ir.Stmt
+
+// Expr is a side-effect-free expression.
+type Expr = ir.Expr
+
+// Affine is an integer affine form used in loop bounds.
+type Affine = ir.Affine
+
+// IntInit selects integer-array initialization (steering indirect
+// accesses); see the IntInit* constants.
+type IntInit = ir.IntInit
+
+// Integer-array initializers.
+const (
+	IntInitZero    = ir.IntInitZero
+	IntInitUniform = ir.IntInitUniform
+	IntInitMod     = ir.IntInitMod
+)
+
+// Vectorization hints for Assign.Hint.
+const (
+	VecAuto  = ir.VecAuto
+	VecNever = ir.VecNever
+)
+
+// NewProgram starts an application definition.
+func NewProgram(name string) *Program { return ir.NewProgram(name) }
+
+// Affine-form constructors for loop bounds: AC(k) is the constant k,
+// AV(name) references a parameter or enclosing loop variable, and
+// AT(name, c) is c*name.
+func AC(k int64) Affine              { return ir.AC(k) }
+func AV(name string) Affine          { return ir.AV(name) }
+func AT(name string, c int64) Affine { return ir.AT(name, c) }
+
+// Expression constructors. V references a loop variable or parameter;
+// CI/CF/CF32 are integer, f64 and f32 literals.
+func V(name string) Expr  { return ir.V(name) }
+func CI(v int64) Expr     { return ir.CI(v) }
+func CF(v float64) Expr   { return ir.CF(v) }
+func CF32(v float64) Expr { return ir.CF32(v) }
+func Add(a, b Expr) Expr  { return ir.Add(a, b) }
+func Sub(a, b Expr) Expr  { return ir.Sub(a, b) }
+func Mul(a, b Expr) Expr  { return ir.Mul(a, b) }
+func DivE(a, b Expr) Expr { return ir.Div(a, b) }
+func Abs(a Expr) Expr     { return ir.Abs(a) }
+func Sqrt(a Expr) Expr    { return ir.Sqrt(a) }
+func Exp(a Expr) Expr     { return ir.Exp(a) }
+func Widen(a Expr) Expr   { return ir.Widen(a) }
+func Narrow(a Expr) Expr  { return ir.Narrow(a) }

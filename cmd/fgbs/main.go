@@ -1,0 +1,477 @@
+// Command fgbs runs the benchmark-subsetting pipeline and regenerates
+// the paper's tables and figures.
+//
+// Usage:
+//
+//	fgbs <experiment> [flags]
+//
+// Experiments (see DESIGN.md's per-experiment index):
+//
+//	t1        Table 1  — test architectures
+//	t2        Table 2  — GA feature selection on NR
+//	t3        Table 3  — NR clustering with per-codelet detail
+//	t4        Table 4  — NR prediction errors at K=14 and the elbow K
+//	t5        Table 5  — reduction factor breakdown (NAS)
+//	f2        Figure 2 — per-codelet prediction for two NR clusters
+//	f3        Figure 3 — error/reduction trade-off sweep (NAS)
+//	f4        Figure 4 — per-codelet prediction on a target (NAS)
+//	f5        Figure 5 — application-level prediction (NAS)
+//	f6        Figure 6 — geometric mean speedups (NAS)
+//	f7        Figure 7 — guided vs random clusterings (NAS)
+//	f8        Figure 8 — cross-application vs per-application subsetting
+//	summary   headline numbers in one screen
+//	clusters  cluster memberships at the elbow K
+//	dendro    Ward dendrogram merge history
+//	show      pseudo-source of a codelet (-codelet name)
+//	save      profile a suite and write it to -cache
+//	export    CSV series: -what eval|sweep|features
+//
+// Flags:
+//
+//	-suite name     suite to analyze: nas, nr, poly, joint (default nas)
+//	-target name    target machine for f2/f4/f7 (default depends)
+//	-k N            cluster count (0 = elbow)
+//	-seed N         experiment seed (default 1)
+//	-trials N       random clusterings per K for f7 (default 1000)
+//	-full           full-size GA for t2 (population 1000 x 100
+//	                generations, as in the paper; slow)
+//	-paperfeatures  use the exact Table 2 feature set instead of the
+//	                default mask
+//	-cache path     load the profile from path if it exists; the save
+//	                experiment writes it (profiling is the expensive
+//	                step — cache it once, then every experiment is
+//	                instant)
+//	-codelet name   codelet for the show experiment
+//	-what kind      export kind: eval, sweep or features
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fgbs/internal/arch"
+	"fgbs/internal/features"
+	"fgbs/internal/ga"
+	"fgbs/internal/ir"
+	"fgbs/internal/pipeline"
+	"fgbs/internal/report"
+	"fgbs/internal/suites/nas"
+	"fgbs/internal/suites/nr"
+	"fgbs/internal/suites/poly"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fgbs:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	suite    string
+	target   string
+	k        int
+	seed     uint64
+	trials   int
+	full     bool
+	paperSet bool
+	cache    string
+	codelet  string
+	what     string
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: fgbs <experiment> [flags]; run 'go doc fgbs/cmd/fgbs' for the list")
+	}
+	exp := args[0]
+	fs := flag.NewFlagSet("fgbs", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.suite, "suite", "nas", "suite: nas, nr, poly or joint (nas+poly)")
+	fs.StringVar(&cfg.target, "target", "", "target machine name")
+	fs.IntVar(&cfg.k, "k", 0, "cluster count (0 = elbow)")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "experiment seed")
+	fs.IntVar(&cfg.trials, "trials", 1000, "random clusterings per K (f7)")
+	fs.BoolVar(&cfg.full, "full", false, "full-size GA run for t2")
+	fs.BoolVar(&cfg.paperSet, "paperfeatures", false, "use the exact Table 2 feature set")
+	fs.StringVar(&cfg.cache, "cache", "", "profile cache file (load if present; 'save' writes it)")
+	fs.StringVar(&cfg.codelet, "codelet", "", "codelet name for 'show'")
+	fs.StringVar(&cfg.what, "what", "eval", "export kind: eval, sweep or features")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	if exp == "t1" {
+		return report.Table1(os.Stdout, arch.All())
+	}
+
+	mask := features.DefaultMask()
+	if cfg.paperSet {
+		mask = features.PaperMask()
+	}
+
+	switch exp {
+	case "t2":
+		return cmdGA(cfg)
+	case "t3", "f2":
+		prof, err := profile(cfg, "nr")
+		if err != nil {
+			return err
+		}
+		sub, err := prof.Subset(mask, pick(cfg.k, 14))
+		if err != nil {
+			return err
+		}
+		ti, err := prof.TargetIndex(pickS(cfg.target, "Atom"))
+		if err != nil {
+			return err
+		}
+		ev, err := prof.Evaluate(sub, ti)
+		if err != nil {
+			return err
+		}
+		if exp == "t3" {
+			return report.Table3(os.Stdout, prof, sub, ev)
+		}
+		return report.Figure2(os.Stdout, prof, sub, ev, []int{0, 1})
+	case "t4":
+		prof, err := profile(cfg, "nr")
+		if err != nil {
+			return err
+		}
+		elbow, err := prof.Elbow(mask)
+		if err != nil {
+			return err
+		}
+		return report.Table4(os.Stdout, prof, mask, []int{14, elbow}, []string{"Atom", "Sandy Bridge"})
+	case "t5":
+		prof, err := profile(cfg, "nas")
+		if err != nil {
+			return err
+		}
+		sub, err := prof.Subset(mask, cfg.k)
+		if err != nil {
+			return err
+		}
+		return report.Table5(os.Stdout, prof, sub)
+	case "f3":
+		prof, err := profile(cfg, "nas")
+		if err != nil {
+			return err
+		}
+		pts, err := prof.SweepK(mask, 2, 24)
+		if err != nil {
+			return err
+		}
+		elbow, err := prof.Elbow(mask)
+		if err != nil {
+			return err
+		}
+		return report.Figure3(os.Stdout, prof, pts, elbow)
+	case "f4":
+		prof, err := profile(cfg, "nas")
+		if err != nil {
+			return err
+		}
+		sub, err := prof.Subset(mask, cfg.k)
+		if err != nil {
+			return err
+		}
+		ti, err := prof.TargetIndex(pickS(cfg.target, "Sandy Bridge"))
+		if err != nil {
+			return err
+		}
+		ev, err := prof.Evaluate(sub, ti)
+		if err != nil {
+			return err
+		}
+		return report.Figure4(os.Stdout, prof, ev)
+	case "f5", "f6", "summary":
+		prof, err := profile(cfg, cfg.suite)
+		if err != nil {
+			return err
+		}
+		sub, err := prof.Subset(mask, cfg.k)
+		if err != nil {
+			return err
+		}
+		var evals []*pipeline.Eval
+		for t := range prof.Targets {
+			ev, err := prof.Evaluate(sub, t)
+			if err != nil {
+				return err
+			}
+			evals = append(evals, ev)
+		}
+		switch exp {
+		case "f5":
+			return report.Figure5(os.Stdout, prof, evals)
+		case "f6":
+			return report.Figure6(os.Stdout, evals)
+		default:
+			return summary(prof, sub, evals)
+		}
+	case "f7":
+		prof, err := profile(cfg, "nas")
+		if err != nil {
+			return err
+		}
+		ti, err := prof.TargetIndex(pickS(cfg.target, "Atom"))
+		if err != nil {
+			return err
+		}
+		var rows []pipeline.RandomClusteringStats
+		for _, k := range []int{4, 8, 12, 16, 20, 24} {
+			st, err := prof.RandomClusterings(mask, k, cfg.trials, ti, cfg.seed)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, st)
+		}
+		return report.Figure7(os.Stdout, pickS(cfg.target, "Atom"), rows)
+	case "f8":
+		prof, err := profile(cfg, "nas")
+		if err != nil {
+			return err
+		}
+		var cross, per []pipeline.PerAppPoint
+		for _, reps := range []int{1, 2, 3, 4, 6, 8, 10, 12} {
+			pp, err := prof.PerAppSubsetting(mask, reps)
+			if err != nil {
+				return err
+			}
+			per = append(per, pp)
+			cp, err := prof.CrossAppPoint(mask, pp.TotalReps)
+			if err != nil {
+				return err
+			}
+			cross = append(cross, cp)
+		}
+		return report.Figure8(os.Stdout, prof, cross, per)
+	case "save":
+		if cfg.cache == "" {
+			return fmt.Errorf("save needs -cache <path>")
+		}
+		prof, err := pipelineProfileFresh(cfg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(cfg.cache)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := prof.SaveJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("profiled %d codelets of %s; cached to %s\n", prof.N(), cfg.suite, cfg.cache)
+		return nil
+	case "show":
+		return cmdShow(cfg)
+	case "export":
+		prof, err := profile(cfg, cfg.suite)
+		if err != nil {
+			return err
+		}
+		switch cfg.what {
+		case "eval":
+			sub, err := prof.Subset(mask, cfg.k)
+			if err != nil {
+				return err
+			}
+			ti, err := prof.TargetIndex(pickS(cfg.target, "Atom"))
+			if err != nil {
+				return err
+			}
+			ev, err := prof.Evaluate(sub, ti)
+			if err != nil {
+				return err
+			}
+			return report.EvalCSV(os.Stdout, prof, ev)
+		case "sweep":
+			pts, err := prof.SweepK(mask, 2, 24)
+			if err != nil {
+				return err
+			}
+			return report.SweepCSV(os.Stdout, prof, pts)
+		case "features":
+			return report.FeaturesCSV(os.Stdout, prof)
+		default:
+			return fmt.Errorf("unknown export kind %q", cfg.what)
+		}
+	case "dendro":
+		prof, err := profile(cfg, cfg.suite)
+		if err != nil {
+			return err
+		}
+		sub, err := prof.Subset(mask, cfg.k)
+		if err != nil {
+			return err
+		}
+		return report.DendrogramTree(os.Stdout, prof, sub)
+	case "clusters":
+		prof, err := profile(cfg, cfg.suite)
+		if err != nil {
+			return err
+		}
+		sub, err := prof.Subset(mask, cfg.k)
+		if err != nil {
+			return err
+		}
+		return printClusters(prof, sub)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// pipelineProfileFresh always re-profiles (ignoring any cache), which
+// is what 'save' wants.
+func pipelineProfileFresh(cfg config) (*pipeline.Profile, error) {
+	progs, err := suitePrograms(cfg.suite)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.NewProfile(progs, pipeline.Options{Seed: cfg.seed})
+}
+
+func suitePrograms(suite string) ([]*ir.Program, error) {
+	switch suite {
+	case "nr":
+		return nr.Suite(), nil
+	case "nas":
+		return nas.Suite(), nil
+	case "poly":
+		return poly.Suite(), nil
+	case "joint":
+		return append(nas.Suite(), poly.Suite()...), nil
+	default:
+		return nil, fmt.Errorf("unknown suite %q", suite)
+	}
+}
+
+func profile(cfg config, suite string) (*pipeline.Profile, error) {
+	progs, err := suitePrograms(suite)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.cache != "" {
+		if f, err := os.Open(cfg.cache); err == nil {
+			defer f.Close()
+			prof, err := pipeline.ReadProfile(f, progs)
+			if err != nil {
+				return nil, fmt.Errorf("loading %s: %w (re-create with 'save')", cfg.cache, err)
+			}
+			return prof, nil
+		}
+	}
+	return pipeline.NewProfile(progs, pipeline.Options{Seed: cfg.seed})
+}
+
+func cmdShow(cfg config) error {
+	progs, err := suitePrograms(cfg.suite)
+	if err != nil {
+		return err
+	}
+	if cfg.codelet == "" {
+		var names []string
+		for _, p := range progs {
+			for _, c := range p.Codelets {
+				names = append(names, c.Name)
+			}
+		}
+		return fmt.Errorf("show needs -codelet <name>; available: %s", strings.Join(names, " "))
+	}
+	for _, p := range progs {
+		for _, c := range p.Codelets {
+			if c.Name == cfg.codelet {
+				fmt.Print(c.Source())
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("codelet %q not in suite %q", cfg.codelet, cfg.suite)
+}
+
+func pick(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func pickS(v, def string) string {
+	if v != "" {
+		return v
+	}
+	return def
+}
+
+func cmdGA(cfg config) error {
+	prof, err := profile(cfg, "nr")
+	if err != nil {
+		return err
+	}
+	fitness, err := prof.FeatureFitness("Atom", "Sandy Bridge")
+	if err != nil {
+		return err
+	}
+	opts := ga.Options{
+		Population: 120, Generations: 40, MutationProb: 0.01, Seed: cfg.seed,
+		OnGeneration: func(gen int, best float64, _ features.Mask) {
+			if gen%10 == 0 {
+				fmt.Printf("generation %d: best fitness %.3f\n", gen, best)
+			}
+		},
+	}
+	if cfg.full {
+		// The paper's configuration (§4.2).
+		opts.Population, opts.Generations = 1000, 100
+	}
+	res, err := ga.Run(fitness, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbest fitness %.3f after %d evaluations; %d features selected:\n\n",
+		res.BestFitness, res.Evaluations, res.Best.Count())
+	return report.Table2(os.Stdout, res.Best)
+}
+
+func summary(prof *pipeline.Profile, sub *pipeline.Subset, evals []*pipeline.Eval) error {
+	ill := 0
+	for _, b := range prof.IllBehaved {
+		if b {
+			ill++
+		}
+	}
+	fmt.Printf("codelets: %d (%d ill-behaved)\nclusters: %d (requested %d, %d destroyed)\n",
+		prof.N(), ill, sub.K(), sub.RequestedK, sub.Selection.Destroyed)
+	for _, ev := range evals {
+		fmt.Printf("%-13s median err %.1f%%  reduction x%.1f  geomean speedup real %.2f predicted %.2f\n",
+			ev.Target.Name, ev.Summary.Median*100, ev.Reduction.Total,
+			ev.GeoMeanRealSpeedup, ev.GeoMeanPredictedSpeedup)
+	}
+	return nil
+}
+
+func printClusters(prof *pipeline.Profile, sub *pipeline.Subset) error {
+	reps := map[int]bool{}
+	for _, r := range sub.Selection.Reps {
+		reps[r] = true
+	}
+	groups := make([][]string, sub.K())
+	for i, l := range sub.Selection.Labels {
+		name := prof.Codelets[i].Name
+		if reps[i] {
+			name = "<" + name + ">"
+		}
+		groups[l] = append(groups[l], name)
+	}
+	for c, g := range groups {
+		sort.Strings(g)
+		fmt.Printf("C%-2d %v\n", c+1, g)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"unknown experiment", []string{"nope"}},
+		{"unknown suite", []string{"summary", "-suite", "spec"}},
+		{"bad flag", []string{"t5", "-bogus"}},
+		{"show without codelet", []string{"show"}},
+		{"show unknown codelet", []string{"show", "-codelet", "ghost"}},
+		{"save without cache", []string{"save", "-suite", "nr", "-cache", ""}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := run(c.args); err == nil {
+				t.Errorf("run(%v) succeeded, want error", c.args)
+			}
+		})
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"t1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShow(t *testing.T) {
+	if err := run([]string{"show", "-suite", "nr", "-codelet", "tridag_1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileCacheRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.json")
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := profile(config{cache: path}, "nr")
+	if err == nil || !strings.Contains(err.Error(), "re-create") {
+		t.Errorf("corrupt cache error = %v", err)
+	}
+}
+
+func TestPickHelpers(t *testing.T) {
+	if pick(0, 5) != 5 || pick(3, 5) != 3 {
+		t.Error("pick wrong")
+	}
+	if pickS("", "d") != "d" || pickS("x", "d") != "x" {
+		t.Error("pickS wrong")
+	}
+}

@@ -1,0 +1,82 @@
+// Auto-tuning: the paper's §6 suggests the extracted microbenchmarks
+// "could be extended to other contexts such as compiler regression
+// test-suites or auto-tuning". This example treats a compiler
+// configuration as a target: the reference machine compiled with and
+// without vectorization. Only the cluster representatives are
+// benchmarked under each configuration; every other codelet's
+// vectorize-or-not decision is predicted from its representative —
+// and then checked against the (simulated) ground truth.
+//
+// Run with:
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fgbs"
+	"fgbs/internal/arch"
+	"fgbs/internal/pipeline"
+)
+
+func main() {
+	// Targets: the usual machines are irrelevant here; the two
+	// "systems" under selection are compiler configurations on the
+	// reference silicon.
+	targets := []*fgbs.Machine{arch.Nehalem(), arch.NehalemNoVec()}
+	prof, err := pipeline.NewProfile(fgbs.NASSuite(), pipeline.Options{Seed: 1, Targets: targets})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := prof.Subset(fgbs.DefaultFeatures(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vec, err := prof.TargetIndex("Nehalem")
+	if err != nil {
+		log.Fatal(err)
+	}
+	novec, err := prof.TargetIndex("Nehalem -no-vec")
+	if err != nil {
+		log.Fatal(err)
+	}
+	evVec, err := prof.Evaluate(sub, vec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evNo, err := prof.Evaluate(sub, novec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmarked %d representatives under 2 compiler configurations\n", sub.K())
+	fmt.Println("\ncodelet            predicted       actual          agree  vec gain")
+	agree, interesting := 0, 0
+	for i, c := range prof.Codelets {
+		predGain := evNo.Predicted[i] / evVec.Predicted[i]
+		realGain := evNo.Actual[i] / evVec.Actual[i]
+		// Decision rule: vectorize when it wins by more than 5%.
+		pred, real := decision(predGain), decision(realGain)
+		if pred == real {
+			agree++
+		}
+		if realGain > 1.05 || realGain < 0.95 {
+			interesting++
+		}
+		if i < 12 {
+			fmt.Printf("%-18s %-15s %-15s %-6v %.2fx\n", c.Name, pred, real, pred == real, realGain)
+		}
+	}
+	fmt.Printf("... (%d codelets total)\n", prof.N())
+	fmt.Printf("\ntuning decisions correct: %d/%d (%d codelets where the choice matters)\n",
+		agree, prof.N(), interesting)
+}
+
+func decision(gain float64) string {
+	if gain > 1.05 {
+		return "vectorize"
+	}
+	return "keep scalar"
+}

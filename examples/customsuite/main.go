@@ -1,0 +1,139 @@
+// Custom suite: apply benchmark subsetting to your own workloads.
+//
+// This example defines a small image-processing application in the
+// loop-nest IR through the public API — a blur stencil, a gamma-style
+// per-pixel division, a histogram scatter and two reductions — then
+// runs the full pipeline: profile once on the reference machine,
+// cluster, pick representatives, and predict every kernel's time on
+// the three targets from the representatives alone.
+//
+// Run with:
+//
+//	go run ./examples/customsuite
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fgbs"
+)
+
+// buildImagePipeline defines one application with five codelets.
+func buildImagePipeline() *fgbs.Program {
+	p := fgbs.NewProgram("imgproc")
+	p.SetParam("w", 512)
+	p.SetParam("h", 512)
+	p.UncoveredFraction = 0.05
+
+	p.AddArray("src", fgbs.F64, fgbs.AV("h"), fgbs.AV("w"))
+	p.AddArray("dst", fgbs.F64, fgbs.AV("h"), fgbs.AV("w"))
+	p.AddArray("lut", fgbs.F64, fgbs.AV("h"), fgbs.AV("w"))
+	hist := p.AddArray("hist", fgbs.I64, fgbs.AC(256))
+	_ = hist
+	keys := p.AddArray("keys", fgbs.I64, fgbs.AV("h"), fgbs.AV("w"))
+	keys.Init = fgbs.IntInit{Kind: fgbs.IntInitUniform, Bound: fgbs.AC(256)}
+	p.AddScalar("acc", fgbs.F64)
+
+	i, j := fgbs.V("i"), fgbs.V("j")
+	at := func(arr string, di, dj int64) fgbs.Expr {
+		return p.LoadE(arr, fgbs.Add(i, fgbs.CI(di)), fgbs.Add(j, fgbs.CI(dj)))
+	}
+
+	// Horizontal blur: vectorizable unit-stride stencil.
+	p.MustAddCodelet(&fgbs.Codelet{
+		Name: "img_blur", Pattern: "DP: 3-tap blur", Invocations: 60, WarmInApp: true,
+		Loop: &fgbs.Loop{Var: "i", Lower: fgbs.AC(0), Upper: fgbs.AV("h"), Body: []fgbs.Stmt{
+			&fgbs.Loop{Var: "j", Lower: fgbs.AC(1), Upper: fgbs.AV("w").PlusK(-1), Body: []fgbs.Stmt{
+				&fgbs.Assign{
+					LHS: p.Ref("dst", i, j),
+					RHS: fgbs.Add(
+						fgbs.Mul(fgbs.CF(0.5), at("src", 0, 0)),
+						fgbs.Mul(fgbs.CF(0.25), fgbs.Add(at("src", 0, -1), at("src", 0, 1)))),
+				},
+			}},
+		}},
+	})
+
+	// Gamma-like correction: division-bound.
+	p.MustAddCodelet(&fgbs.Codelet{
+		Name: "img_gamma", Pattern: "DP: per-pixel divide", Invocations: 60, WarmInApp: true,
+		Loop: &fgbs.Loop{Var: "i", Lower: fgbs.AC(0), Upper: fgbs.AV("h"), Body: []fgbs.Stmt{
+			&fgbs.Loop{Var: "j", Lower: fgbs.AC(0), Upper: fgbs.AV("w"), Body: []fgbs.Stmt{
+				&fgbs.Assign{
+					LHS: p.Ref("dst", i, j),
+					RHS: fgbs.DivE(at("src", 0, 0), fgbs.Add(at("lut", 0, 0), fgbs.CF(0.5))),
+				},
+			}},
+		}},
+	})
+
+	// Histogram: integer scatter through data-dependent indices.
+	p.MustAddCodelet(&fgbs.Codelet{
+		Name: "img_hist", Pattern: "INT: histogram scatter", Invocations: 60, WarmInApp: true,
+		Loop: &fgbs.Loop{Var: "i", Lower: fgbs.AC(0), Upper: fgbs.AV("h"), Body: []fgbs.Stmt{
+			&fgbs.Loop{Var: "j", Lower: fgbs.AC(0), Upper: fgbs.AV("w"), Body: []fgbs.Stmt{
+				&fgbs.Assign{
+					LHS: p.Ref("hist", p.LoadE("keys", i, j)),
+					RHS: fgbs.Add(p.LoadE("hist", p.LoadE("keys", i, j)), fgbs.CI(1)),
+				},
+			}},
+		}},
+	})
+
+	// Mean luminance: reduction.
+	p.MustAddCodelet(&fgbs.Codelet{
+		Name: "img_mean", Pattern: "DP: mean reduction", Invocations: 120, WarmInApp: true,
+		Loop: &fgbs.Loop{Var: "i", Lower: fgbs.AC(0), Upper: fgbs.AV("h"), Body: []fgbs.Stmt{
+			&fgbs.Loop{Var: "j", Lower: fgbs.AC(0), Upper: fgbs.AV("w"), Body: []fgbs.Stmt{
+				&fgbs.Assign{LHS: p.Ref("acc"), RHS: fgbs.Add(p.LoadE("acc"), at("src", 0, 0))},
+			}},
+		}},
+	})
+
+	// RMS contrast: reduction with a square and a sqrt-flavored tail.
+	p.MustAddCodelet(&fgbs.Codelet{
+		Name: "img_rms", Pattern: "DP: sum of squares", Invocations: 120, WarmInApp: true,
+		Loop: &fgbs.Loop{Var: "i", Lower: fgbs.AC(0), Upper: fgbs.AV("h"), Body: []fgbs.Stmt{
+			&fgbs.Loop{Var: "j", Lower: fgbs.AC(0), Upper: fgbs.AV("w"), Body: []fgbs.Stmt{
+				&fgbs.Assign{LHS: p.Ref("acc"),
+					RHS: fgbs.Add(p.LoadE("acc"), fgbs.Mul(at("src", 0, 0), at("src", 0, 0)))},
+			}},
+		}},
+	})
+	return p
+}
+
+func main() {
+	app := buildImagePipeline()
+	prof, err := fgbs.NewProfile([]*fgbs.Program{app}, fgbs.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := prof.Subset(fgbs.DefaultFeatures(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d codelets reduced to %d representatives:\n", prof.N(), sub.K())
+	reps := map[int]bool{}
+	for _, r := range sub.Selection.Reps {
+		reps[r] = true
+	}
+	for i, c := range prof.Codelets {
+		marker := " "
+		if reps[i] {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-10s cluster %d\n", marker, c.Name, sub.Selection.Labels[i]+1)
+	}
+	fmt.Println()
+	for t := range prof.Targets {
+		ev, err := prof.Evaluate(sub, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s app time predicted %7.2fms real %7.2fms (err %.1f%%), reduction x%.1f\n",
+			ev.Target.Name, ev.Apps[0].PredSec*1e3, ev.Apps[0].ActualSec*1e3,
+			ev.Apps[0].ErrorFrac*100, ev.Reduction.Total)
+	}
+}

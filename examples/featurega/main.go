@@ -1,0 +1,66 @@
+// Feature selection: run the §4.2 genetic algorithm on the Numerical
+// Recipes training suite and print the selected feature subset
+// (the experiment behind the paper's Table 2).
+//
+// The default configuration is scaled down for interactive use; pass
+// -full for the paper's population 1000 x 100 generations.
+//
+// Run with:
+//
+//	go run ./examples/featurega [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fgbs"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the paper's GA configuration (slow)")
+	flag.Parse()
+
+	prof, err := fgbs.NewProfile(fgbs.NRSuite(), fgbs.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := fgbs.GAOptions{
+		Population:   120,
+		Generations:  40,
+		MutationProb: 0.01,
+		Seed:         42,
+		OnGeneration: func(gen int, best float64, _ fgbs.FeatureMask) {
+			if gen%10 == 0 {
+				fmt.Printf("generation %3d: best fitness %.3f\n", gen, best)
+			}
+		},
+	}
+	if *full {
+		opts.Population, opts.Generations = 1000, 100
+	}
+
+	// Fitness: max of the average prediction errors on Atom and Sandy
+	// Bridge, times the elbow-selected cluster count. Core 2 and the
+	// NAS suite stay out of training, as in the paper.
+	res, err := fgbs.SelectFeatures(prof, opts, "Atom", "Sandy Bridge")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nconverged: fitness %.3f, %d features after %d evaluations\n",
+		res.BestFitness, res.Best.Count(), res.Evaluations)
+	for _, name := range res.Best.Names() {
+		fmt.Println("  -", name)
+	}
+
+	// Compare with the built-in default subset's fitness.
+	fitness, err := prof.FeatureFitness("Atom", "Sandy Bridge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitness of the built-in default subset: %.3f\n", fitness(fgbs.DefaultFeatures()))
+	fmt.Printf("fitness of the paper's Table 2 subset:  %.3f\n", fitness(fgbs.PaperFeatures()))
+}

@@ -1,0 +1,56 @@
+// Quickstart: reduce the Numerical Recipes suite to a handful of
+// representative microbenchmarks and predict every codelet's time on
+// Atom from them.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fgbs"
+)
+
+func main() {
+	// Step A+B: profile all 28 NR codelets on the reference machine
+	// (Nehalem) and collect the measurements the evaluation needs.
+	prof, err := fgbs.NewProfile(fgbs.NRSuite(), fgbs.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d codelets on %s\n", prof.N(), prof.Ref.Name)
+
+	// Step C+D: cluster with Ward's criterion, let the elbow rule pick
+	// K, and select one well-behaved representative per cluster.
+	sub, err := prof.Subset(fgbs.DefaultFeatures(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduced to %d representatives (elbow-selected)\n", sub.K())
+
+	// Step E: measure only the representatives on Atom and predict
+	// everything else.
+	atom, err := prof.TargetIndex("Atom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := prof.Evaluate(sub, atom)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nprediction on %s: median error %.1f%%, average %.1f%%\n\n",
+		ev.Target.Name, ev.Summary.Median*100, ev.Summary.Average*100)
+	fmt.Println("codelet        real(ms)  predicted(ms)  error")
+	for i, c := range prof.Codelets {
+		if i >= 8 {
+			fmt.Printf("... and %d more\n", prof.N()-8)
+			break
+		}
+		fmt.Printf("%-14s %8.3f  %12.3f  %5.1f%%\n",
+			c.Name, ev.Actual[i]*1e3, ev.Predicted[i]*1e3, ev.Errors[i]*100)
+	}
+}

@@ -1,0 +1,156 @@
+package fgbs
+
+import (
+	"testing"
+
+	"fgbs/internal/features"
+	"fgbs/internal/ir"
+)
+
+func TestFacadeSuites(t *testing.T) {
+	if got := len(NRSuite()); got != 28 {
+		t.Errorf("NRSuite programs = %d", got)
+	}
+	if got := len(NASSuite()); got != 7 {
+		t.Errorf("NASSuite programs = %d", got)
+	}
+	if got := len(PolySuite()); got != 18 {
+		t.Errorf("PolySuite programs = %d", got)
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	if Reference().Name != "Nehalem" {
+		t.Error("reference is not Nehalem")
+	}
+	if len(Targets()) != 3 {
+		t.Error("targets != 3")
+	}
+	if len(Machines()) != 4 {
+		t.Error("machines != 4")
+	}
+}
+
+func TestFacadeMasks(t *testing.T) {
+	if PaperFeatures().Count() != 14 {
+		t.Error("paper mask != 14 features")
+	}
+	if DefaultFeatures().Count() != 16 {
+		t.Error("default mask != 16 features")
+	}
+	if AllFeatures().Count() != features.NumFeatures {
+		t.Error("all mask incomplete")
+	}
+}
+
+// TestBuilderSurface exercises the suite-authoring façade end to end:
+// define a small program purely through the public helpers, then run
+// it through the pipeline.
+func TestBuilderSurface(t *testing.T) {
+	p := NewProgram("user")
+	p.SetParam("n", 150000)
+	p.UncoveredFraction = 0.05
+	p.AddArray("a", F64, AV("n"))
+	p.AddArray("b", F64, AV("n"))
+	p.AddArray("h", I64, AC(512))
+	keys := p.AddArray("k", I64, AV("n"))
+	keys.Init = IntInit{Kind: IntInitUniform, Bound: AC(512)}
+	p.AddScalar("s", F64)
+
+	i := V("i")
+	p.MustAddCodelet(&Codelet{
+		Name: "user_saxpyish", Invocations: 20, WarmInApp: true,
+		Loop: &Loop{Var: "i", Lower: AC(0), Upper: AV("n"), Body: []Stmt{
+			&Assign{LHS: p.Ref("a", i),
+				RHS: Add(Mul(CF(2), p.LoadE("b", i)), Sub(p.LoadE("a", i), CF(1)))},
+		}},
+	})
+	p.MustAddCodelet(&Codelet{
+		Name: "user_sqrtdiv", Invocations: 20, WarmInApp: true,
+		Loop: &Loop{Var: "i", Lower: AC(0), Upper: AV("n"), Body: []Stmt{
+			&Assign{LHS: p.Ref("a", i),
+				RHS: DivE(Sqrt(Abs(p.LoadE("b", i))), Add(p.LoadE("a", i), CF(2)))},
+		}},
+	})
+	p.MustAddCodelet(&Codelet{
+		Name: "user_hist", Invocations: 20, WarmInApp: true,
+		Loop: &Loop{Var: "i", Lower: AC(0), Upper: AV("n"), Body: []Stmt{
+			&Assign{LHS: p.Ref("h", p.LoadE("k", i)),
+				RHS: Add(p.LoadE("h", p.LoadE("k", i)), CI(1))},
+		}},
+	})
+	p.MustAddCodelet(&Codelet{
+		Name: "user_mixed", Invocations: 20, WarmInApp: true,
+		Loop: &Loop{Var: "i", Lower: AC(0), Upper: AV("n"), Body: []Stmt{
+			&Assign{LHS: p.Ref("s"),
+				RHS: Add(p.LoadE("s"), Widen(Narrow(Mul(Exp(CF(0.0)), p.LoadE("b", i)))))},
+		}},
+	})
+
+	prof, err := NewProfile([]*Program{p}, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := prof.Subset(DefaultFeatures(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.K() < 2 {
+		t.Errorf("user suite collapsed to %d clusters", sub.K())
+	}
+	for tt := range prof.Targets {
+		ev, err := prof.Evaluate(sub, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Summary.Median > 0.15 {
+			t.Errorf("%s: user suite median error %.1f%%", ev.Target.Name, ev.Summary.Median*100)
+		}
+	}
+}
+
+func TestBuilderAffineHelpers(t *testing.T) {
+	a := AT("n", 3).Plus(AC(2))
+	if got := a.Eval(map[string]int64{"n": 5}); got != 17 {
+		t.Errorf("AT/AC composition = %d", got)
+	}
+	if AV("x").Coeff("x") != 1 {
+		t.Error("AV coefficient wrong")
+	}
+}
+
+func TestBuilderExprHelpers(t *testing.T) {
+	// Type checks carry through the aliases.
+	e := Add(CF(1), Mul(CF(2), CF(3)))
+	if e.DType() != F64 {
+		t.Error("f64 arithmetic wrong type")
+	}
+	if CF32(1).DType() != F32 || CI(1).DType() != I64 {
+		t.Error("literal types wrong")
+	}
+	if Widen(CF32(1)).DType() != F64 || Narrow(CF(1)).DType() != F32 {
+		t.Error("precision conversions wrong")
+	}
+	if ir.ExprString(Sub(V("i"), CI(1))) != "(i - 1)" {
+		t.Error("expression alias mismatch with ir")
+	}
+}
+
+func TestSelectFeaturesFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA on the NR profile")
+	}
+	prof := nrProfile(t)
+	res, err := SelectFeatures(prof, GAOptions{
+		Population: 20, Generations: 4, MutationProb: 0.02, Seed: 1,
+	}, "Atom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Count() == 0 || res.BestFitness <= 0 {
+		t.Errorf("GA façade returned %d features, fitness %g", res.Best.Count(), res.BestFitness)
+	}
+	if _, err := SelectFeatures(prof, GAOptions{Population: 10, Generations: 1}, "NoSuch"); err == nil {
+		t.Error("unknown target accepted")
+	}
+}

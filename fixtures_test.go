@@ -1,0 +1,81 @@
+package fgbs
+
+import (
+	"sync"
+	"testing"
+
+	"fgbs/internal/pipeline"
+)
+
+// The NR and NAS profiles are the expensive fixtures (a few seconds
+// each of parallel simulation); build each once per test binary and
+// share across every experiment test and benchmark.
+var (
+	nrOnce sync.Once
+	nrProf *Profile
+	nrErr  error
+
+	nasOnce sync.Once
+	nasProf *Profile
+	nasErr  error
+)
+
+func nrProfile(tb testing.TB) *Profile {
+	tb.Helper()
+	nrOnce.Do(func() {
+		nrProf, nrErr = NewProfile(NRSuite(), Options{Seed: 1})
+	})
+	if nrErr != nil {
+		tb.Fatal(nrErr)
+	}
+	return nrProf
+}
+
+func nasProfile(tb testing.TB) *Profile {
+	tb.Helper()
+	nasOnce.Do(func() {
+		nasProf, nasErr = NewProfile(NASSuite(), Options{Seed: 1})
+	})
+	if nasErr != nil {
+		tb.Fatal(nasErr)
+	}
+	return nasProf
+}
+
+// defaultSubset returns the elbow-selected subset for a profile.
+func defaultSubset(tb testing.TB, prof *Profile) *Subset {
+	tb.Helper()
+	sub, err := prof.Subset(DefaultFeatures(), 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sub
+}
+
+// evaluateAll runs Step E on every target.
+func evaluateAll(tb testing.TB, prof *Profile, sub *Subset) []*Eval {
+	tb.Helper()
+	var evals []*Eval
+	for t := range prof.Targets {
+		ev, err := prof.Evaluate(sub, t)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		evals = append(evals, ev)
+	}
+	return evals
+}
+
+// targetEval evaluates one named target.
+func targetEval(tb testing.TB, prof *Profile, sub *Subset, name string) *pipeline.Eval {
+	tb.Helper()
+	ti, err := prof.TargetIndex(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ev, err := prof.Evaluate(sub, ti)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ev
+}

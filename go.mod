@@ -1,0 +1,3 @@
+module fgbs
+
+go 1.22

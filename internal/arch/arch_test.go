@@ -1,0 +1,146 @@
+package arch
+
+import "testing"
+
+func TestAllMachinesValid(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	ref := Reference()
+	if ref.Name != "Nehalem" {
+		t.Errorf("reference = %s, want Nehalem", ref.Name)
+	}
+	targets := Targets()
+	if len(targets) != 3 {
+		t.Fatalf("targets = %d, want 3", len(targets))
+	}
+	names := map[string]bool{}
+	for _, m := range targets {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"Atom", "Core 2", "Sandy Bridge"} {
+		if !names[want] {
+			t.Errorf("missing target %q", want)
+		}
+	}
+}
+
+func TestFrequenciesMatchTable1(t *testing.T) {
+	want := map[string]float64{
+		"Nehalem": 1.86, "Atom": 1.66, "Core 2": 2.93, "Sandy Bridge": 3.30,
+	}
+	for _, m := range All() {
+		if m.FreqGHz != want[m.Name] {
+			t.Errorf("%s frequency = %g, want %g", m.Name, m.FreqGHz, want[m.Name])
+		}
+	}
+}
+
+func TestCacheLevelCounts(t *testing.T) {
+	levels := map[string]int{
+		"Nehalem": 3, "Sandy Bridge": 3, // L1 L2 L3
+		"Atom": 2, "Core 2": 2, // no L3
+	}
+	for _, m := range All() {
+		if got := len(m.Caches); got != levels[m.Name] {
+			t.Errorf("%s: %d cache levels, want %d", m.Name, got, levels[m.Name])
+		}
+	}
+}
+
+func TestArchitectureContrasts(t *testing.T) {
+	neh, atom, c2, sb := Nehalem(), Atom(), Core2(), SandyBridge()
+	if !atom.InOrder || neh.InOrder || c2.InOrder || sb.InOrder {
+		t.Error("only Atom is in-order")
+	}
+	if atom.FPDivCycles <= neh.FPDivCycles {
+		t.Error("Atom divider must be slower than reference")
+	}
+	if c2.LastLevelSize() >= neh.LastLevelSize() {
+		t.Error("Core 2 last-level cache must be smaller than Nehalem L3 (paper's cluster B mechanism)")
+	}
+	if c2.FreqGHz <= neh.FreqGHz {
+		t.Error("Core 2 clocks higher than reference (paper's cluster A mechanism)")
+	}
+	if sb.MemBWBytesPerCycle*sb.FreqGHz <= c2.MemBWBytesPerCycle*c2.FreqGHz {
+		t.Error("Sandy Bridge memory bandwidth must exceed Core 2 FSB")
+	}
+	if atom.MemBWBytesPerCycle*atom.FreqGHz >= neh.MemBWBytesPerCycle*neh.FreqGHz {
+		t.Error("Atom memory bandwidth must be below reference")
+	}
+}
+
+func TestCacheScalePreservesRatios(t *testing.T) {
+	// The modeled Nehalem L3 / Core2 L2 capacity ratio must equal the
+	// real 12MB / 3MB = 4.
+	neh, c2 := Nehalem(), Core2()
+	if r := neh.LastLevelSize() / c2.LastLevelSize(); r != 4 {
+		t.Errorf("LLC ratio = %d, want 4", r)
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("Atom")
+	if err != nil || m.CPU != "D510" {
+		t.Errorf("ByName(Atom) = %v, %v", m, err)
+	}
+	if _, err := ByName("P4"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	m := Nehalem()
+	if got := m.CyclesToSeconds(1.86e9); got != 1.0 {
+		t.Errorf("1.86e9 cycles = %g s, want 1", got)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	m := Nehalem()
+	m.Overlap = 1.5
+	if err := m.Validate(); err == nil {
+		t.Error("overlap > 1 accepted")
+	}
+	m = Atom()
+	m.Overlap = 0.2
+	if err := m.Validate(); err == nil {
+		t.Error("in-order machine with overlap accepted")
+	}
+	m = Core2()
+	m.Caches = nil
+	if err := m.Validate(); err == nil {
+		t.Error("machine without caches accepted")
+	}
+}
+
+func TestExtensionMachines(t *testing.T) {
+	wv := WideVec()
+	if err := wv.Validate(); err != nil {
+		t.Errorf("WideVec: %v", err)
+	}
+	if wv.SIMDBytes <= SandyBridge().SIMDBytes {
+		t.Error("WideVec must be wider than the SSE machines")
+	}
+	nv := NehalemNoVec()
+	if err := nv.Validate(); err != nil {
+		t.Errorf("NehalemNoVec: %v", err)
+	}
+	if nv.SIMDBytes >= 8 {
+		t.Error("NehalemNoVec still vectorizes")
+	}
+	if nv.FreqGHz != Nehalem().FreqGHz || nv.MemBWBytesPerCycle != Nehalem().MemBWBytesPerCycle {
+		t.Error("NehalemNoVec must differ from Nehalem only in the compiler configuration")
+	}
+	if _, err := ByName("WideVec"); err != nil {
+		t.Error("WideVec not resolvable by name")
+	}
+	if _, err := ByName("Nehalem -no-vec"); err != nil {
+		t.Error("NehalemNoVec not resolvable by name")
+	}
+}

@@ -1,0 +1,332 @@
+// Package cluster implements Step C of the method: agglomerative
+// hierarchical clustering of codelet feature vectors with Ward's
+// minimum-variance criterion (§3.3), dendrogram recording, cutting at
+// a chosen K, and the elbow rule for selecting K automatically.
+//
+// Clustering operates on already-normalized feature vectors; distances
+// are Euclidean so that merging minimizes total within-cluster
+// variance, exactly as Ward (1963) defines.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"fgbs/internal/stats"
+)
+
+// Linkage selects the agglomeration criterion. The paper uses Ward;
+// the alternatives exist for the ablation study.
+type Linkage uint8
+
+const (
+	// Ward merges the pair minimizing the increase in total
+	// within-cluster variance.
+	Ward Linkage = iota
+	// Single merges by minimum pairwise distance.
+	Single
+	// Complete merges by maximum pairwise distance.
+	Complete
+	// Average merges by mean pairwise distance (UPGMA).
+	Average
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case Ward:
+		return "ward"
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	default:
+		return fmt.Sprintf("linkage(%d)", uint8(l))
+	}
+}
+
+// Merge records one agglomeration step. Node ids: 0..N-1 are leaves;
+// N+i is the cluster created by Merges[i].
+type Merge struct {
+	A, B int
+	// Height is the merge criterion value (for Ward, the squared
+	// merge distance in the Lance-Williams recurrence).
+	Height float64
+	// Size is the number of leaves in the merged cluster.
+	Size int
+}
+
+// Dendrogram is the full merge history of N leaves.
+type Dendrogram struct {
+	N       int
+	Linkage Linkage
+	Merges  []Merge
+}
+
+// Build clusters the given points hierarchically. Points must all
+// have the same, nonzero dimension; at least one point is required.
+func Build(points [][]float64, linkage Linkage) (*Dendrogram, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	d := &Dendrogram{N: n, Linkage: linkage}
+	if n == 1 {
+		return d, nil
+	}
+
+	// Pairwise squared distances, updated by Lance-Williams.
+	// active[i] is true while node i is an un-merged cluster root.
+	// id[i] is the dendrogram node id of slot i; size[i] its leaves.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i != j {
+				e := stats.EuclideanDistance(points[i], points[j])
+				dist[i][j] = e * e
+			}
+		}
+	}
+	active := make([]bool, n)
+	id := make([]int, n)
+	size := make([]float64, n)
+	for i := range active {
+		active[i] = true
+		id[i] = i
+		size[i] = 1
+	}
+
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		ni, nj := size[bi], size[bj]
+		d.Merges = append(d.Merges, Merge{
+			A: id[bi], B: id[bj], Height: best, Size: int(ni + nj),
+		})
+
+		// Merge bj into bi; update distances by Lance-Williams.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			nk := size[k]
+			var nd float64
+			switch linkage {
+			case Ward:
+				nd = ((ni+nk)*dist[bi][k] + (nj+nk)*dist[bj][k] - nk*best) / (ni + nj + nk)
+			case Single:
+				nd = math.Min(dist[bi][k], dist[bj][k])
+			case Complete:
+				nd = math.Max(dist[bi][k], dist[bj][k])
+			case Average:
+				nd = (ni*dist[bi][k] + nj*dist[bj][k]) / (ni + nj)
+			default:
+				return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
+			}
+			dist[bi][k] = nd
+			dist[k][bi] = nd
+		}
+		active[bj] = false
+		size[bi] = ni + nj
+		id[bi] = n + step
+	}
+	return d, nil
+}
+
+// Cut assigns each leaf to one of k clusters by undoing the last k-1
+// merges. Labels are consecutive integers starting at 0, ordered by
+// smallest leaf index. k is clamped to [1, N].
+func (d *Dendrogram) Cut(k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > d.N {
+		k = d.N
+	}
+	parent := make([]int, d.N+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// Apply the first N-k merges.
+	for i := 0; i < d.N-k; i++ {
+		m := d.Merges[i]
+		node := d.N + i
+		parent[find(m.A)] = node
+		parent[find(m.B)] = node
+	}
+	labels := make([]int, d.N)
+	remap := make(map[int]int)
+	for leaf := 0; leaf < d.N; leaf++ {
+		root := find(leaf)
+		if _, ok := remap[root]; !ok {
+			remap[root] = len(remap)
+		}
+		labels[leaf] = remap[root]
+	}
+	return labels
+}
+
+// WithinSS returns the total within-cluster sum of squared distances
+// to the cluster centroids for the given assignment.
+func WithinSS(points [][]float64, labels []int) float64 {
+	cents := Centroids(points, labels)
+	total := 0.0
+	for i, p := range points {
+		c := cents[labels[i]]
+		for j := range p {
+			diff := p[j] - c[j]
+			total += diff * diff
+		}
+	}
+	return total
+}
+
+// Centroids returns the mean point of each cluster, indexed by label.
+func Centroids(points [][]float64, labels []int) [][]float64 {
+	k := 0
+	for _, l := range labels {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	if k == 0 {
+		return nil
+	}
+	dim := len(points[0])
+	cents := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range cents {
+		cents[i] = make([]float64, dim)
+	}
+	for i, p := range points {
+		counts[labels[i]]++
+		for j, v := range p {
+			cents[labels[i]][j] += v
+		}
+	}
+	for c := range cents {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range cents[c] {
+			cents[c][j] /= float64(counts[c])
+		}
+	}
+	return cents
+}
+
+// Representatives returns, for each cluster label, the index of the
+// member closest to the cluster centroid — the paper's representative
+// choice (§3.4). eligible filters candidates; pass nil to allow all.
+// A cluster whose members are all ineligible gets representative -1.
+func Representatives(points [][]float64, labels []int, eligible func(i int) bool) []int {
+	cents := Centroids(points, labels)
+	reps := make([]int, len(cents))
+	bests := make([]float64, len(cents))
+	for c := range reps {
+		reps[c] = -1
+		bests[c] = math.Inf(1)
+	}
+	for i, p := range points {
+		if eligible != nil && !eligible(i) {
+			continue
+		}
+		c := labels[i]
+		d := stats.EuclideanDistance(p, cents[c])
+		if d < bests[c] {
+			bests[c] = d
+			reps[c] = i
+		}
+	}
+	return reps
+}
+
+// NearestNeighbor returns the index of the point closest to points[i]
+// among those for which allowed returns true (excluding i itself), or
+// -1 if none qualifies. It implements §3.4's reassignment of
+// ineligible codelets to "the cluster containing its closest
+// neighbor".
+func NearestNeighbor(points [][]float64, i int, allowed func(j int) bool) int {
+	best, bestD := -1, math.Inf(1)
+	for j := range points {
+		if j == i || (allowed != nil && !allowed(j)) {
+			continue
+		}
+		d := stats.EuclideanDistance(points[i], points[j])
+		if d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best
+}
+
+// DefaultElbowFrac is the improvement threshold of the elbow rule: K
+// stops growing when adding a cluster no longer reduces the within-
+// cluster sum of squares by at least this fraction of the total.
+const DefaultElbowFrac = 0.006
+
+// Elbow selects the number of clusters with Thorndike's rule: cut
+// where the within-cluster variance stops improving significantly.
+// Concretely it returns the smallest k whose improvement
+// W(k) - W(k+1), relative to W(1), falls below frac for all k' >= k.
+// maxK caps the search (clamped to N).
+func (d *Dendrogram) Elbow(points [][]float64, maxK int, frac float64) int {
+	if maxK > d.N {
+		maxK = d.N
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	if frac <= 0 {
+		frac = DefaultElbowFrac
+	}
+	w := make([]float64, maxK+2)
+	for k := 1; k <= maxK+1 && k <= d.N; k++ {
+		w[k] = WithinSS(points, d.Cut(k))
+	}
+	total := w[1]
+	if total <= 0 {
+		return 1
+	}
+	// Find the last k whose improvement is significant.
+	last := 1
+	for k := 1; k <= maxK && k < d.N; k++ {
+		if (w[k]-w[k+1])/total >= frac {
+			last = k + 1
+		}
+	}
+	if last > maxK {
+		last = maxK
+	}
+	return last
+}

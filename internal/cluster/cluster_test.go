@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"fgbs/internal/rng"
+)
+
+// blobs generates k well-separated Gaussian blobs of m points each in
+// dim dimensions. Returns points and the true labels.
+func blobs(seed uint64, k, m, dim int, sep float64) ([][]float64, []int) {
+	r := rng.New(seed)
+	var points [][]float64
+	var labels []int
+	for c := 0; c < k; c++ {
+		center := make([]float64, dim)
+		for j := range center {
+			center[j] = float64(c) * sep
+		}
+		for i := 0; i < m; i++ {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = center[j] + r.NormFloat64()*0.2
+			}
+			points = append(points, p)
+			labels = append(labels, c)
+		}
+	}
+	return points, labels
+}
+
+// sameClustering checks that two labelings induce the same partition.
+func sameClustering(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int]int{}
+	bwd := map[int]int{}
+	for i := range a {
+		if m, ok := fwd[a[i]]; ok && m != b[i] {
+			return false
+		}
+		if m, ok := bwd[b[i]]; ok && m != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		bwd[b[i]] = a[i]
+	}
+	return true
+}
+
+func TestRecoversBlobs(t *testing.T) {
+	for _, linkage := range []Linkage{Ward, Single, Complete, Average} {
+		points, truth := blobs(1, 4, 10, 5, 10)
+		d, err := Build(points, linkage)
+		if err != nil {
+			t.Fatalf("%v: %v", linkage, err)
+		}
+		got := d.Cut(4)
+		if !sameClustering(got, truth) {
+			t.Errorf("%v linkage failed to recover 4 separated blobs", linkage)
+		}
+	}
+}
+
+func TestDendrogramShape(t *testing.T) {
+	points, _ := blobs(2, 3, 5, 4, 8)
+	d, err := Build(points, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Merges) != len(points)-1 {
+		t.Fatalf("merges = %d, want %d", len(d.Merges), len(points)-1)
+	}
+	if d.Merges[len(d.Merges)-1].Size != len(points) {
+		t.Error("final merge does not contain all leaves")
+	}
+	// Ward heights must be non-decreasing (reducibility property).
+	for i := 1; i < len(d.Merges); i++ {
+		if d.Merges[i].Height < d.Merges[i-1].Height-1e-9 {
+			t.Errorf("Ward heights decrease at step %d: %g < %g",
+				i, d.Merges[i].Height, d.Merges[i-1].Height)
+		}
+	}
+}
+
+func TestCutExtremes(t *testing.T) {
+	points, _ := blobs(3, 2, 6, 3, 6)
+	d, err := Build(points, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := d.Cut(1)
+	for _, l := range one {
+		if l != 0 {
+			t.Fatal("Cut(1) produced multiple clusters")
+		}
+	}
+	all := d.Cut(len(points))
+	seen := map[int]bool{}
+	for _, l := range all {
+		if seen[l] {
+			t.Fatal("Cut(N) produced a non-singleton cluster")
+		}
+		seen[l] = true
+	}
+	// Out-of-range values clamp.
+	if got := d.Cut(0); len(got) != len(points) {
+		t.Error("Cut(0) wrong length")
+	}
+	if got := d.Cut(1000); len(got) != len(points) {
+		t.Error("Cut(1000) wrong length")
+	}
+}
+
+func TestCutLabelCount(t *testing.T) {
+	points, _ := blobs(4, 5, 4, 6, 9)
+	d, err := Build(points, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= len(points); k++ {
+		labels := d.Cut(k)
+		distinct := map[int]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		if len(distinct) != k {
+			t.Fatalf("Cut(%d) produced %d clusters", k, len(distinct))
+		}
+		for _, l := range labels {
+			if l < 0 || l >= k {
+				t.Fatalf("Cut(%d) label %d out of range", k, l)
+			}
+		}
+	}
+}
+
+func TestWithinSSMonotone(t *testing.T) {
+	points, _ := blobs(5, 3, 8, 5, 4)
+	d, err := Build(points, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for k := 1; k <= len(points); k++ {
+		w := WithinSS(points, d.Cut(k))
+		if w > prev+1e-9 {
+			t.Fatalf("WithinSS increased at k=%d: %g > %g", k, w, prev)
+		}
+		prev = w
+	}
+	if w := WithinSS(points, d.Cut(len(points))); w > 1e-12 {
+		t.Errorf("WithinSS with singletons = %g, want 0", w)
+	}
+}
+
+func TestElbowFindsBlobCount(t *testing.T) {
+	points, _ := blobs(6, 5, 8, 6, 20)
+	d, err := Build(points, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := d.Elbow(points, 20, 0)
+	if k != 5 {
+		t.Errorf("elbow chose %d clusters, want 5", k)
+	}
+}
+
+func TestCentroids(t *testing.T) {
+	points := [][]float64{{0, 0}, {2, 0}, {10, 10}}
+	labels := []int{0, 0, 1}
+	cents := Centroids(points, labels)
+	if len(cents) != 2 {
+		t.Fatalf("centroids = %d", len(cents))
+	}
+	if cents[0][0] != 1 || cents[0][1] != 0 {
+		t.Errorf("centroid 0 = %v", cents[0])
+	}
+	if cents[1][0] != 10 || cents[1][1] != 10 {
+		t.Errorf("centroid 1 = %v", cents[1])
+	}
+}
+
+func TestRepresentatives(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 0}, {0.4, 0}, {10, 10}}
+	labels := []int{0, 0, 0, 1}
+	reps := Representatives(points, labels, nil)
+	// Centroid of cluster 0 is (0.466, 0); closest member is index 2.
+	if reps[0] != 2 {
+		t.Errorf("rep of cluster 0 = %d, want 2", reps[0])
+	}
+	if reps[1] != 3 {
+		t.Errorf("rep of cluster 1 = %d, want 3", reps[1])
+	}
+}
+
+func TestRepresentativesEligibility(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 0}, {0.4, 0}}
+	labels := []int{0, 0, 0}
+	reps := Representatives(points, labels, func(i int) bool { return i != 2 })
+	if reps[0] == 2 {
+		t.Error("ineligible point selected")
+	}
+	// All ineligible -> -1.
+	reps = Representatives(points, labels, func(i int) bool { return false })
+	if reps[0] != -1 {
+		t.Errorf("rep = %d, want -1 for fully ineligible cluster", reps[0])
+	}
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	points := [][]float64{{0}, {1}, {5}, {0.2}}
+	if nn := NearestNeighbor(points, 0, nil); nn != 3 {
+		t.Errorf("nn of 0 = %d, want 3", nn)
+	}
+	if nn := NearestNeighbor(points, 0, func(j int) bool { return j != 3 }); nn != 1 {
+		t.Errorf("filtered nn of 0 = %d, want 1", nn)
+	}
+	if nn := NearestNeighbor(points, 0, func(j int) bool { return false }); nn != -1 {
+		t.Errorf("nn with nothing allowed = %d, want -1", nn)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	d, err := Build([][]float64{{1, 2}}, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels := d.Cut(1); len(labels) != 1 || labels[0] != 0 {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestDimensionMismatchRejected(t *testing.T) {
+	if _, err := Build([][]float64{{1, 2}, {1}}, Ward); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Build(nil, Ward); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	points, _ := blobs(9, 4, 10, 8, 6)
+	d1, _ := Build(points, Ward)
+	d2, _ := Build(points, Ward)
+	for i := range d1.Merges {
+		if d1.Merges[i] != d2.Merges[i] {
+			t.Fatal("clustering not deterministic")
+		}
+	}
+}
+
+// Property: for random data, every cut is a valid partition and the
+// dendrogram respects the merge-size invariant.
+func TestPartitionProperty(t *testing.T) {
+	r := rng.New(33)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(40)
+		dim := 1 + r.Intn(6)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = make([]float64, dim)
+			for j := range points[i] {
+				points[i][j] = r.NormFloat64()
+			}
+		}
+		d, err := Build(points, Ward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + r.Intn(n)
+		labels := d.Cut(k)
+		if len(labels) != n {
+			t.Fatal("wrong label count")
+		}
+		distinct := map[int]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		if len(distinct) != k {
+			t.Fatalf("trial %d: cut(%d) gave %d clusters", trial, k, len(distinct))
+		}
+	}
+}

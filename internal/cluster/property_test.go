@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fgbs/internal/rng"
+)
+
+// randomPoints draws n points in dim dimensions from a seeded PRNG.
+func randomPoints(seed uint64, n, dim int) [][]float64 {
+	r := rng.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+		for j := range pts[i] {
+			pts[i][j] = r.NormFloat64()
+		}
+	}
+	return pts
+}
+
+// Property: hierarchical cuts are nested — Cut(k+1) refines Cut(k):
+// two leaves together at k+1 are together at k.
+func TestCutsAreNested(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(30)
+		dim := 1 + r.Intn(5)
+		pts := randomPoints(seed+1, n, dim)
+		d, err := Build(pts, Ward)
+		if err != nil {
+			return false
+		}
+		for k := 1; k < n; k++ {
+			coarse := d.Cut(k)
+			fine := d.Cut(k + 1)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if fine[i] == fine[j] && coarse[i] != coarse[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Ward merge heights never decrease (reducibility), for any
+// data.
+func TestWardHeightsMonotone(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(40)
+		pts := randomPoints(seed+2, n, 1+r.Intn(6))
+		d, err := Build(pts, Ward)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(d.Merges); i++ {
+			if d.Merges[i].Height < d.Merges[i-1].Height-1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: duplicating every point leaves the k-cluster partition of
+// the originals intact under Ward (duplicates merge at height 0 first).
+func TestDuplicatesMergeFirst(t *testing.T) {
+	pts := randomPoints(7, 8, 3)
+	doubled := append(append([][]float64(nil), pts...), pts...)
+	d, err := Build(doubled, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first 8 merges must all be at height 0 (the duplicates).
+	for i := 0; i < 8; i++ {
+		if d.Merges[i].Height > 1e-12 {
+			t.Fatalf("merge %d height %g, want 0 (duplicate pair)", i, d.Merges[i].Height)
+		}
+	}
+	labels := d.Cut(8)
+	for i := range pts {
+		if labels[i] != labels[i+8] {
+			t.Fatalf("point %d not clustered with its duplicate", i)
+		}
+	}
+}
+
+// Property: centroid of each cluster minimizes within-cluster sum of
+// squares against any single alternative point (first-order check).
+func TestCentroidOptimality(t *testing.T) {
+	r := rng.New(11)
+	pts := randomPoints(11, 20, 4)
+	d, err := Build(pts, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := d.Cut(4)
+	base := WithinSS(pts, labels)
+	cents := Centroids(pts, labels)
+	for trial := 0; trial < 50; trial++ {
+		c := r.Intn(len(cents))
+		// Perturb one centroid: the total SS against perturbed centers
+		// cannot be smaller.
+		perturbed := make([][]float64, len(cents))
+		copy(perturbed, cents)
+		alt := append([]float64(nil), cents[c]...)
+		for j := range alt {
+			alt[j] += r.NormFloat64() * 0.1
+		}
+		perturbed[c] = alt
+		total := 0.0
+		for i, p := range pts {
+			ctr := perturbed[labels[i]]
+			for j := range p {
+				diff := p[j] - ctr[j]
+				total += diff * diff
+			}
+		}
+		if total < base-1e-9 {
+			t.Fatalf("perturbed centers beat centroids: %g < %g", total, base)
+		}
+	}
+}
+
+// Property: every linkage produces the same singleton cut and the
+// same 1-cluster cut.
+func TestLinkagesAgreeAtExtremes(t *testing.T) {
+	pts := randomPoints(3, 12, 3)
+	for _, l := range []Linkage{Ward, Single, Complete, Average} {
+		d, err := Build(pts, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := d.Cut(1)
+		for _, lab := range one {
+			if lab != 0 {
+				t.Fatalf("%v: Cut(1) not a single cluster", l)
+			}
+		}
+		all := d.Cut(len(pts))
+		seen := map[int]bool{}
+		for _, lab := range all {
+			if seen[lab] {
+				t.Fatalf("%v: Cut(N) has duplicates", l)
+			}
+			seen[lab] = true
+		}
+	}
+}
+
+// Property: Elbow never exceeds maxK and never returns less than 1.
+func TestElbowBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(25)
+		pts := randomPoints(seed+3, n, 2)
+		d, err := Build(pts, Ward)
+		if err != nil {
+			return false
+		}
+		maxK := 1 + r.Intn(n)
+		k := d.Elbow(pts, maxK, 0)
+		return k >= 1 && k <= maxK
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

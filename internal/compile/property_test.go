@@ -1,0 +1,104 @@
+package compile
+
+import (
+	"testing"
+
+	"fgbs/internal/arch"
+	"fgbs/internal/ir"
+)
+
+// buildSimple builds a parameterizable element-wise kernel with the
+// given numbers of multiplies and adds per point.
+func buildSimple(muls, adds int) (*ir.Program, *ir.Codelet) {
+	p := ir.NewProgram("t")
+	p.SetParam("n", 4096)
+	p.AddArray("a", ir.F64, ir.AV("n"))
+	p.AddArray("b", ir.F64, ir.AV("n"))
+	rhs := p.LoadE("b", ir.V("i"))
+	for m := 0; m < muls; m++ {
+		rhs = ir.Mul(rhs, ir.CF(1.0001))
+	}
+	for a := 0; a < adds; a++ {
+		rhs = ir.Add(rhs, ir.CF(0.5))
+	}
+	c := &ir.Codelet{
+		Name: "kern", Invocations: 1,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Assign{LHS: p.Ref("a", ir.V("i")), RHS: rhs},
+		}},
+	}
+	p.MustAddCodelet(c)
+	return p, c
+}
+
+// Property: vectorization never increases the modeled cycles per
+// iteration, on any machine, for any op mix.
+func TestVectorizationNeverSlower(t *testing.T) {
+	for muls := 0; muls <= 4; muls++ {
+		for adds := 0; adds <= 4; adds++ {
+			for _, m := range arch.All() {
+				p, c := buildSimple(muls, adds)
+				vec := Lower(p, c, m, true).Loops[0].CyclesPerIter
+				c.Loop.Body[0].(*ir.Assign).Hint = ir.VecNever
+				scalar := Lower(p, c, m, true).Loops[0].CyclesPerIter
+				if vec > scalar+1e-9 {
+					t.Errorf("%s muls=%d adds=%d: vector %.3f > scalar %.3f cycles/iter",
+						m.Name, muls, adds, vec, scalar)
+				}
+			}
+		}
+	}
+}
+
+// Property: adding work never reduces the per-iteration cost.
+func TestCostMonotoneInWork(t *testing.T) {
+	for _, m := range arch.All() {
+		prev := 0.0
+		for ops := 0; ops <= 6; ops++ {
+			p, c := buildSimple(ops, ops)
+			cyc := Lower(p, c, m, true).Loops[0].CyclesPerIter
+			if cyc < prev-1e-9 {
+				t.Errorf("%s: cost decreased when adding work (%.3f -> %.3f)", m.Name, prev, cyc)
+			}
+			prev = cyc
+		}
+	}
+}
+
+// Property: the reference machine is never slower per iteration than
+// Atom for the same code (Atom is strictly weaker in every resource).
+func TestAtomNeverFasterPerCycle(t *testing.T) {
+	for muls := 0; muls <= 3; muls++ {
+		p, c := buildSimple(muls, 2)
+		neh := Lower(p, c, arch.Nehalem(), true).Loops[0].CyclesPerIter
+		atom := Lower(p, c, arch.Atom(), true).Loops[0].CyclesPerIter
+		if atom < neh {
+			t.Errorf("muls=%d: Atom %.3f cycles/iter beats Nehalem %.3f", muls, atom, neh)
+		}
+	}
+}
+
+// Property: lowering the same codelet twice yields identical results
+// (purity).
+func TestLowerPure(t *testing.T) {
+	p, c := buildSimple(2, 2)
+	for _, m := range arch.All() {
+		a := Lower(p, c, m, true)
+		b := Lower(p, c, m, true)
+		if a.Loops[0].CyclesPerIter != b.Loops[0].CyclesPerIter ||
+			a.Loops[0].InstrPerIter != b.Loops[0].InstrPerIter {
+			t.Errorf("%s: lowering not deterministic", m.Name)
+		}
+	}
+}
+
+// Property: context-sensitivity only matters outside the application.
+func TestContextSensitiveOnlyAffectsStandalone(t *testing.T) {
+	p, c := buildSimple(2, 2)
+	base := Lower(p, c, arch.Nehalem(), true).Loops[0].CyclesPerIter
+	c.ContextSensitive = true
+	inApp := Lower(p, c, arch.Nehalem(), true).Loops[0].CyclesPerIter
+	if inApp != base {
+		t.Error("ContextSensitive changed in-app lowering")
+	}
+}

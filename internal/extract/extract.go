@@ -1,0 +1,125 @@
+// Package extract models Step D's codelet extraction: turning a
+// codelet into a standalone microbenchmark the way the CAPS Codelet
+// Finder does — capture the memory accessed by the codelet at its
+// first invocation into a dump, generate a wrapper that reloads the
+// dump and re-runs the codelet, and time it with a reduced invocation
+// count.
+//
+// Two paper rules are implemented here:
+//
+//   - Invocation reduction (§3.4): "we select a number of invocations
+//     so that the microbenchmark runs at least during 1 ms with a
+//     minimum of 10 invocations. We then take the median measurement."
+//   - Well-behavedness screening (§3.4): a representative whose
+//     standalone time differs from its original in-application time by
+//     more than 10% is ill-behaved.
+//
+// Extraction side effects that the paper documents emerge from the
+// simulation modes of internal/sim: the dump reload warms the cache
+// (CG-on-Atom anomaly), the dump snapshots the first invocation's
+// dataset (ill-behaved category 1), and the standalone compilation
+// loses the application context (ill-behaved category 2).
+package extract
+
+import (
+	"math"
+
+	"fgbs/internal/arch"
+	"fgbs/internal/ir"
+	"fgbs/internal/sim"
+)
+
+// Invocation-reduction rule constants. The 1 ms floor is deliberately
+// NOT scaled by arch.CacheScale: it reflects the wall-clock accuracy
+// of the measurement harness, a property of the timer rather than of
+// the (scaled) caches and datasets. Because scaled invocations are
+// shorter while the floor stays put, fast targets need more
+// invocations to fill it — which is exactly why the paper's
+// invocation-reduction factor is larger on Atom (x12) than on Sandy
+// Bridge (x6.3).
+const (
+	// MinBenchSeconds is the minimum total standalone running time.
+	// The paper uses 1 ms on full-size invocations; our invocations
+	// are CacheScale times shorter, so 2 ms keeps the floor binding
+	// for short codelets on fast targets the way the paper's does.
+	MinBenchSeconds = 2e-3
+	// MinInvocations is the invocation floor.
+	MinInvocations = 10
+	// IllBehavedTolerance is the relative standalone-vs-original gap
+	// above which a codelet is ill-behaved.
+	IllBehavedTolerance = 0.10
+)
+
+// Microbenchmark is an extracted, standalone-measurable codelet on one
+// machine.
+type Microbenchmark struct {
+	Codelet *ir.Codelet
+	Machine *arch.Machine
+	// Measurement is the standalone (dump-reload, back-to-back)
+	// measurement; Measurement.Seconds is the median per-invocation
+	// time.
+	Measurement *sim.Measurement
+	// Invocations is the reduced invocation count from the 1 ms / 10
+	// invocation rule.
+	Invocations int
+	// BenchSeconds is the total cost of running this microbenchmark:
+	// Invocations x median invocation time.
+	BenchSeconds float64
+	// DumpBytes is the memory-dump size (the codelet's working set).
+	DumpBytes int64
+}
+
+// Options configures extraction.
+type Options struct {
+	// Seed propagates to the simulator's dataset build.
+	Seed uint64
+	// Dataset optionally reuses a prebuilt dataset.
+	Dataset *sim.Dataset
+}
+
+// Extract builds and measures the standalone microbenchmark for
+// codelet c on machine m.
+func Extract(p *ir.Program, c *ir.Codelet, m *arch.Machine, opts Options) (*Microbenchmark, error) {
+	meas, err := sim.Measure(p, c, sim.Options{
+		Machine:     m,
+		Mode:        sim.ModeStandalone,
+		Seed:        opts.Seed,
+		Dataset:     opts.Dataset,
+		ProbeCycles: -1,
+		NoiseAmp:    -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inv := ReducedInvocations(meas.Seconds)
+	return &Microbenchmark{
+		Codelet:      c,
+		Machine:      m,
+		Measurement:  meas,
+		Invocations:  inv,
+		BenchSeconds: float64(inv) * meas.Seconds,
+		DumpBytes:    meas.WorkingSetBytes,
+	}, nil
+}
+
+// ReducedInvocations applies the 1 ms / 10 invocation rule to a
+// per-invocation time.
+func ReducedInvocations(secondsPerInvocation float64) int {
+	if secondsPerInvocation <= 0 {
+		return MinInvocations
+	}
+	n := int(math.Ceil(MinBenchSeconds / secondsPerInvocation))
+	if n < MinInvocations {
+		n = MinInvocations
+	}
+	return n
+}
+
+// IllBehaved reports whether a standalone time misrepresents the
+// original in-application time beyond the paper's 10% tolerance.
+func IllBehaved(standaloneSeconds, inAppSeconds float64) bool {
+	if inAppSeconds <= 0 {
+		return true
+	}
+	return math.Abs(standaloneSeconds-inAppSeconds)/inAppSeconds > IllBehavedTolerance
+}

@@ -1,0 +1,131 @@
+package extract
+
+import (
+	"testing"
+
+	"fgbs/internal/arch"
+	"fgbs/internal/ir"
+	"fgbs/internal/sim"
+)
+
+func triad(n int64) (*ir.Program, *ir.Codelet) {
+	p := ir.NewProgram("t")
+	p.SetParam("n", n)
+	p.AddArray("a", ir.F64, ir.AV("n"))
+	p.AddArray("b", ir.F64, ir.AV("n"))
+	c := &ir.Codelet{
+		Name: "copyadd", Invocations: 200,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Assign{LHS: p.Ref("a", ir.V("i")),
+				RHS: ir.Add(p.LoadE("b", ir.V("i")), ir.CF(1))},
+		}},
+	}
+	if err := p.AddCodelet(c); err != nil {
+		panic(err)
+	}
+	return p, c
+}
+
+func TestReducedInvocationsRule(t *testing.T) {
+	// Long invocation: floor of 10.
+	if got := ReducedInvocations(MinBenchSeconds); got != MinInvocations {
+		t.Errorf("long codelet invocations = %d, want %d", got, MinInvocations)
+	}
+	// Short invocation: enough to fill the time floor.
+	short := MinBenchSeconds / 100
+	if got := ReducedInvocations(short); got != 100 {
+		t.Errorf("short codelet invocations = %d, want 100", got)
+	}
+	// Degenerate zero time.
+	if got := ReducedInvocations(0); got != MinInvocations {
+		t.Errorf("zero-time invocations = %d", got)
+	}
+}
+
+func TestIllBehaved(t *testing.T) {
+	if IllBehaved(1.05, 1.0) {
+		t.Error("5% gap flagged ill-behaved")
+	}
+	if !IllBehaved(1.2, 1.0) {
+		t.Error("20% gap not flagged")
+	}
+	if !IllBehaved(0.5, 1.0) {
+		t.Error("fast standalone not flagged")
+	}
+	if !IllBehaved(1, 0) {
+		t.Error("zero in-app time not flagged")
+	}
+}
+
+func TestExtractProducesMicrobenchmark(t *testing.T) {
+	p, c := triad(200000)
+	mb, err := Extract(p, c, arch.Reference(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Invocations < MinInvocations {
+		t.Errorf("invocations = %d", mb.Invocations)
+	}
+	if mb.BenchSeconds < MinBenchSeconds*0.99 {
+		t.Errorf("bench time %.3g below the floor", mb.BenchSeconds)
+	}
+	if mb.DumpBytes != 2*200000*8 {
+		t.Errorf("dump bytes = %d", mb.DumpBytes)
+	}
+	if mb.Measurement.Mode != sim.ModeStandalone {
+		t.Error("extraction did not measure standalone")
+	}
+}
+
+func TestExtractionReductionVsOriginal(t *testing.T) {
+	// The whole point: benchmarking the microbenchmark is much cheaper
+	// than the codelet's share of the application run.
+	p, c := triad(200000)
+	m := arch.Reference()
+	mb, err := Extract(p, c, m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inApp, err := sim.Measure(p, c, sim.Options{Machine: m, Mode: sim.ModeInApp, Seed: 1, ProbeCycles: -1, NoiseAmp: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	originalCost := float64(c.Invocations) * inApp.Seconds
+	if mb.BenchSeconds >= originalCost/2 {
+		t.Errorf("no benchmarking reduction: micro %.3g vs original %.3g", mb.BenchSeconds, originalCost)
+	}
+}
+
+func TestWellBehavedStreamingCodelet(t *testing.T) {
+	p, c := triad(200000) // working set streams past every cache
+	m := arch.Reference()
+	mb, err := Extract(p, c, m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inApp, err := sim.Measure(p, c, sim.Options{Machine: m, Mode: sim.ModeInApp, Seed: 1, ProbeCycles: -1, NoiseAmp: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IllBehaved(mb.Measurement.Seconds, inApp.Seconds) {
+		t.Errorf("streaming codelet ill-behaved: standalone %.4g vs in-app %.4g",
+			mb.Measurement.Seconds, inApp.Seconds)
+	}
+}
+
+func TestContextSensitiveDetectedIllBehaved(t *testing.T) {
+	p, c := triad(200000)
+	c.ContextSensitive = true
+	m := arch.Reference()
+	mb, err := Extract(p, c, m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inApp, err := sim.Measure(p, c, sim.Options{Machine: m, Mode: sim.ModeInApp, Seed: 1, ProbeCycles: -1, NoiseAmp: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IllBehaved(mb.Measurement.Seconds, inApp.Seconds) {
+		t.Error("context-sensitive codelet passed the screening")
+	}
+}

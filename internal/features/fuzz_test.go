@@ -1,0 +1,26 @@
+package features
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMask: ParseMask must never panic and must round-trip every
+// string it accepts.
+func FuzzParseMask(f *testing.F) {
+	f.Add(strings.Repeat("0", NumFeatures))
+	f.Add(strings.Repeat("1", NumFeatures))
+	f.Add(PaperMask().String())
+	f.Add("101")
+	f.Add("")
+	f.Add(strings.Repeat("2", NumFeatures))
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMask(s)
+		if err != nil {
+			return
+		}
+		if m.String() != s {
+			t.Errorf("accepted %q but round-trips to %q", s, m.String())
+		}
+	})
+}

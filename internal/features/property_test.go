@@ -1,0 +1,90 @@
+package features
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fgbs/internal/rng"
+)
+
+// Property: String/ParseMask round-trips any mask.
+func TestMaskRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		var m Mask
+		for i := 0; i < NumFeatures; i++ {
+			m.Set(i, r.Bool(0.4))
+		}
+		back, err := ParseMask(m.String())
+		return err == nil && back == m
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count equals the number of indices, and Apply's output
+// length equals Count.
+func TestMaskCountConsistency(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		var m Mask
+		for i := 0; i < NumFeatures; i++ {
+			m.Set(i, r.Bool(0.5))
+		}
+		full := make([]float64, NumFeatures)
+		return m.Count() == len(m.Indices()) && len(m.Apply(full)) == m.Count()
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Apply selects exactly the masked positions, preserving
+// catalog order.
+func TestMaskApplyOrder(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		var m Mask
+		for i := 0; i < NumFeatures; i++ {
+			m.Set(i, r.Bool(0.3))
+		}
+		full := make([]float64, NumFeatures)
+		for i := range full {
+			full[i] = float64(i)
+		}
+		out := m.Apply(full)
+		idx := m.Indices()
+		if len(out) != len(idx) {
+			return false
+		}
+		for j, i := range idx {
+			if out[j] != float64(i) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArchIndependentMask(t *testing.T) {
+	m := ArchIndependentMask()
+	if m.Count() < 15 {
+		t.Errorf("arch-independent mask has only %d features", m.Count())
+	}
+	// Must exclude everything tied to the reference machine's
+	// execution resources or clock.
+	for _, banned := range []int{FMFLOPS, FEstIPCL1, FPressureP1, FCPI, FExecSeconds,
+		FL2BandwidthMBs, FMemBandwidthMBs, FVecRatioAll, FCyclesPerIterL1} {
+		if m.Get(banned) {
+			t.Errorf("arch-independent mask contains machine-dependent feature %s",
+				Catalog()[banned].Name)
+		}
+	}
+	// Must include the op-mix and structure core.
+	for _, wanted := range []int{FFDivShare, FStrideIndirectShare, FWorkingSetBytes, FRecurrenceShare} {
+		if !m.Get(wanted) {
+			t.Errorf("arch-independent mask missing %s", Catalog()[wanted].Name)
+		}
+	}
+}

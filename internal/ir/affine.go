@@ -1,0 +1,156 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is one linear term of an Affine expression: Coeff * Var, where
+// Var names either a loop variable or a program parameter.
+type Term struct {
+	Var   string
+	Coeff int64
+}
+
+// Affine is an integer affine form K + sum(Coeff_i * Var_i). Loop
+// bounds are Affine in enclosing loop variables and program parameters;
+// array index expressions are analyzed into Affine forms to derive
+// strides (Table 3's "Stride" column).
+type Affine struct {
+	K     int64
+	Terms []Term
+}
+
+// AC returns the constant affine form k.
+func AC(k int64) Affine { return Affine{K: k} }
+
+// AV returns the affine form 1*name.
+func AV(name string) Affine { return Affine{Terms: []Term{{Var: name, Coeff: 1}}} }
+
+// AT returns the affine form coeff*name.
+func AT(name string, coeff int64) Affine {
+	if coeff == 0 {
+		return Affine{}
+	}
+	return Affine{Terms: []Term{{Var: name, Coeff: coeff}}}
+}
+
+// normalize merges duplicate variables, drops zero coefficients and
+// orders terms by variable name so that equal forms compare equal.
+func (a Affine) normalize() Affine {
+	if len(a.Terms) == 0 {
+		return a
+	}
+	m := make(map[string]int64, len(a.Terms))
+	for _, t := range a.Terms {
+		m[t.Var] += t.Coeff
+	}
+	out := Affine{K: a.K}
+	names := make([]string, 0, len(m))
+	for v, c := range m {
+		if c != 0 {
+			names = append(names, v)
+		}
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		out.Terms = append(out.Terms, Term{Var: v, Coeff: m[v]})
+	}
+	return out
+}
+
+// Plus returns a + b.
+func (a Affine) Plus(b Affine) Affine {
+	out := Affine{K: a.K + b.K}
+	out.Terms = append(out.Terms, a.Terms...)
+	out.Terms = append(out.Terms, b.Terms...)
+	return out.normalize()
+}
+
+// PlusK returns a + k.
+func (a Affine) PlusK(k int64) Affine { return a.Plus(AC(k)) }
+
+// Minus returns a - b.
+func (a Affine) Minus(b Affine) Affine { return a.Plus(b.ScaleK(-1)) }
+
+// ScaleK returns a * k.
+func (a Affine) ScaleK(k int64) Affine {
+	out := Affine{K: a.K * k}
+	for _, t := range a.Terms {
+		out.Terms = append(out.Terms, Term{Var: t.Var, Coeff: t.Coeff * k})
+	}
+	return out.normalize()
+}
+
+// Coeff returns the coefficient of variable v (0 if absent).
+func (a Affine) Coeff(v string) int64 {
+	for _, t := range a.Terms {
+		if t.Var == v {
+			return t.Coeff
+		}
+	}
+	return 0
+}
+
+// IsConst reports whether a has no variable terms.
+func (a Affine) IsConst() bool { return len(a.normalize().Terms) == 0 }
+
+// Eval evaluates a under env. It panics if a variable is unbound: an
+// unbound variable in a loop bound is a malformed codelet, which
+// Program.Validate rejects before anything is evaluated.
+func (a Affine) Eval(env map[string]int64) int64 {
+	v := a.K
+	for _, t := range a.Terms {
+		val, ok := env[t.Var]
+		if !ok {
+			panic(fmt.Sprintf("ir: unbound variable %q in affine form", t.Var))
+		}
+		v += t.Coeff * val
+	}
+	return v
+}
+
+// Vars returns the variable names appearing with nonzero coefficient.
+func (a Affine) Vars() []string {
+	n := a.normalize()
+	vars := make([]string, len(n.Terms))
+	for i, t := range n.Terms {
+		vars[i] = t.Var
+	}
+	return vars
+}
+
+// Equal reports whether a and b denote the same affine form.
+func (a Affine) Equal(b Affine) bool {
+	na, nb := a.normalize(), b.normalize()
+	if na.K != nb.K || len(na.Terms) != len(nb.Terms) {
+		return false
+	}
+	for i := range na.Terms {
+		if na.Terms[i] != nb.Terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the affine form for diagnostics, e.g. "2*i + n - 1".
+func (a Affine) String() string {
+	n := a.normalize()
+	var parts []string
+	for _, t := range n.Terms {
+		switch t.Coeff {
+		case 1:
+			parts = append(parts, t.Var)
+		case -1:
+			parts = append(parts, "-"+t.Var)
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s", t.Coeff, t.Var))
+		}
+	}
+	if n.K != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", n.K))
+	}
+	return strings.Join(parts, " + ")
+}

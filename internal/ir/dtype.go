@@ -1,0 +1,71 @@
+// Package ir defines the loop-nest intermediate representation in which
+// fgbs expresses codelets.
+//
+// The paper extracts codelets from C and Fortran sources with the CAPS
+// Codelet Finder: a codelet is an outermost loop nest without side
+// effects that can be outlined into a standalone microbenchmark. This
+// repository has no compiler front end or proprietary extractor, so the
+// benchmark suites (Numerical Recipes, NAS-like) are written directly in
+// this IR. The IR keeps exactly the information the method needs:
+//
+//   - the loop structure (nests, affine bounds, trip counts),
+//   - the statement-level computation (FP/integer operation mix,
+//     precision, divisions, special functions),
+//   - the memory access pattern (affine strides, indirection),
+//   - loop-carried dependences (what can and cannot vectorize).
+//
+// Downstream packages consume the IR: internal/compile lowers innermost
+// loops to per-iteration instruction bundles, internal/sim executes
+// codelets against a modeled memory hierarchy, and internal/maqao
+// computes static loop metrics.
+package ir
+
+import "fmt"
+
+// DType is the element type of an array or the result type of an
+// expression. The IR distinguishes integer data, single-precision and
+// double-precision floating point because the paper's feature set does
+// (e.g. the two "Dense Matrix x vector product" NR codelets land in
+// different clusters purely due to precision).
+type DType uint8
+
+const (
+	// I64 is a 64-bit signed integer (loop variables, index arrays,
+	// integer workloads such as NAS IS).
+	I64 DType = iota
+	// F32 is single-precision floating point.
+	F32
+	// F64 is double-precision floating point.
+	F64
+)
+
+// Size returns the size of one element in bytes.
+func (d DType) Size() int64 {
+	switch d {
+	case I64:
+		return 8
+	case F32:
+		return 4
+	case F64:
+		return 8
+	default:
+		panic(fmt.Sprintf("ir: unknown dtype %d", d))
+	}
+}
+
+// IsFloat reports whether d is a floating-point type.
+func (d DType) IsFloat() bool { return d == F32 || d == F64 }
+
+// String returns a short human-readable name.
+func (d DType) String() string {
+	switch d {
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	default:
+		return fmt.Sprintf("dtype(%d)", uint8(d))
+	}
+}

@@ -1,0 +1,310 @@
+package ir
+
+import "fmt"
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMin
+	OpMax
+	OpMod // integer only
+	OpAnd // integer only (bit mask, used by bucketing kernels)
+	OpShr // integer only (shift right by constant)
+)
+
+// String returns the operator's conventional symbol.
+func (o BinOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	case OpMod:
+		return "%"
+	case OpAnd:
+		return "&"
+	case OpShr:
+		return ">>"
+	default:
+		return fmt.Sprintf("binop(%d)", uint8(o))
+	}
+}
+
+// UnOp enumerates unary operators, including the transcendental calls
+// that matter for the performance model (division-like high-latency
+// operations are what isolate NR cluster 10 and NAS cluster A).
+type UnOp uint8
+
+const (
+	OpNeg UnOp = iota
+	OpAbs
+	OpSqrt
+	OpExp
+	OpLog
+	OpSin
+	OpCos
+	OpCvtIF  // int64 -> float (target dtype carried by the node)
+	OpCvtFI  // float -> int64 (truncation)
+	OpWiden  // f32 -> f64
+	OpNarrow // f64 -> f32
+)
+
+// String returns a readable operator name.
+func (o UnOp) String() string {
+	switch o {
+	case OpNeg:
+		return "neg"
+	case OpAbs:
+		return "abs"
+	case OpSqrt:
+		return "sqrt"
+	case OpExp:
+		return "exp"
+	case OpLog:
+		return "log"
+	case OpSin:
+		return "sin"
+	case OpCos:
+		return "cos"
+	case OpCvtIF:
+		return "cvt.if"
+	case OpCvtFI:
+		return "cvt.fi"
+	case OpWiden:
+		return "cvt.ss2sd"
+	case OpNarrow:
+		return "cvt.sd2ss"
+	default:
+		return fmt.Sprintf("unop(%d)", uint8(o))
+	}
+}
+
+// Expr is a side-effect-free expression tree. Every node knows its
+// result type, fixed at construction time by the builder helpers.
+type Expr interface {
+	isExpr()
+	// DType returns the node's result type.
+	DType() DType
+}
+
+// Const is a literal. For float types F holds the value; for I64, I.
+type Const struct {
+	DT DType
+	F  float64
+	I  int64
+}
+
+func (*Const) isExpr()        {}
+func (c *Const) DType() DType { return c.DT }
+
+// Var references a loop variable or an integer program parameter.
+// Variables are always I64.
+type Var struct {
+	Name string
+}
+
+func (*Var) isExpr()        {}
+func (v *Var) DType() DType { return I64 }
+
+// Ref denotes an array element: Array[Index...]. A Ref with an empty
+// Index list denotes a scalar (0-dimensional array), which the lowering
+// pass register-allocates when it is live only within one loop body.
+type Ref struct {
+	Array string
+	Index []Expr
+	// dt is resolved at construction by the builder from the array
+	// declaration.
+	dt DType
+}
+
+// DType returns the referenced element type.
+func (r *Ref) DType() DType { return r.dt }
+
+// Load reads a Ref as an expression.
+type Load struct {
+	Ref *Ref
+}
+
+func (*Load) isExpr()        {}
+func (l *Load) DType() DType { return l.Ref.DType() }
+
+// Bin applies a binary operator to two operands of identical type.
+type Bin struct {
+	Op   BinOp
+	A, B Expr
+}
+
+func (*Bin) isExpr()        {}
+func (b *Bin) DType() DType { return b.A.DType() }
+
+// Un applies a unary operator. For conversions, To holds the result
+// type; otherwise the result type is the operand's.
+type Un struct {
+	Op UnOp
+	A  Expr
+	To DType // used by OpCvtIF / OpCvtFI only
+}
+
+func (*Un) isExpr() {}
+
+// DType returns the node's result type.
+func (u *Un) DType() DType {
+	switch u.Op {
+	case OpCvtIF:
+		return u.To
+	case OpCvtFI:
+		return I64
+	case OpWiden:
+		return F64
+	case OpNarrow:
+		return F32
+	default:
+		return u.A.DType()
+	}
+}
+
+//
+// Construction helpers. Kernel definitions are static program data, so
+// type mismatches are programming errors; helpers panic with a precise
+// message rather than returning errors that would bloat every kernel.
+//
+
+// CF returns a double-precision constant.
+func CF(v float64) Expr { return &Const{DT: F64, F: v} }
+
+// CF32 returns a single-precision constant.
+func CF32(v float64) Expr { return &Const{DT: F32, F: v} }
+
+// CI returns an integer constant.
+func CI(v int64) Expr { return &Const{DT: I64, I: v} }
+
+// V references a loop variable or parameter.
+func V(name string) Expr { return &Var{Name: name} }
+
+func binOp(op BinOp, a, b Expr) Expr {
+	if a.DType() != b.DType() {
+		panic(fmt.Sprintf("ir: %s applied to mismatched types %s and %s", op, a.DType(), b.DType()))
+	}
+	if (op == OpMod || op == OpAnd || op == OpShr) && a.DType() != I64 {
+		panic(fmt.Sprintf("ir: integer operator %s applied to %s", op, a.DType()))
+	}
+	return &Bin{Op: op, A: a, B: b}
+}
+
+// Add returns a+b. Operand types must match.
+func Add(a, b Expr) Expr { return binOp(OpAdd, a, b) }
+
+// Sub returns a-b.
+func Sub(a, b Expr) Expr { return binOp(OpSub, a, b) }
+
+// Mul returns a*b.
+func Mul(a, b Expr) Expr { return binOp(OpMul, a, b) }
+
+// Div returns a/b.
+func Div(a, b Expr) Expr { return binOp(OpDiv, a, b) }
+
+// MinE returns min(a,b).
+func MinE(a, b Expr) Expr { return binOp(OpMin, a, b) }
+
+// MaxE returns max(a,b).
+func MaxE(a, b Expr) Expr { return binOp(OpMax, a, b) }
+
+// Mod returns a%b (integers).
+func Mod(a, b Expr) Expr { return binOp(OpMod, a, b) }
+
+// And returns a&b (integers).
+func And(a, b Expr) Expr { return binOp(OpAnd, a, b) }
+
+// Shr returns a>>b (integers).
+func Shr(a, b Expr) Expr { return binOp(OpShr, a, b) }
+
+// Neg returns -a.
+func Neg(a Expr) Expr { return &Un{Op: OpNeg, A: a} }
+
+// Abs returns |a|.
+func Abs(a Expr) Expr { return &Un{Op: OpAbs, A: a} }
+
+func floatUn(op UnOp, a Expr) Expr {
+	if !a.DType().IsFloat() {
+		panic(fmt.Sprintf("ir: %s applied to non-float %s", op, a.DType()))
+	}
+	return &Un{Op: op, A: a}
+}
+
+// Sqrt returns sqrt(a) (floats).
+func Sqrt(a Expr) Expr { return floatUn(OpSqrt, a) }
+
+// Exp returns e**a (floats).
+func Exp(a Expr) Expr { return floatUn(OpExp, a) }
+
+// Log returns ln(a) (floats).
+func Log(a Expr) Expr { return floatUn(OpLog, a) }
+
+// Sin returns sin(a) (floats).
+func Sin(a Expr) Expr { return floatUn(OpSin, a) }
+
+// Cos returns cos(a) (floats).
+func Cos(a Expr) Expr { return floatUn(OpCos, a) }
+
+// ToF converts an integer expression to the given float type.
+func ToF(a Expr, to DType) Expr {
+	if a.DType() != I64 || !to.IsFloat() {
+		panic(fmt.Sprintf("ir: ToF from %s to %s", a.DType(), to))
+	}
+	return &Un{Op: OpCvtIF, A: a, To: to}
+}
+
+// ToI truncates a float expression to int64.
+func ToI(a Expr) Expr {
+	if !a.DType().IsFloat() {
+		panic(fmt.Sprintf("ir: ToI from %s", a.DType()))
+	}
+	return &Un{Op: OpCvtFI, A: a}
+}
+
+// Widen converts f32 to f64 (for mixed-precision kernels such as
+// NR's mprove, which accumulates a single-precision matrix in double).
+func Widen(a Expr) Expr {
+	if a.DType() != F32 {
+		panic(fmt.Sprintf("ir: Widen from %s", a.DType()))
+	}
+	return &Un{Op: OpWiden, A: a}
+}
+
+// Narrow converts f64 to f32.
+func Narrow(a Expr) Expr {
+	if a.DType() != F64 {
+		panic(fmt.Sprintf("ir: Narrow from %s", a.DType()))
+	}
+	return &Un{Op: OpNarrow, A: a}
+}
+
+// WalkExpr calls fn on e and all sub-expressions (including index
+// expressions inside refs), pre-order.
+func WalkExpr(e Expr, fn func(Expr)) {
+	fn(e)
+	switch n := e.(type) {
+	case *Load:
+		for _, ix := range n.Ref.Index {
+			WalkExpr(ix, fn)
+		}
+	case *Bin:
+		WalkExpr(n.A, fn)
+		WalkExpr(n.B, fn)
+	case *Un:
+		WalkExpr(n.A, fn)
+	}
+}

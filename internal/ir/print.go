@@ -1,0 +1,137 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fortran-ish pretty printing. The paper works with C and Fortran
+// sources; rendering a codelet back to readable loop-nest source makes
+// reports and debugging sessions concrete ("what is this codelet?").
+
+// String renders the expression as source text.
+func ExprString(e Expr) string {
+	switch n := e.(type) {
+	case *Const:
+		if n.DT == I64 {
+			return fmt.Sprintf("%d", n.I)
+		}
+		if n.DT == F32 {
+			return fmt.Sprintf("%gf", n.F)
+		}
+		return fmt.Sprintf("%g", n.F)
+	case *Var:
+		return n.Name
+	case *Load:
+		return RefString(n.Ref)
+	case *Bin:
+		switch n.Op {
+		case OpMin, OpMax:
+			return fmt.Sprintf("%s(%s, %s)", n.Op, ExprString(n.A), ExprString(n.B))
+		default:
+			return fmt.Sprintf("(%s %s %s)", ExprString(n.A), n.Op, ExprString(n.B))
+		}
+	case *Un:
+		switch n.Op {
+		case OpNeg:
+			return fmt.Sprintf("(-%s)", ExprString(n.A))
+		case OpCvtIF:
+			return fmt.Sprintf("%s(%s)", n.To, ExprString(n.A))
+		case OpCvtFI:
+			return fmt.Sprintf("i64(%s)", ExprString(n.A))
+		case OpWiden:
+			return fmt.Sprintf("f64(%s)", ExprString(n.A))
+		case OpNarrow:
+			return fmt.Sprintf("f32(%s)", ExprString(n.A))
+		default:
+			return fmt.Sprintf("%s(%s)", n.Op, ExprString(n.A))
+		}
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// RefString renders an array reference.
+func RefString(r *Ref) string {
+	if len(r.Index) == 0 {
+		return r.Array
+	}
+	parts := make([]string, len(r.Index))
+	for i, ix := range r.Index {
+		parts[i] = ExprString(ix)
+	}
+	return fmt.Sprintf("%s[%s]", r.Array, strings.Join(parts, "]["))
+}
+
+// writeStmt renders one statement at the given indent depth.
+func writeStmt(sb *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	switch st := s.(type) {
+	case *Assign:
+		hint := ""
+		if st.Hint == VecNever {
+			hint = "  // novector"
+		}
+		fmt.Fprintf(sb, "%s%s = %s%s\n", ind, RefString(st.LHS), ExprString(st.RHS), hint)
+	case *Loop:
+		fmt.Fprintf(sb, "%sfor %s = %s .. %s {\n", ind, st.Var, st.Lower, st.Upper)
+		for _, b := range st.Body {
+			writeStmt(sb, b, depth+1)
+		}
+		fmt.Fprintf(sb, "%s}\n", ind)
+	default:
+		fmt.Fprintf(sb, "%s<%T>\n", ind, s)
+	}
+}
+
+// Source renders the codelet's loop nest as pseudo-source, prefixed
+// with its provenance and behavioral annotations.
+func (c *Codelet) Source() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s (%s)\n", c.Name, c.SourceRef)
+	if c.Pattern != "" {
+		fmt.Fprintf(&sb, "// %s\n", c.Pattern)
+	}
+	fmt.Fprintf(&sb, "// invocations: %d", c.Invocations)
+	var flags []string
+	if c.DatasetVariation > 0 {
+		flags = append(flags, fmt.Sprintf("dataset varies ±%.0f%% (%s)", c.DatasetVariation*100, c.VaryParam))
+	}
+	if c.ContextSensitive {
+		flags = append(flags, "context-sensitive compilation")
+	}
+	if c.WarmInApp {
+		flags = append(flags, "shared working set")
+	}
+	if len(flags) > 0 {
+		fmt.Fprintf(&sb, "; %s", strings.Join(flags, "; "))
+	}
+	sb.WriteString("\n")
+	writeStmt(&sb, c.Loop, 0)
+	return sb.String()
+}
+
+// Source renders the whole program: parameters, arrays, codelets.
+func (p *Program) Source() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, name := range p.SortedParamNames() {
+		fmt.Fprintf(&sb, "param %s = %d\n", name, p.Params[name])
+	}
+	for _, a := range p.Arrays() {
+		if len(a.Dims) == 0 {
+			fmt.Fprintf(&sb, "scalar %s %s\n", a.DT, a.Name)
+			continue
+		}
+		dims := make([]string, len(a.Dims))
+		for i, d := range a.Dims {
+			dims[i] = d.String()
+		}
+		fmt.Fprintf(&sb, "array %s %s[%s]\n", a.DT, a.Name, strings.Join(dims, "]["))
+	}
+	for _, c := range p.Codelets {
+		sb.WriteString("\n")
+		sb.WriteString(c.Source())
+	}
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{CF(1.5), "1.5"},
+		{CF32(2), "2f"},
+		{CI(7), "7"},
+		{V("i"), "i"},
+		{Add(V("i"), CI(1)), "(i + 1)"},
+		{Mul(CF(2), CF(3)), "(2 * 3)"},
+		{Div(CF(1), CF(2)), "(1 / 2)"},
+		{MaxE(CF(1), CF(2)), "max(1, 2)"},
+		{Neg(CF(1)), "(-1)"},
+		{Sqrt(CF(4)), "sqrt(4)"},
+		{Widen(CF32(1)), "f64(1f)"},
+		{Narrow(CF(1)), "f32(1)"},
+		{ToI(CF(1)), "i64(1)"},
+		{ToF(CI(1), F64), "f64(1)"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRefString(t *testing.T) {
+	p := NewProgram("t")
+	p.SetParam("n", 8)
+	p.AddArray("m", F64, AV("n"), AV("n"))
+	p.AddScalar("s", F64)
+	if got := RefString(p.Ref("m", V("i"), Add(V("j"), CI(1)))); got != "m[i][(j + 1)]" {
+		t.Errorf("RefString = %q", got)
+	}
+	if got := RefString(p.Ref("s")); got != "s" {
+		t.Errorf("scalar RefString = %q", got)
+	}
+}
+
+func TestCodeletSource(t *testing.T) {
+	p, c := buildDotProduct(t)
+	_ = p
+	c.SourceRef = "NR/dot.f"
+	c.Pattern = "DP: dot product"
+	c.DatasetVariation = 0.3
+	c.VaryParam = "n"
+	src := c.Source()
+	for _, want := range []string{
+		"// dot (NR/dot.f)",
+		"// DP: dot product",
+		"invocations: 10",
+		"dataset varies ±30% (n)",
+		"for i = 0 .. n {",
+		"acc = (acc + (x[i] * y[i]))",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("Source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestCodeletSourceHint(t *testing.T) {
+	p := NewProgram("t")
+	p.SetParam("n", 8)
+	p.AddArray("a", F64, AV("n"))
+	c := &Codelet{
+		Name: "set", Invocations: 1,
+		Loop: &Loop{Var: "i", Lower: AC(0), Upper: AV("n"), Body: []Stmt{
+			&Assign{LHS: p.Ref("a", V("i")), RHS: CF(0), Hint: VecNever},
+		}},
+	}
+	p.MustAddCodelet(c)
+	if !strings.Contains(c.Source(), "// novector") {
+		t.Error("VecNever hint not rendered")
+	}
+}
+
+func TestProgramSource(t *testing.T) {
+	p, _ := buildDotProduct(t)
+	src := p.Source()
+	for _, want := range []string{
+		"program test",
+		"param n = 1000",
+		"array f64 x[n]",
+		"scalar f64 acc",
+		"// dot",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("program source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestNestedLoopSource(t *testing.T) {
+	p := NewProgram("t")
+	p.SetParam("n", 8)
+	p.AddArray("m", F64, AV("n"), AV("n"))
+	c := &Codelet{
+		Name: "nest", Invocations: 1,
+		Loop: &Loop{Var: "i", Lower: AC(0), Upper: AV("n"), Body: []Stmt{
+			&Loop{Var: "j", Lower: AC(0), Upper: AV("i"), Body: []Stmt{
+				&Assign{LHS: p.Ref("m", V("i"), V("j")), RHS: CF(1)},
+			}},
+		}},
+	}
+	p.MustAddCodelet(c)
+	src := c.Source()
+	if !strings.Contains(src, "for j = 0 .. i {") {
+		t.Errorf("nested loop not rendered:\n%s", src)
+	}
+	// The inner body must be indented deeper than the inner loop.
+	if !strings.Contains(src, "        m[i][j] = 1") {
+		t.Errorf("indentation wrong:\n%s", src)
+	}
+}

@@ -1,0 +1,389 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VecHint lets a kernel definition constrain the lowering pass's
+// vectorization decision for one statement, modeling compiler behavior
+// the dependence test alone cannot predict (e.g. icc leaving the FFT
+// butterfly of realft_4 scalar despite it being legal to vectorize).
+type VecHint uint8
+
+const (
+	// VecAuto lets the dependence- and stride-based heuristic decide.
+	VecAuto VecHint = iota
+	// VecNever forces scalar code for the statement.
+	VecNever
+)
+
+// Stmt is a statement in a loop body: either an assignment or a nested
+// loop.
+type Stmt interface{ isStmt() }
+
+// Assign stores RHS into LHS. The IR has no other side effects.
+type Assign struct {
+	LHS  *Ref
+	RHS  Expr
+	Hint VecHint
+}
+
+func (*Assign) isStmt() {}
+
+// Loop iterates Var over [Lower, Upper) with step +1. Non-unit strides
+// are expressed inside index expressions (e.g. A[2*i]), matching how
+// the stride analysis of Table 3 reports them.
+type Loop struct {
+	Var          string
+	Lower, Upper Affine
+	Body         []Stmt
+}
+
+func (*Loop) isStmt() {}
+
+// IntInitKind selects how an integer array's contents are initialized
+// by the simulator's dataset builder. Only integer arrays need values:
+// they steer indirect addressing (gathers, scatters), which is the one
+// way data can influence the access stream. Floating-point values
+// never affect timing and are not materialized.
+type IntInitKind uint8
+
+const (
+	// IntInitZero fills with zeros (default).
+	IntInitZero IntInitKind = iota
+	// IntInitUniform fills with deterministic pseudo-random values in
+	// [0, Bound) — worst-case gather locality (CG column indices, IS
+	// keys).
+	IntInitUniform
+	// IntInitMod fills element i with i % Bound — a banded, cyclic
+	// pattern with reuse.
+	IntInitMod
+)
+
+// IntInit describes integer array initialization.
+type IntInit struct {
+	Kind IntInitKind
+	// Bound is evaluated against the program parameters.
+	Bound Affine
+}
+
+// Array declares a named array with element type DT and dimension
+// sizes Dims (affine in program parameters). A 0-dimensional array is
+// a scalar. The last dimension is contiguous (row-major layout).
+type Array struct {
+	Name string
+	DT   DType
+	Dims []Affine
+	// Init is consulted for I64 arrays only (see IntInitKind).
+	Init IntInit
+}
+
+// Elems returns the total element count under the parameter env.
+func (a *Array) Elems(env map[string]int64) int64 {
+	n := int64(1)
+	for _, d := range a.Dims {
+		n *= d.Eval(env)
+	}
+	return n
+}
+
+// Bytes returns the array footprint in bytes under env.
+func (a *Array) Bytes(env map[string]int64) int64 {
+	return a.Elems(env) * a.DT.Size()
+}
+
+// Codelet is an outlined outermost loop nest, the unit the whole
+// method operates on (detection, profiling, clustering, extraction,
+// prediction).
+type Codelet struct {
+	// Name uniquely identifies the codelet within its suite, e.g.
+	// "toeplz_1" or "cg_matvec".
+	Name string
+	// App is the application the codelet was outlined from ("bt",
+	// "cg", ..., or the NR program name).
+	App string
+	// SourceRef mimics the paper's file:line provenance, e.g.
+	// "BT/rhs.f:266-311".
+	SourceRef string
+	// Pattern is the human description used in Table 3, e.g.
+	// "DP: 2 simultaneous reductions".
+	Pattern string
+	// Loop is the outermost loop of the nest.
+	Loop *Loop
+	// Invocations is how many times the application calls this codelet
+	// over its lifetime; the source of the "multiple invocations"
+	// redundancy the method removes.
+	Invocations int
+
+	// DatasetVariation models codelets invoked with different datasets
+	// across the application lifetime (the first ill-behaved category
+	// of §3.4). A value v > 0 scales the trip counts of invocation k by
+	// 1 + v*w(k) for a deterministic alternating weight w; the memory
+	// dump captured at invocation 0 then misrepresents the average
+	// invocation.
+	DatasetVariation float64
+	// WarmInApp marks codelets whose arrays are the application's
+	// shared working state: between two invocations the neighboring
+	// codelets keep that data cache-resident, so in-application
+	// profiling does not start from a cold cache. Codelets with
+	// private data (false, the default) find their data evicted at
+	// every invocation.
+	WarmInApp bool
+	// VaryParam names the size parameter scaled by DatasetVariation.
+	// Invocation k runs with VaryParam scaled by 1 - DatasetVariation *
+	// (k mod 3), shrinking only, so array bounds stay valid.
+	VaryParam string
+	// ContextSensitive models codelets compiled differently inside and
+	// outside the application (the second ill-behaved category): when
+	// true, lowering outside the application context falls back to
+	// scalar code because the profitability heuristic loses the
+	// surrounding-code information.
+	ContextSensitive bool
+}
+
+// Program is an application: parameters, arrays and the codelets
+// outlined from it.
+type Program struct {
+	Name string
+	// Params binds the integer size parameters referenced by array
+	// dimensions and loop bounds (e.g. "n" = 200_000).
+	Params map[string]int64
+	// UncoveredFraction is the share of the application's execution
+	// time spent outside any detected codelet. The paper reports the
+	// NAS codelets cover 92% of execution time; the application-level
+	// prediction (Figure 5) assumes the uncovered part follows the
+	// covered part's speedup.
+	UncoveredFraction float64
+
+	arrays   []*Array
+	arrayIdx map[string]*Array
+	Codelets []*Codelet
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program {
+	return &Program{
+		Name:     name,
+		Params:   make(map[string]int64),
+		arrayIdx: make(map[string]*Array),
+	}
+}
+
+// SetParam binds parameter name to v.
+func (p *Program) SetParam(name string, v int64) { p.Params[name] = v }
+
+// AddArray declares an array; it panics on duplicate names (kernel
+// definitions are static program data, so this is a programming error).
+func (p *Program) AddArray(name string, dt DType, dims ...Affine) *Array {
+	if _, dup := p.arrayIdx[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate array %q in program %q", name, p.Name))
+	}
+	a := &Array{Name: name, DT: dt, Dims: dims}
+	p.arrays = append(p.arrays, a)
+	p.arrayIdx[name] = a
+	return a
+}
+
+// AddScalar declares a 0-dimensional array (a scalar memory cell).
+func (p *Program) AddScalar(name string, dt DType) *Array {
+	return p.AddArray(name, dt)
+}
+
+// Array looks up a declared array, or nil.
+func (p *Program) Array(name string) *Array { return p.arrayIdx[name] }
+
+// Arrays returns the declared arrays in declaration order.
+func (p *Program) Arrays() []*Array { return p.arrays }
+
+// Ref builds a reference to an element of array name; it panics if the
+// array is undeclared or the index arity mismatches the declaration.
+func (p *Program) Ref(name string, idx ...Expr) *Ref {
+	a := p.arrayIdx[name]
+	if a == nil {
+		panic(fmt.Sprintf("ir: reference to undeclared array %q", name))
+	}
+	if len(idx) != len(a.Dims) {
+		panic(fmt.Sprintf("ir: array %q has %d dims, indexed with %d", name, len(a.Dims), len(idx)))
+	}
+	for _, ix := range idx {
+		if ix.DType() != I64 {
+			panic(fmt.Sprintf("ir: non-integer index into %q", name))
+		}
+	}
+	return &Ref{Array: name, Index: idx, dt: a.DT}
+}
+
+// LoadE builds a load expression from array name.
+func (p *Program) LoadE(name string, idx ...Expr) Expr {
+	return &Load{Ref: p.Ref(name, idx...)}
+}
+
+// AddCodelet attaches a codelet and validates it against the program.
+func (p *Program) AddCodelet(c *Codelet) error {
+	if c.Loop == nil {
+		return fmt.Errorf("ir: codelet %q has no loop", c.Name)
+	}
+	if c.Invocations <= 0 {
+		return fmt.Errorf("ir: codelet %q has non-positive invocation count", c.Name)
+	}
+	c.App = p.Name
+	if err := p.validateLoop(c.Loop, map[string]bool{}); err != nil {
+		return fmt.Errorf("ir: codelet %q: %w", c.Name, err)
+	}
+	p.Codelets = append(p.Codelets, c)
+	return nil
+}
+
+// MustAddCodelet is AddCodelet panicking on error, for static suite
+// definitions.
+func (p *Program) MustAddCodelet(c *Codelet) {
+	if err := p.AddCodelet(c); err != nil {
+		panic(err)
+	}
+}
+
+// validateLoop checks variable binding, array references and types.
+func (p *Program) validateLoop(l *Loop, bound map[string]bool) error {
+	if l.Var == "" {
+		return fmt.Errorf("loop with empty variable")
+	}
+	if bound[l.Var] {
+		return fmt.Errorf("loop variable %q shadows an enclosing loop", l.Var)
+	}
+	for _, b := range [2]Affine{l.Lower, l.Upper} {
+		for _, v := range b.Vars() {
+			if !bound[v] && !p.hasParam(v) {
+				return fmt.Errorf("loop bound references unbound variable %q", v)
+			}
+		}
+	}
+	bound[l.Var] = true
+	defer delete(bound, l.Var)
+	for _, s := range l.Body {
+		switch st := s.(type) {
+		case *Loop:
+			if err := p.validateLoop(st, bound); err != nil {
+				return err
+			}
+		case *Assign:
+			if err := p.validateRef(st.LHS, bound); err != nil {
+				return err
+			}
+			if err := p.validateExpr(st.RHS, bound); err != nil {
+				return err
+			}
+			if st.LHS.DType() != st.RHS.DType() {
+				return fmt.Errorf("assignment to %q: type mismatch %s = %s",
+					st.LHS.Array, st.LHS.DType(), st.RHS.DType())
+			}
+		default:
+			return fmt.Errorf("unknown statement type %T", s)
+		}
+	}
+	return nil
+}
+
+func (p *Program) hasParam(name string) bool {
+	_, ok := p.Params[name]
+	return ok
+}
+
+func (p *Program) validateRef(r *Ref, bound map[string]bool) error {
+	a := p.arrayIdx[r.Array]
+	if a == nil {
+		return fmt.Errorf("reference to undeclared array %q", r.Array)
+	}
+	if len(r.Index) != len(a.Dims) {
+		return fmt.Errorf("array %q: %d dims indexed with %d", r.Array, len(a.Dims), len(r.Index))
+	}
+	for _, ix := range r.Index {
+		if err := p.validateExpr(ix, bound); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateExpr(e Expr, bound map[string]bool) error {
+	var err error
+	WalkExpr(e, func(n Expr) {
+		if err != nil {
+			return
+		}
+		switch x := n.(type) {
+		case *Var:
+			if !bound[x.Name] && !p.hasParam(x.Name) {
+				err = fmt.Errorf("unbound variable %q", x.Name)
+			}
+		case *Load:
+			if p.arrayIdx[x.Ref.Array] == nil {
+				err = fmt.Errorf("load from undeclared array %q", x.Ref.Array)
+			} else if len(x.Ref.Index) != len(p.arrayIdx[x.Ref.Array].Dims) {
+				err = fmt.Errorf("array %q: %d dims indexed with %d",
+					x.Ref.Array, len(p.arrayIdx[x.Ref.Array].Dims), len(x.Ref.Index))
+			}
+		}
+	})
+	return err
+}
+
+// Validate checks every codelet of the program.
+func (p *Program) Validate() error {
+	seen := make(map[string]bool)
+	for _, c := range p.Codelets {
+		if seen[c.Name] {
+			return fmt.Errorf("ir: duplicate codelet name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if err := p.validateLoop(c.Loop, map[string]bool{}); err != nil {
+			return fmt.Errorf("ir: codelet %q: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// InnermostLoops returns the innermost loops of the codelet's nest in
+// source order, along with the loop variables enclosing each (outer to
+// inner, excluding the innermost's own variable).
+func (c *Codelet) InnermostLoops() []*LoopContext {
+	var out []*LoopContext
+	var walk func(l *Loop, outer []string)
+	walk = func(l *Loop, outer []string) {
+		hasNested := false
+		for _, s := range l.Body {
+			if nl, ok := s.(*Loop); ok {
+				hasNested = true
+				walk(nl, append(append([]string(nil), outer...), l.Var))
+			}
+		}
+		if !hasNested {
+			out = append(out, &LoopContext{Loop: l, Outer: outer})
+		}
+	}
+	walk(c.Loop, nil)
+	return out
+}
+
+// LoopContext is an innermost loop plus the loop variables of its
+// enclosing loops.
+type LoopContext struct {
+	Loop  *Loop
+	Outer []string // enclosing loop variables, outermost first
+}
+
+// AllVars returns the enclosing variables plus the innermost variable.
+func (lc *LoopContext) AllVars() []string {
+	return append(append([]string(nil), lc.Outer...), lc.Loop.Var)
+}
+
+// SortedParamNames returns the program's parameter names sorted, for
+// deterministic iteration.
+func (p *Program) SortedParamNames() []string {
+	names := make([]string, 0, len(p.Params))
+	for n := range p.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

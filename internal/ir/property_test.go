@@ -1,0 +1,148 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fgbs/internal/rng"
+)
+
+// randomAffine draws an affine form over the given variables.
+func randomAffine(r *rng.RNG, vars []string) Affine {
+	a := AC(r.Int63n(21) - 10)
+	for _, v := range vars {
+		if r.Bool(0.6) {
+			a = a.Plus(AT(v, r.Int63n(9)-4))
+		}
+	}
+	return a
+}
+
+func randomEnv(r *rng.RNG, vars []string) map[string]int64 {
+	env := make(map[string]int64, len(vars))
+	for _, v := range vars {
+		env[v] = r.Int63n(201) - 100
+	}
+	return env
+}
+
+// Property: Eval is a homomorphism for Plus, Minus and ScaleK.
+func TestAffineEvalHomomorphism(t *testing.T) {
+	vars := []string{"i", "j", "n"}
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		a := randomAffine(r, vars)
+		b := randomAffine(r, vars)
+		env := randomEnv(r, vars)
+		k := r.Int63n(11) - 5
+		if a.Plus(b).Eval(env) != a.Eval(env)+b.Eval(env) {
+			return false
+		}
+		if a.Minus(b).Eval(env) != a.Eval(env)-b.Eval(env) {
+			return false
+		}
+		if a.ScaleK(k).Eval(env) != k*a.Eval(env) {
+			return false
+		}
+		if a.PlusK(k).Eval(env) != a.Eval(env)+k {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Plus is commutative and Equal is a congruence for it.
+func TestAffineAlgebraLaws(t *testing.T) {
+	vars := []string{"x", "y"}
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		a := randomAffine(r, vars)
+		b := randomAffine(r, vars)
+		c := randomAffine(r, vars)
+		if !a.Plus(b).Equal(b.Plus(a)) {
+			return false
+		}
+		if !a.Plus(b).Plus(c).Equal(a.Plus(b.Plus(c))) {
+			return false
+		}
+		if !a.Minus(a).Equal(AC(0)) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// affineToExpr rebuilds an affine form as an expression tree.
+func affineToExpr(a Affine) Expr {
+	e := CI(a.K)
+	for _, t := range a.Terms {
+		e = Add(e, Mul(CI(t.Coeff), V(t.Var)))
+	}
+	return e
+}
+
+// Property: ExprAffine inverts affineToExpr — analyzing the expression
+// recovers a form that evaluates identically.
+func TestExprAffineRoundTrip(t *testing.T) {
+	vars := []string{"i", "j", "k"}
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		a := randomAffine(r, vars)
+		got, ok := ExprAffine(affineToExpr(a))
+		if !ok {
+			return false
+		}
+		env := randomEnv(r, vars)
+		return got.Eval(env) == a.Eval(env)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RefStride is the discrete derivative of the linearized
+// index: lin(i+1) - lin(i) == stride elems for affine refs.
+func TestStrideIsDerivative(t *testing.T) {
+	p := NewProgram("t")
+	p.SetParam("n", 64)
+	p.AddArray("m", F64, AV("n"), AV("n"))
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		// Index [a*i+b][c*i+d] with small coefficients.
+		a, b := r.Int63n(3), r.Int63n(5)
+		c, d := r.Int63n(3), r.Int63n(5)
+		ref := p.Ref("m",
+			Add(Mul(CI(a), V("i")), CI(b)),
+			Add(Mul(CI(c), V("i")), CI(d)))
+		lin, ok := p.LinearIndex(ref)
+		if !ok {
+			return false
+		}
+		st := p.RefStride(ref, "i")
+		at := func(i int64) int64 { return lin.Eval(map[string]int64{"i": i}) }
+		deriv := at(5) - at(4)
+		if deriv == 0 {
+			return st.Kind == StrideConst
+		}
+		return st.Kind == StrideAffine && st.Elems == deriv
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CountOps is additive over Plus.
+func TestOpCountAdditive(t *testing.T) {
+	a := OpCount{FAdd: 1, FMul: 2, FDiv: 3, FSqrt: 1, FSpecial: 2, IntOps: 4, Loads: 5, Stores: 6, F32Ops: 1}
+	b := OpCount{FAdd: 10, FMul: 20, FDiv: 30, FSqrt: 10, FSpecial: 20, IntOps: 40, Loads: 50, Stores: 60, F32Ops: 10}
+	s := a.Plus(b)
+	if s.FAdd != 11 || s.FMul != 22 || s.FDiv != 33 || s.FSqrt != 11 ||
+		s.FSpecial != 22 || s.IntOps != 44 || s.Loads != 55 || s.Stores != 66 || s.F32Ops != 11 {
+		t.Errorf("Plus wrong: %+v", s)
+	}
+	if s.FPOps() != s.FAdd+s.FMul+s.FDiv+s.FSqrt+s.FSpecial {
+		t.Error("FPOps inconsistent")
+	}
+}

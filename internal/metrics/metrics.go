@@ -1,0 +1,90 @@
+// Package metrics derives Likwid-style dynamic performance metrics
+// from the simulator's raw counters.
+//
+// The paper's Step B tags every codelet with dynamic metrics measured
+// through hardware performance counters: floating-point rates, cache
+// bandwidths, miss rates, memory bandwidth (§3.2, Table 2). This
+// package computes the same quantities from sim.Counters.
+package metrics
+
+import (
+	"fgbs/internal/sim"
+)
+
+// Dynamic is the set of Likwid-like derived metrics for one
+// measurement.
+type Dynamic struct {
+	// Seconds is the measured per-invocation execution time.
+	Seconds float64
+	// CyclesPerInstr is CPI.
+	CyclesPerInstr float64
+	// MFLOPS is the floating-point rate in MFLOP/s.
+	MFLOPS float64
+	// VecFPShare is the fraction of FP operations retired by vector
+	// instructions.
+	VecFPShare float64
+
+	// L1MissRate is L1 misses per memory reference.
+	L1MissRate float64
+	// L2BandwidthMBs is traffic between L2 and L1 in MB/s.
+	L2BandwidthMBs float64
+	// L3BandwidthMBs is traffic between L3 and L2 in MB/s (0 on
+	// machines without an L3).
+	L3BandwidthMBs float64
+	// L3MissRate is misses at the last cache level per access to that
+	// level.
+	L3MissRate float64
+	// MemBandwidthMBs is DRAM traffic (fills + writebacks) in MB/s.
+	MemBandwidthMBs float64
+	// MemAccessPerInstr is DRAM line fills per instruction.
+	MemAccessPerInstr float64
+	// OpIntensity is FP operations per byte of DRAM traffic.
+	OpIntensity float64
+}
+
+// lineBytes is the modeled cache line size (all machines use 64-byte
+// lines).
+const lineBytes = 64
+
+// Derive computes dynamic metrics from one measurement's counters.
+func Derive(c sim.Counters) Dynamic {
+	var d Dynamic
+	d.Seconds = c.Seconds
+	if c.Instructions > 0 {
+		d.CyclesPerInstr = c.Cycles / c.Instructions
+	}
+	if c.Seconds > 0 {
+		d.MFLOPS = float64(c.Ops.FPOps()) / c.Seconds / 1e6
+	}
+	if fp := float64(c.Ops.FPOps()); fp > 0 {
+		d.VecFPShare = c.VecFPOps / fp
+	}
+
+	refs := c.MemLoads + c.MemStores
+	if len(c.LevelMisses) > 0 && refs > 0 {
+		d.L1MissRate = float64(c.LevelMisses[0]) / refs
+	}
+	if c.Seconds > 0 {
+		if len(c.LevelMisses) > 0 {
+			d.L2BandwidthMBs = float64(c.LevelMisses[0]) * lineBytes / c.Seconds / 1e6
+		}
+		if len(c.LevelMisses) > 1 {
+			d.L3BandwidthMBs = float64(c.LevelMisses[1]) * lineBytes / c.Seconds / 1e6
+		}
+		memBytes := float64(c.MemAccesses+c.MemWritebacks) * lineBytes
+		d.MemBandwidthMBs = memBytes / c.Seconds / 1e6
+		if memBytes > 0 {
+			d.OpIntensity = float64(c.Ops.FPOps()) / memBytes
+		}
+	}
+	if n := len(c.LevelMisses); n > 0 {
+		last := c.LevelHits[n-1] + c.LevelMisses[n-1]
+		if last > 0 {
+			d.L3MissRate = float64(c.LevelMisses[n-1]) / float64(last)
+		}
+	}
+	if c.Instructions > 0 {
+		d.MemAccessPerInstr = float64(c.MemAccesses) / c.Instructions
+	}
+	return d
+}

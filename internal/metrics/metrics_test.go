@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"fgbs/internal/ir"
+	"fgbs/internal/sim"
+)
+
+func sampleCounters() sim.Counters {
+	return sim.Counters{
+		Cycles:        2e6,
+		Seconds:       1e-3,
+		Instructions:  1e6,
+		Ops:           ir.OpCount{FAdd: 300000, FMul: 200000, Loads: 400000, Stores: 100000},
+		VecFPOps:      250000,
+		MemLoads:      400000,
+		MemStores:     100000,
+		LevelHits:     []int64{450000, 30000, 15000},
+		LevelMisses:   []int64{50000, 20000, 5000},
+		MemAccesses:   5000,
+		MemWritebacks: 1000,
+	}
+}
+
+func TestDerive(t *testing.T) {
+	d := Derive(sampleCounters())
+	if got, want := d.CyclesPerInstr, 2.0; got != want {
+		t.Errorf("CPI = %g, want %g", got, want)
+	}
+	if got, want := d.MFLOPS, 500000/1e-3/1e6; got != want {
+		t.Errorf("MFLOPS = %g, want %g", got, want)
+	}
+	if got, want := d.VecFPShare, 0.5; got != want {
+		t.Errorf("VecFPShare = %g", got)
+	}
+	if got, want := d.L1MissRate, 0.1; got != want {
+		t.Errorf("L1MissRate = %g", got)
+	}
+	// L2 bandwidth: L1 misses x 64B over 1ms.
+	if got, want := d.L2BandwidthMBs, 50000.0*64/1e-3/1e6; math.Abs(got-want) > 1e-9 {
+		t.Errorf("L2 bandwidth = %g, want %g", got, want)
+	}
+	// L3 miss rate: misses at last level / accesses at last level.
+	if got, want := d.L3MissRate, 5000.0/20000.0; got != want {
+		t.Errorf("L3MissRate = %g, want %g", got, want)
+	}
+	// Memory bandwidth includes writebacks.
+	if got, want := d.MemBandwidthMBs, 6000.0*64/1e-3/1e6; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mem bandwidth = %g, want %g", got, want)
+	}
+	if d.OpIntensity <= 0 {
+		t.Error("OpIntensity not positive")
+	}
+}
+
+func TestDeriveZeroSafe(t *testing.T) {
+	d := Derive(sim.Counters{})
+	// All-zero counters must not produce NaN or Inf.
+	for name, v := range map[string]float64{
+		"CPI": d.CyclesPerInstr, "MFLOPS": d.MFLOPS, "L1MissRate": d.L1MissRate,
+		"L3MissRate": d.L3MissRate, "MemBW": d.MemBandwidthMBs, "OpInt": d.OpIntensity,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %g for zero counters", name, v)
+		}
+	}
+}
+
+func TestTwoLevelMachineHasNoL3Bandwidth(t *testing.T) {
+	c := sampleCounters()
+	c.LevelHits = c.LevelHits[:1]
+	c.LevelMisses = c.LevelMisses[:1]
+	d := Derive(c)
+	if d.L3BandwidthMBs != 0 {
+		t.Errorf("L3 bandwidth = %g on machine without L3", d.L3BandwidthMBs)
+	}
+	// Last-level miss rate falls back to L1 counters.
+	if d.L3MissRate != 0.1 {
+		t.Errorf("last-level miss rate = %g", d.L3MissRate)
+	}
+}

@@ -1,0 +1,235 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"fgbs/internal/features"
+	"fgbs/internal/ga"
+	"fgbs/internal/rng"
+	"fgbs/internal/stats"
+)
+
+// SweepPoint is one K of the accuracy/reduction trade-off (Figure 3).
+type SweepPoint struct {
+	K           int // requested cut
+	FinalK      int // after ill-behaved dissolutions
+	MedianError []float64
+	Reduction   []float64
+}
+
+// SweepK evaluates cluster counts kMin..kMax on every target,
+// producing Figure 3's two curves per architecture.
+func (p *Profile) SweepK(mask features.Mask, kMin, kMax int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for k := kMin; k <= kMax && k <= p.N(); k++ {
+		sub, err := p.Subset(mask, k)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: sweep k=%d: %w", k, err)
+		}
+		pt := SweepPoint{K: k, FinalK: sub.K()}
+		for t := range p.Targets {
+			ev, err := p.Evaluate(sub, t)
+			if err != nil {
+				return nil, err
+			}
+			pt.MedianError = append(pt.MedianError, ev.Summary.Median)
+			pt.Reduction = append(pt.Reduction, ev.Reduction.Total)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RandomClusteringStats is Figure 7's envelope for one K and one
+// target: the best/median/worst median-error over random partitions,
+// against the feature-guided clustering's result.
+type RandomClusteringStats struct {
+	K                   int
+	Best, Median, Worst float64
+	Guided              float64
+}
+
+// RandomClusterings compares the mask-guided Ward clustering against
+// `trials` uniformly random partitions into K clusters (Figure 7).
+func (p *Profile) RandomClusterings(mask features.Mask, k, trials int, t int, seed uint64) (RandomClusteringStats, error) {
+	sub, err := p.Subset(mask, k)
+	if err != nil {
+		return RandomClusteringStats{}, err
+	}
+	ev, err := p.Evaluate(sub, t)
+	if err != nil {
+		return RandomClusteringStats{}, err
+	}
+	res := RandomClusteringStats{K: k, Guided: ev.Summary.Median}
+
+	r := rng.New(seed)
+	var errs []float64
+	for trial := 0; trial < trials; trial++ {
+		labels := randomPartition(r, p.N(), k)
+		rsub, err := p.SubsetFromLabels(mask, labels)
+		if err != nil {
+			// A random cluster can be entirely ill-behaved with no
+			// surviving neighbor cluster only if everything is
+			// ill-behaved, which Profile construction precludes; any
+			// other error is fatal.
+			return RandomClusteringStats{}, err
+		}
+		rev, err := p.Evaluate(rsub, t)
+		if err != nil {
+			return RandomClusteringStats{}, err
+		}
+		errs = append(errs, rev.Summary.Median)
+	}
+	res.Best = stats.Min(errs)
+	res.Median = stats.Median(errs)
+	res.Worst = stats.Max(errs)
+	return res, nil
+}
+
+// randomPartition draws a uniform surjective assignment of n items to
+// k labels (every label non-empty).
+func randomPartition(r *rng.RNG, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	labels := make([]int, n)
+	for {
+		for i := range labels {
+			labels[i] = r.Intn(k)
+		}
+		seen := make([]bool, k)
+		cnt := 0
+		for _, l := range labels {
+			if !seen[l] {
+				seen[l] = true
+				cnt++
+			}
+		}
+		if cnt == k {
+			return labels
+		}
+	}
+}
+
+// PerAppPoint is one budget point of Figure 8.
+type PerAppPoint struct {
+	// RepsPerApp is the representative budget given to each
+	// application (total budget = RepsPerApp x number of predictable
+	// apps for per-app subsetting).
+	RepsPerApp int
+	// TotalReps actually used.
+	TotalReps int
+	// MedianError per target.
+	MedianError []float64
+	// ExcludedApps lists applications that could not be predicted
+	// per-app (all representatives ill-behaved — MG in the paper).
+	ExcludedApps []string
+}
+
+// PerAppSubsetting runs Steps A-E separately on each application with
+// repsPerApp representatives each, aggregating per-codelet errors
+// (Figure 8's "Per Application" series). Applications whose clusters
+// are all ill-behaved are excluded, as the paper excludes MG.
+func (p *Profile) PerAppSubsetting(mask features.Mask, repsPerApp int) (PerAppPoint, error) {
+	pt := PerAppPoint{RepsPerApp: repsPerApp, MedianError: make([]float64, len(p.Targets))}
+	perTargetErrs := make([][]float64, len(p.Targets))
+
+	appIdx := p.AppIndices()
+	for _, name := range sortedKeys(appIdx) {
+		indices := appIdx[name]
+		sp := p.SubProfile(indices)
+		k := repsPerApp
+		if k > len(indices) {
+			k = len(indices)
+		}
+		sub, err := sp.Subset(mask, k)
+		if err != nil {
+			// Unpredictable application (every cluster ill-behaved).
+			pt.ExcludedApps = append(pt.ExcludedApps, name)
+			continue
+		}
+		pt.TotalReps += sub.K()
+		for t := range p.Targets {
+			ev, err := sp.Evaluate(sub, t)
+			if err != nil {
+				return pt, err
+			}
+			perTargetErrs[t] = append(perTargetErrs[t], ev.Errors...)
+		}
+	}
+	for t := range p.Targets {
+		pt.MedianError[t] = stats.Median(perTargetErrs[t])
+	}
+	return pt, nil
+}
+
+// CrossAppPoint evaluates shared (whole-suite) subsetting with a
+// total representative budget equal to totalReps (Figure 8's "Across
+// Applications" series).
+func (p *Profile) CrossAppPoint(mask features.Mask, totalReps int) (PerAppPoint, error) {
+	sub, err := p.Subset(mask, totalReps)
+	if err != nil {
+		return PerAppPoint{}, err
+	}
+	pt := PerAppPoint{TotalReps: sub.K(), MedianError: make([]float64, len(p.Targets))}
+	for t := range p.Targets {
+		ev, err := p.Evaluate(sub, t)
+		if err != nil {
+			return pt, err
+		}
+		pt.MedianError[t] = ev.Summary.Median
+	}
+	return pt, nil
+}
+
+func sortedKeys(m map[string][]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// FeatureFitness builds the §4.2 GA fitness over this (training)
+// profile: max of the two targets' average prediction errors times
+// the elbow-selected cluster count. Lower is better. The returned
+// function is safe for concurrent use.
+func (p *Profile) FeatureFitness(targetNames ...string) (ga.Fitness, error) {
+	var targets []int
+	for _, name := range targetNames {
+		t, err := p.TargetIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("pipeline: fitness needs at least one target")
+	}
+	return func(mask features.Mask) float64 {
+		if mask.Count() == 0 {
+			return math.Inf(1)
+		}
+		sub, err := p.Subset(mask, 0) // elbow-selected K
+		if err != nil {
+			return math.Inf(1)
+		}
+		worst := 0.0
+		for _, t := range targets {
+			ev, err := p.Evaluate(sub, t)
+			if err != nil {
+				return math.Inf(1)
+			}
+			if ev.Summary.Average > worst {
+				worst = ev.Summary.Average
+			}
+		}
+		return worst * float64(sub.K())
+	}, nil
+}

@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadProfile: arbitrary input must produce an error or a valid
+// profile — never a panic or an inconsistent result.
+func FuzzReadProfile(f *testing.F) {
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"codelets":["alpha_copy"],"apps":["alpha"]}`))
+	f.Add([]byte(strings.Repeat("[", 100)))
+	// A real serialized profile as a seed.
+	prof, err := NewProfile(tinySuite(), Options{Seed: 1})
+	if err == nil {
+		var buf bytes.Buffer
+		if err := prof.SaveJSON(&buf); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProfile(bytes.NewReader(data), tinySuite())
+		if err != nil {
+			return
+		}
+		// Accepted profiles must be internally consistent.
+		if len(p.RefInApp) != p.N() || len(p.Features) != p.N() {
+			t.Fatal("accepted inconsistent profile")
+		}
+		for _, tgt := range p.TargetInApp {
+			if len(tgt) != p.N() {
+				t.Fatal("accepted inconsistent target measurements")
+			}
+		}
+	})
+}

@@ -1,0 +1,542 @@
+// Package pipeline orchestrates the five steps of the benchmark
+// reduction method (Figure 1):
+//
+//	Step A  codelet detection        — the suites provide programs
+//	                                   already decomposed into codelets;
+//	                                   Detect validates and flattens them.
+//	Step B  profiling                — Profile measures every codelet
+//	                                   in-application on the reference
+//	                                   machine, runs the MAQAO-style
+//	                                   static analysis, and assembles the
+//	                                   76-entry feature vectors. It also
+//	                                   collects the standalone and
+//	                                   ground-truth target measurements
+//	                                   the evaluation needs.
+//	Step C  clustering               — Subset normalizes the masked
+//	                                   features and applies Ward
+//	                                   hierarchical clustering with a
+//	                                   manual K or the elbow rule.
+//	Step D  representative selection — extraction screening (10% rule)
+//	                                   plus the §3.4 reselection loop
+//	                                   via internal/represent.
+//	Step E  prediction               — Evaluate builds the matrix model
+//	                                   and compares predictions against
+//	                                   the measured ground truth,
+//	                                   computing error statistics and
+//	                                   the benchmarking-reduction
+//	                                   breakdown.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fgbs/internal/arch"
+	"fgbs/internal/cluster"
+	"fgbs/internal/extract"
+	"fgbs/internal/features"
+	"fgbs/internal/ir"
+	"fgbs/internal/maqao"
+	"fgbs/internal/predict"
+	"fgbs/internal/represent"
+	"fgbs/internal/sim"
+)
+
+// MinMeasurableCycles is the profiling floor: codelets below it are
+// discarded as unmeasurable, the scaled analogue of the paper's
+// "execution time under one million cycles" rule (§3.2).
+const MinMeasurableCycles = 25000
+
+// Options configures Profile.
+type Options struct {
+	// Reference defaults to arch.Reference().
+	Reference *arch.Machine
+	// Targets defaults to arch.Targets().
+	Targets []*arch.Machine
+	// Seed drives dataset construction and measurement noise.
+	Seed uint64
+	// Workers bounds concurrent measurements (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Profile holds every measurement the experiments need: Step B's
+// reference profile and features, the standalone (microbenchmark)
+// times, and the full-suite ground truth on each target.
+type Profile struct {
+	Progs    []*ir.Program
+	Codelets []*ir.Codelet
+	Ref      *arch.Machine
+	Targets  []*arch.Machine
+
+	// Per codelet i:
+	RefInApp      []float64 // t_ref: in-app median seconds on reference
+	RefStandalone []float64 // extracted microbenchmark on reference
+	IllBehaved    []bool    // §3.4 screening outcome on reference
+	Discarded     []bool    // below the measurement floor
+	Features      [][]float64
+
+	// Per target t, per codelet i:
+	TargetInApp      [][]float64 // ground truth
+	TargetStandalone [][]float64 // microbenchmark on target
+}
+
+// Detect flattens suite programs into aligned (program, codelet)
+// slices, validating each program — Step A against our IR suites.
+func Detect(progs []*ir.Program) ([]*ir.Program, []*ir.Codelet, error) {
+	var ps []*ir.Program
+	var cs []*ir.Codelet
+	for _, p := range progs {
+		if err := p.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("pipeline: %w", err)
+		}
+		if len(p.Codelets) == 0 {
+			return nil, nil, fmt.Errorf("pipeline: program %q has no codelets", p.Name)
+		}
+		for _, c := range p.Codelets {
+			ps = append(ps, p)
+			cs = append(cs, c)
+		}
+	}
+	return ps, cs, nil
+}
+
+// NewProfile runs Steps A and B over the given suite programs and
+// gathers all measurements used downstream. Measurements run in
+// parallel; results are deterministic.
+func NewProfile(progs []*ir.Program, opts Options) (*Profile, error) {
+	if opts.Reference == nil {
+		opts.Reference = arch.Reference()
+	}
+	if opts.Targets == nil {
+		opts.Targets = arch.Targets()
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	ps, cs, err := Detect(progs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(cs)
+	pr := &Profile{
+		Progs: ps, Codelets: cs,
+		Ref: opts.Reference, Targets: opts.Targets,
+		RefInApp:      make([]float64, n),
+		RefStandalone: make([]float64, n),
+		IllBehaved:    make([]bool, n),
+		Discarded:     make([]bool, n),
+		Features:      make([][]float64, n),
+	}
+	for range opts.Targets {
+		pr.TargetInApp = append(pr.TargetInApp, make([]float64, n))
+		pr.TargetStandalone = append(pr.TargetStandalone, make([]float64, n))
+	}
+
+	// Shared datasets, one per distinct program.
+	datasets := make(map[*ir.Program]*sim.Dataset)
+	for _, p := range progs {
+		ds, err := sim.BuildDataset(p, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		datasets[p] = ds
+	}
+
+	measure := func(i int, m *arch.Machine, mode sim.Mode) (*sim.Measurement, error) {
+		return sim.Measure(ps[i], cs[i], sim.Options{
+			Machine: m, Mode: mode, Seed: opts.Seed,
+			Dataset: datasets[ps[i]], ProbeCycles: -1, NoiseAmp: -1,
+		})
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			refIn, err := measure(i, pr.Ref, sim.ModeInApp)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			refSa, err := measure(i, pr.Ref, sim.ModeStandalone)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			pr.RefInApp[i] = refIn.Seconds
+			pr.RefStandalone[i] = refSa.Seconds
+			pr.IllBehaved[i] = extract.IllBehaved(refSa.Seconds, refIn.Seconds)
+			pr.Discarded[i] = refIn.Counters.Cycles < MinMeasurableCycles
+
+			st := maqao.Analyze(ps[i], cs[i], pr.Ref)
+			pr.Features[i] = features.Assemble(ps[i], cs[i], refIn, st)
+
+			for t, m := range pr.Targets {
+				tin, err := measure(i, m, sim.ModeInApp)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				tsa, err := measure(i, m, sim.ModeStandalone)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				pr.TargetInApp[t][i] = tin.Seconds
+				pr.TargetStandalone[t][i] = tsa.Seconds
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return pr, nil
+}
+
+// N returns the codelet count.
+func (p *Profile) N() int { return len(p.Codelets) }
+
+// TargetIndex finds a target machine by name.
+func (p *Profile) TargetIndex(name string) (int, error) {
+	for t, m := range p.Targets {
+		if m.Name == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("pipeline: unknown target %q", name)
+}
+
+// NormalizedPoints applies the mask and z-score normalization (§3.3)
+// to the profile's feature matrix.
+func (p *Profile) NormalizedPoints(mask features.Mask) [][]float64 {
+	pts := mask.ApplyMatrix(p.Features)
+	// Copy before normalizing: the profile's features stay raw.
+	out := make([][]float64, len(pts))
+	for i, row := range pts {
+		out[i] = append([]float64(nil), row...)
+	}
+	features.NormalizeMatrix(out)
+	return out
+}
+
+// Subset is the outcome of Steps C and D for one feature mask and one
+// cluster count.
+type Subset struct {
+	Mask features.Mask
+	// RequestedK is the dendrogram cut (0 means the elbow rule chose).
+	RequestedK int
+	Dendro     *cluster.Dendrogram
+	Points     [][]float64
+	Selection  *represent.Selection
+	Model      *predict.Model
+}
+
+// K returns the final cluster count after ill-behaved dissolutions.
+func (s *Subset) K() int { return s.Selection.K }
+
+// RepStrategy selects how a cluster's representative is chosen
+// (ablation A3; the paper uses the centroid-closest member).
+type RepStrategy uint8
+
+const (
+	// RepCentroid picks the member closest to the cluster centroid.
+	RepCentroid RepStrategy = iota
+	// RepFirst picks the lowest-indexed eligible member (an arbitrary
+	// but deterministic choice).
+	RepFirst
+)
+
+// SubsetConfig tunes Steps C and D for the ablation studies. The zero
+// value is the paper's configuration.
+type SubsetConfig struct {
+	Linkage cluster.Linkage
+	// NoNormalize skips the z-score normalization of §3.3 (A2).
+	NoNormalize bool
+	// RepStrategy overrides the representative choice (A3).
+	RepStrategy RepStrategy
+	// IgnoreScreening treats every codelet as well-behaved (A5).
+	IgnoreScreening bool
+}
+
+// Subset runs clustering (Ward) and representative selection. Pass
+// k <= 0 to let the elbow rule choose the cut.
+func (p *Profile) Subset(mask features.Mask, k int) (*Subset, error) {
+	return p.SubsetWith(mask, k, SubsetConfig{})
+}
+
+// SubsetWith is Subset with explicit Step C/D configuration.
+func (p *Profile) SubsetWith(mask features.Mask, k int, cfg SubsetConfig) (*Subset, error) {
+	pts := p.points(mask, cfg)
+	d, err := cluster.Build(pts, cfg.Linkage)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = d.Elbow(pts, p.maxElbowK(), 0)
+	}
+	labels := d.Cut(k)
+	return p.finishSubset(mask, k, d, pts, labels, cfg)
+}
+
+// SubsetFromLabels applies Steps D and E to an externally provided
+// partition (the random-clustering baseline of Figure 7).
+func (p *Profile) SubsetFromLabels(mask features.Mask, labels []int) (*Subset, error) {
+	cfg := SubsetConfig{}
+	pts := p.points(mask, cfg)
+	return p.finishSubset(mask, 0, nil, pts, labels, cfg)
+}
+
+func (p *Profile) points(mask features.Mask, cfg SubsetConfig) [][]float64 {
+	if cfg.NoNormalize {
+		return mask.ApplyMatrix(p.Features)
+	}
+	return p.NormalizedPoints(mask)
+}
+
+func (p *Profile) finishSubset(mask features.Mask, k int, d *cluster.Dendrogram, pts [][]float64, labels []int, cfg SubsetConfig) (*Subset, error) {
+	ill := p.IllBehaved
+	if cfg.IgnoreScreening {
+		ill = make([]bool, p.N())
+	}
+	if cfg.RepStrategy == RepFirst {
+		return p.firstMemberSubset(mask, k, d, pts, labels, ill)
+	}
+	sel, err := represent.Select(pts, labels, ill)
+	if err != nil {
+		return nil, err
+	}
+	model, err := predict.NewModel(p.RefInApp, sel.Labels, sel.Reps)
+	if err != nil {
+		return nil, err
+	}
+	return &Subset{
+		Mask: mask, RequestedK: k, Dendro: d, Points: pts,
+		Selection: sel, Model: model,
+	}, nil
+}
+
+// firstMemberSubset implements RepFirst: the lowest-indexed eligible
+// member of each cluster, with the same dissolution semantics.
+func (p *Profile) firstMemberSubset(mask features.Mask, k int, d *cluster.Dendrogram, pts [][]float64, labels []int, ill []bool) (*Subset, error) {
+	sel, err := represent.Select(pts, labels, ill)
+	if err != nil {
+		return nil, err
+	}
+	for c := range sel.Reps {
+		for i, l := range sel.Labels {
+			if l == c && !ill[i] {
+				sel.Reps[c] = i
+				break
+			}
+		}
+	}
+	model, err := predict.NewModel(p.RefInApp, sel.Labels, sel.Reps)
+	if err != nil {
+		return nil, err
+	}
+	return &Subset{
+		Mask: mask, RequestedK: k, Dendro: d, Points: pts,
+		Selection: sel, Model: model,
+	}, nil
+}
+
+// maxElbowK mirrors the paper's sweep ranges: up to 24 clusters.
+func (p *Profile) maxElbowK() int {
+	if p.N() < 24 {
+		return p.N()
+	}
+	return 24
+}
+
+// Elbow returns the elbow-selected cluster count for a mask.
+func (p *Profile) Elbow(mask features.Mask) (int, error) {
+	pts := p.NormalizedPoints(mask)
+	d, err := cluster.Build(pts, cluster.Ward)
+	if err != nil {
+		return 0, err
+	}
+	return d.Elbow(pts, p.maxElbowK(), 0), nil
+}
+
+// Eval is the Step E outcome on one target architecture.
+type Eval struct {
+	Target *arch.Machine
+	// Per-codelet seconds.
+	Predicted []float64
+	Actual    []float64
+	Errors    []float64
+	Summary   predict.ErrorSummary
+	// Reduction is the benchmarking-cost breakdown (Table 5).
+	Reduction predict.ReductionBreakdown
+	// Apps aggregates application-level results (Figure 5), aligned
+	// with Profile.Apps().
+	Apps []AppEval
+	// GeoMeanRealSpeedup / GeoMeanPredictedSpeedup summarize Figure 6.
+	GeoMeanRealSpeedup      float64
+	GeoMeanPredictedSpeedup float64
+}
+
+// AppEval is one application's measured and predicted times.
+type AppEval struct {
+	Name      string
+	RefSec    float64
+	ActualSec float64
+	PredSec   float64
+	ErrorFrac float64
+}
+
+// Evaluate predicts every codelet's time on target t from the
+// subset's representatives and compares with ground truth.
+func (p *Profile) Evaluate(sub *Subset, t int) (*Eval, error) {
+	if t < 0 || t >= len(p.Targets) {
+		return nil, fmt.Errorf("pipeline: target index %d out of range", t)
+	}
+	repTimes := make([]float64, sub.Selection.K)
+	for k, r := range sub.Selection.Reps {
+		repTimes[k] = p.TargetStandalone[t][r]
+	}
+	predicted, err := sub.Model.Predict(repTimes)
+	if err != nil {
+		return nil, err
+	}
+	actual := p.TargetInApp[t]
+	errs := predict.Errors(predicted, actual)
+
+	ev := &Eval{
+		Target:    p.Targets[t],
+		Predicted: predicted,
+		Actual:    actual,
+		Errors:    errs,
+		Summary:   predict.Summarize(errs),
+	}
+	ev.Reduction = p.reduction(sub, t)
+
+	apps := p.Apps()
+	var refApp, realApp, predApp []float64
+	for _, a := range apps {
+		ae := AppEval{
+			Name:      a.Name,
+			RefSec:    a.AppTimes(p.RefInApp),
+			ActualSec: a.AppTimes(actual),
+			PredSec:   a.AppTimes(predicted),
+		}
+		if ae.ActualSec > 0 {
+			ae.ErrorFrac = abs(ae.PredSec-ae.ActualSec) / ae.ActualSec
+		}
+		ev.Apps = append(ev.Apps, ae)
+		refApp = append(refApp, ae.RefSec)
+		realApp = append(realApp, ae.ActualSec)
+		predApp = append(predApp, ae.PredSec)
+	}
+	ev.GeoMeanRealSpeedup = predict.GeoMeanSpeedup(refApp, realApp)
+	ev.GeoMeanPredictedSpeedup = predict.GeoMeanSpeedup(refApp, predApp)
+	return ev, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// reduction computes the Table 5 accounting for one subset and target.
+func (p *Profile) reduction(sub *Subset, t int) predict.ReductionBreakdown {
+	return p.ReductionWithRule(sub, t, extract.MinBenchSeconds, extract.MinInvocations)
+}
+
+// ReductionWithRule computes the Table 5 accounting under an explicit
+// invocation-reduction rule (ablation A4 varies the 1 ms / 10
+// invocation thresholds).
+func (p *Profile) ReductionWithRule(sub *Subset, t int, minBenchSeconds float64, minInvocations int) predict.ReductionBreakdown {
+	rule := func(sa float64) float64 {
+		if sa <= 0 {
+			return float64(minInvocations)
+		}
+		n := math.Ceil(minBenchSeconds / sa)
+		if n < float64(minInvocations) {
+			n = float64(minInvocations)
+		}
+		return n
+	}
+	full := 0.0
+	for _, a := range p.Apps() {
+		full += a.AppTimes(p.TargetInApp[t])
+	}
+	reducedAll := 0.0
+	for i := range p.Codelets {
+		sa := p.TargetStandalone[t][i]
+		reducedAll += rule(sa) * sa
+	}
+	reps := 0.0
+	for _, r := range sub.Selection.Reps {
+		sa := p.TargetStandalone[t][r]
+		reps += rule(sa) * sa
+	}
+	return predict.Reduction(full, reducedAll, reps)
+}
+
+// Apps derives the predict.App descriptors from the profile's
+// programs (indices into the flattened codelet arrays).
+func (p *Profile) Apps() []*predict.App {
+	var apps []*predict.App
+	index := map[*ir.Program]*predict.App{}
+	for i, prog := range p.Progs {
+		a, ok := index[prog]
+		if !ok {
+			a = &predict.App{Name: prog.Name, UncoveredFraction: prog.UncoveredFraction}
+			index[prog] = a
+			apps = append(apps, a)
+		}
+		a.Codelets = append(a.Codelets, i)
+		a.Invocations = append(a.Invocations, p.Codelets[i].Invocations)
+	}
+	return apps
+}
+
+// SubProfile restricts the profile to the given codelet indices (used
+// by the per-application subsetting experiment of Figure 8). The
+// returned profile shares the underlying measurements.
+func (p *Profile) SubProfile(indices []int) *Profile {
+	sp := &Profile{Ref: p.Ref, Targets: p.Targets}
+	for _, i := range indices {
+		sp.Progs = append(sp.Progs, p.Progs[i])
+		sp.Codelets = append(sp.Codelets, p.Codelets[i])
+		sp.RefInApp = append(sp.RefInApp, p.RefInApp[i])
+		sp.RefStandalone = append(sp.RefStandalone, p.RefStandalone[i])
+		sp.IllBehaved = append(sp.IllBehaved, p.IllBehaved[i])
+		sp.Discarded = append(sp.Discarded, p.Discarded[i])
+		sp.Features = append(sp.Features, p.Features[i])
+	}
+	for t := range p.Targets {
+		in := make([]float64, 0, len(indices))
+		sa := make([]float64, 0, len(indices))
+		for _, i := range indices {
+			in = append(in, p.TargetInApp[t][i])
+			sa = append(sa, p.TargetStandalone[t][i])
+		}
+		sp.TargetInApp = append(sp.TargetInApp, in)
+		sp.TargetStandalone = append(sp.TargetStandalone, sa)
+	}
+	return sp
+}
+
+// AppIndices groups codelet indices by application name.
+func (p *Profile) AppIndices() map[string][]int {
+	out := map[string][]int{}
+	for i, prog := range p.Progs {
+		out[prog.Name] = append(out[prog.Name], i)
+	}
+	return out
+}

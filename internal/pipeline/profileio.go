@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fgbs/internal/arch"
+	"fgbs/internal/ir"
+)
+
+// Profile serialization. Profiling is the expensive step (Steps A-B
+// simulate every codelet on every machine); persisting its outcome
+// lets a session profile once and re-run subsetting experiments
+// cheaply — exactly how the paper's workflow amortizes extraction cost
+// across many target evaluations.
+//
+// The on-disk form stores measurements and codelet names; loading
+// re-binds them to the suite's programs, which must match (the IR
+// itself is code, not data).
+
+// profileJSON is the serialized form.
+type profileJSON struct {
+	Version   int         `json:"version"`
+	Reference string      `json:"reference"`
+	Targets   []string    `json:"targets"`
+	Codelets  []string    `json:"codelets"`
+	Apps      []string    `json:"apps"`
+	RefInApp  []float64   `json:"refInApp"`
+	RefSA     []float64   `json:"refStandalone"`
+	Ill       []bool      `json:"illBehaved"`
+	Discarded []bool      `json:"discarded"`
+	Features  [][]float64 `json:"features"`
+	TgtInApp  [][]float64 `json:"targetInApp"`
+	TgtSA     [][]float64 `json:"targetStandalone"`
+}
+
+const profileVersion = 1
+
+// SaveJSON serializes the profile as JSON.
+func (p *Profile) SaveJSON(w io.Writer) error {
+	pj := profileJSON{
+		Version:   profileVersion,
+		Reference: p.Ref.Name,
+		RefInApp:  p.RefInApp,
+		RefSA:     p.RefStandalone,
+		Ill:       p.IllBehaved,
+		Discarded: p.Discarded,
+		Features:  p.Features,
+		TgtInApp:  p.TargetInApp,
+		TgtSA:     p.TargetStandalone,
+	}
+	for _, m := range p.Targets {
+		pj.Targets = append(pj.Targets, m.Name)
+	}
+	for i, c := range p.Codelets {
+		pj.Codelets = append(pj.Codelets, c.Name)
+		pj.Apps = append(pj.Apps, p.Progs[i].Name)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&pj)
+}
+
+// ReadProfile deserializes a profile and re-binds it to the suite
+// programs it was built from. The suite must contain exactly the
+// serialized codelets, in any program order.
+func ReadProfile(r io.Reader, progs []*ir.Program) (*Profile, error) {
+	var pj profileJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("pipeline: decoding profile: %w", err)
+	}
+	if pj.Version != profileVersion {
+		return nil, fmt.Errorf("pipeline: profile version %d, want %d", pj.Version, profileVersion)
+	}
+	n := len(pj.Codelets)
+	if len(pj.RefInApp) != n || len(pj.RefSA) != n || len(pj.Ill) != n ||
+		len(pj.Discarded) != n || len(pj.Features) != n || len(pj.Apps) != n {
+		return nil, fmt.Errorf("pipeline: profile arrays inconsistent")
+	}
+	if len(pj.TgtInApp) != len(pj.Targets) || len(pj.TgtSA) != len(pj.Targets) {
+		return nil, fmt.Errorf("pipeline: target arrays inconsistent")
+	}
+	for t := range pj.Targets {
+		if len(pj.TgtInApp[t]) != n || len(pj.TgtSA[t]) != n {
+			return nil, fmt.Errorf("pipeline: target %d measurement length mismatch", t)
+		}
+	}
+
+	ref, err := arch.ByName(pj.Reference)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*arch.Machine
+	for _, name := range pj.Targets {
+		m, err := arch.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, m)
+	}
+
+	// Index the suite's codelets by (app, name).
+	type key struct{ app, name string }
+	index := map[key]int{}
+	ps, cs, err := Detect(progs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cs {
+		index[key{ps[i].Name, cs[i].Name}] = i
+	}
+	if len(cs) != n {
+		return nil, fmt.Errorf("pipeline: suite has %d codelets, profile has %d", len(cs), n)
+	}
+
+	p := &Profile{
+		Ref: ref, Targets: targets,
+		Progs:            make([]*ir.Program, n),
+		Codelets:         make([]*ir.Codelet, n),
+		RefInApp:         pj.RefInApp,
+		RefStandalone:    pj.RefSA,
+		IllBehaved:       pj.Ill,
+		Discarded:        pj.Discarded,
+		Features:         pj.Features,
+		TargetInApp:      pj.TgtInApp,
+		TargetStandalone: pj.TgtSA,
+	}
+	for j := 0; j < n; j++ {
+		i, ok := index[key{pj.Apps[j], pj.Codelets[j]}]
+		if !ok {
+			return nil, fmt.Errorf("pipeline: profile codelet %s/%s not in suite", pj.Apps[j], pj.Codelets[j])
+		}
+		p.Progs[j] = ps[i]
+		p.Codelets[j] = cs[i]
+	}
+	return p, nil
+}

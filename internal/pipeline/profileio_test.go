@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	prof := tinyProfile(t)
+	var buf bytes.Buffer
+	if err := prof.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfile(&buf, tinySuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != prof.N() {
+		t.Fatalf("N = %d, want %d", back.N(), prof.N())
+	}
+	if back.Ref.Name != prof.Ref.Name {
+		t.Error("reference machine lost")
+	}
+	for i := 0; i < prof.N(); i++ {
+		if back.Codelets[i].Name != prof.Codelets[i].Name {
+			t.Fatalf("codelet %d misbound: %s vs %s", i, back.Codelets[i].Name, prof.Codelets[i].Name)
+		}
+		if back.RefInApp[i] != prof.RefInApp[i] {
+			t.Error("reference times changed")
+		}
+		if back.IllBehaved[i] != prof.IllBehaved[i] {
+			t.Error("screening flags changed")
+		}
+		for tt := range prof.Targets {
+			if back.TargetInApp[tt][i] != prof.TargetInApp[tt][i] {
+				t.Error("target times changed")
+			}
+		}
+	}
+	// A loaded profile must drive the full downstream pipeline.
+	sub, err := back.Subset(tinyMask, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSub, err := prof.Subset(tinyMask, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sub.Selection.Labels {
+		if sub.Selection.Labels[i] != origSub.Selection.Labels[i] {
+			t.Fatal("clustering differs after round trip")
+		}
+	}
+	ev, err := back.Evaluate(sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origEv, err := prof.Evaluate(origSub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.Median != origEv.Summary.Median {
+		t.Error("evaluation differs after round trip")
+	}
+}
+
+func TestReadProfileRejectsWrongSuite(t *testing.T) {
+	prof := tinyProfile(t)
+	var buf bytes.Buffer
+	if err := prof.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A suite with a renamed codelet must be rejected.
+	other := tinySuite()
+	other[0].Codelets[0].Name = "renamed"
+	if _, err := ReadProfile(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("mismatched suite accepted")
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	if _, err := ReadProfile(strings.NewReader("not json"), tinySuite()); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadProfile(strings.NewReader(`{"version":99}`), tinySuite()); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := ReadProfile(strings.NewReader(`{"version":1,"codelets":["x"]}`), tinySuite()); err == nil {
+		t.Error("inconsistent arrays accepted")
+	}
+}

@@ -1,0 +1,199 @@
+// Package predict implements Step E: extrapolating every codelet's
+// target-architecture time from the measured cluster representatives,
+// plus the error and benchmarking-reduction accounting used throughout
+// the paper's evaluation.
+//
+// The model (§3.5) assumes codelets in one cluster share the same
+// speedup between reference and target:
+//
+//	t_tar(i) ≈ t_ref(i) / s(r_k) = t_ref(i) * t_tar(r_k) / t_ref(r_k)
+//
+// for every codelet i in cluster C_k with representative r_k. In
+// matrix form, t_tar_all ≈ M · t_tar_repr with
+//
+//	M[i][k] = t_ref(i) / t_ref(r_k)   if codelet i ∈ C_k, else 0.
+package predict
+
+import (
+	"fmt"
+
+	"fgbs/internal/stats"
+)
+
+// Model is the trained transformation from representative
+// measurements to whole-suite predictions.
+type Model struct {
+	refSeconds []float64
+	labels     []int
+	reps       []int
+}
+
+// NewModel builds the prediction model from reference profiling times
+// (per codelet), the final cluster assignment, and the representative
+// index per cluster.
+func NewModel(refSeconds []float64, labels []int, reps []int) (*Model, error) {
+	n := len(refSeconds)
+	if len(labels) != n {
+		return nil, fmt.Errorf("predict: %d labels for %d codelets", len(labels), n)
+	}
+	for i, l := range labels {
+		if l < 0 || l >= len(reps) {
+			return nil, fmt.Errorf("predict: codelet %d has label %d outside [0,%d)", i, l, len(reps))
+		}
+	}
+	for k, r := range reps {
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("predict: cluster %d has representative %d outside [0,%d)", k, r, n)
+		}
+		if labels[r] != k {
+			return nil, fmt.Errorf("predict: representative %d of cluster %d belongs to cluster %d", r, k, labels[r])
+		}
+		if refSeconds[r] <= 0 {
+			return nil, fmt.Errorf("predict: representative %d has non-positive reference time", r)
+		}
+	}
+	return &Model{refSeconds: refSeconds, labels: labels, reps: reps}, nil
+}
+
+// K returns the cluster count.
+func (m *Model) K() int { return len(m.reps) }
+
+// Reps returns the representative index per cluster.
+func (m *Model) Reps() []int { return append([]int(nil), m.reps...) }
+
+// Matrix materializes the N x K model matrix M.
+func (m *Model) Matrix() [][]float64 {
+	out := make([][]float64, len(m.refSeconds))
+	for i := range out {
+		out[i] = make([]float64, len(m.reps))
+		k := m.labels[i]
+		out[i][k] = m.refSeconds[i] / m.refSeconds[m.reps[k]]
+	}
+	return out
+}
+
+// Predict maps the representatives' measured target times (indexed by
+// cluster) to predicted per-codelet target times: t_all = M · t_repr.
+func (m *Model) Predict(repTargetSeconds []float64) ([]float64, error) {
+	if len(repTargetSeconds) != len(m.reps) {
+		return nil, fmt.Errorf("predict: %d representative times for %d clusters",
+			len(repTargetSeconds), len(m.reps))
+	}
+	out := make([]float64, len(m.refSeconds))
+	for i := range out {
+		k := m.labels[i]
+		out[i] = m.refSeconds[i] * repTargetSeconds[k] / m.refSeconds[m.reps[k]]
+	}
+	return out, nil
+}
+
+// Errors returns per-codelet relative errors |pred-actual|/actual.
+func Errors(predicted, actual []float64) []float64 {
+	errs := make([]float64, len(predicted))
+	for i := range predicted {
+		errs[i] = stats.RelError(predicted[i], actual[i])
+	}
+	return errs
+}
+
+// ErrorSummary condenses per-codelet errors.
+type ErrorSummary struct {
+	Median  float64
+	Average float64
+	Max     float64
+}
+
+// Summarize computes the paper's error statistics (reported as
+// percentages by the callers; stored as fractions here).
+func Summarize(errs []float64) ErrorSummary {
+	return ErrorSummary{
+		Median:  stats.Median(errs),
+		Average: stats.Mean(errs),
+		Max:     stats.Max(errs),
+	}
+}
+
+// App describes one application for whole-application prediction
+// (Figure 5): which codelets it owns, their invocation counts, and the
+// fraction of its runtime not covered by codelets.
+type App struct {
+	Name string
+	// Codelets indexes into the suite-wide codelet arrays.
+	Codelets []int
+	// Invocations per codelet (aligned with Codelets).
+	Invocations []int
+	// UncoveredFraction is the share of application time outside
+	// codelets; the paper measures 8% on average for NAS.
+	UncoveredFraction float64
+}
+
+// AppTimes aggregates per-invocation codelet times into a whole-
+// application time: covered time scaled up by the uncovered share,
+// which is assumed to follow the covered part's speedup (§4.4,
+// "Application performance prediction").
+func (a *App) AppTimes(perInvocationSeconds []float64) float64 {
+	covered := 0.0
+	for j, ci := range a.Codelets {
+		covered += float64(a.Invocations[j]) * perInvocationSeconds[ci]
+	}
+	if a.UncoveredFraction >= 1 {
+		return covered
+	}
+	return covered / (1 - a.UncoveredFraction)
+}
+
+// Speedup returns t_ref / t_tar.
+func Speedup(refSeconds, tarSeconds float64) float64 {
+	if tarSeconds <= 0 {
+		return 0
+	}
+	return refSeconds / tarSeconds
+}
+
+// GeoMeanSpeedup computes the geometric mean of per-application
+// speedups (Figure 6).
+func GeoMeanSpeedup(refApp, tarApp []float64) float64 {
+	sp := make([]float64, len(refApp))
+	for i := range sp {
+		sp[i] = Speedup(refApp[i], tarApp[i])
+	}
+	return stats.GeoMean(sp)
+}
+
+// ReductionBreakdown decomposes the benchmarking reduction factor the
+// way Table 5 does.
+type ReductionBreakdown struct {
+	// FullSeconds is the cost of running the original full suite on
+	// the target.
+	FullSeconds float64
+	// ReducedInvSeconds is the cost of running every codelet but with
+	// the reduced invocation counts.
+	ReducedInvSeconds float64
+	// RepsSeconds is the cost of running only the representative
+	// microbenchmarks (with reduced invocations).
+	RepsSeconds float64
+
+	// Total = FullSeconds / RepsSeconds.
+	Total float64
+	// InvocationFactor = FullSeconds / ReducedInvSeconds.
+	InvocationFactor float64
+	// ClusteringFactor = ReducedInvSeconds / RepsSeconds.
+	ClusteringFactor float64
+}
+
+// Reduction computes the breakdown from the three suite costs.
+func Reduction(fullSeconds, reducedInvSeconds, repsSeconds float64) ReductionBreakdown {
+	b := ReductionBreakdown{
+		FullSeconds:       fullSeconds,
+		ReducedInvSeconds: reducedInvSeconds,
+		RepsSeconds:       repsSeconds,
+	}
+	if repsSeconds > 0 {
+		b.Total = fullSeconds / repsSeconds
+		b.ClusteringFactor = reducedInvSeconds / repsSeconds
+	}
+	if reducedInvSeconds > 0 {
+		b.InvocationFactor = fullSeconds / reducedInvSeconds
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// Fixture: 5 codelets, 2 clusters.
+// Cluster 0: codelets 0,1,2 (rep 1); cluster 1: codelets 3,4 (rep 4).
+func fixtureModel(t *testing.T) *Model {
+	t.Helper()
+	ref := []float64{1.0, 2.0, 4.0, 10.0, 20.0}
+	labels := []int{0, 0, 0, 1, 1}
+	reps := []int{1, 4}
+	m, err := NewModel(ref, labels, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPredictExact(t *testing.T) {
+	m := fixtureModel(t)
+	// Representatives run 2x faster on the target.
+	repTar := []float64{1.0, 10.0}
+	pred, err := m.Predict(repTar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1.0, 2.0, 5.0, 10.0}
+	for i := range want {
+		if math.Abs(pred[i]-want[i]) > 1e-12 {
+			t.Errorf("pred[%d] = %g, want %g", i, pred[i], want[i])
+		}
+	}
+}
+
+func TestRepresentativePredictedExactly(t *testing.T) {
+	// "Representatives ... have a 0% prediction error because they are
+	// directly measured" (Figure 2).
+	m := fixtureModel(t)
+	repTar := []float64{3.7, 42.0}
+	pred, _ := m.Predict(repTar)
+	if pred[1] != 3.7 || pred[4] != 42.0 {
+		t.Errorf("representatives not exactly reproduced: %v", pred)
+	}
+}
+
+func TestMatrixForm(t *testing.T) {
+	m := fixtureModel(t)
+	M := m.Matrix()
+	if len(M) != 5 || len(M[0]) != 2 {
+		t.Fatalf("M is %dx%d", len(M), len(M[0]))
+	}
+	// M[i][k] = t_ref_i / t_ref_rep_k on the codelet's own cluster, 0
+	// elsewhere.
+	want := [][]float64{{0.5, 0}, {1, 0}, {2, 0}, {0, 0.5}, {0, 1}}
+	for i := range want {
+		for k := range want[i] {
+			if math.Abs(M[i][k]-want[i][k]) > 1e-12 {
+				t.Errorf("M[%d][%d] = %g, want %g", i, k, M[i][k], want[i][k])
+			}
+		}
+	}
+	// Matrix-vector product must agree with Predict.
+	repTar := []float64{2.0, 30.0}
+	pred, _ := m.Predict(repTar)
+	for i := range M {
+		mv := M[i][0]*repTar[0] + M[i][1]*repTar[1]
+		if math.Abs(mv-pred[i]) > 1e-12 {
+			t.Errorf("matrix product disagrees with Predict at %d: %g vs %g", i, mv, pred[i])
+		}
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := NewModel([]float64{1, 2}, []int{0}, []int{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewModel([]float64{1, 2}, []int{0, 1}, []int{0, 0}); err == nil {
+		t.Error("representative outside its cluster accepted")
+	}
+	if _, err := NewModel([]float64{0, 2}, []int{0, 0}, []int{0}); err == nil {
+		t.Error("zero-time representative accepted")
+	}
+	if _, err := NewModel([]float64{1, 2}, []int{0, 5}, []int{0}); err == nil {
+		t.Error("label out of range accepted")
+	}
+	m := fixtureModel(t)
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Error("short representative vector accepted")
+	}
+}
+
+func TestErrorsAndSummary(t *testing.T) {
+	errs := Errors([]float64{110, 95, 100}, []float64{100, 100, 100})
+	want := []float64{0.10, 0.05, 0}
+	for i := range want {
+		if math.Abs(errs[i]-want[i]) > 1e-12 {
+			t.Errorf("errs[%d] = %g", i, errs[i])
+		}
+	}
+	s := Summarize(errs)
+	if math.Abs(s.Median-0.05) > 1e-12 || math.Abs(s.Max-0.10) > 1e-12 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Average-0.05) > 1e-12 {
+		t.Errorf("average = %g", s.Average)
+	}
+}
+
+func TestAppTimes(t *testing.T) {
+	app := &App{
+		Name:              "bt",
+		Codelets:          []int{0, 2},
+		Invocations:       []int{10, 5},
+		UncoveredFraction: 0.08,
+	}
+	per := []float64{1.0, 99.0, 2.0}
+	covered := 10*1.0 + 5*2.0
+	want := covered / 0.92
+	if got := app.AppTimes(per); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AppTimes = %g, want %g", got, want)
+	}
+}
+
+func TestAppUncoveredInheritsSpeedup(t *testing.T) {
+	app := &App{Codelets: []int{0}, Invocations: []int{1}, UncoveredFraction: 0.5}
+	ref := app.AppTimes([]float64{8})
+	tar := app.AppTimes([]float64{4})
+	// Covered part sped up 2x -> whole app must speed up 2x.
+	if math.Abs(ref/tar-2) > 1e-12 {
+		t.Errorf("app speedup = %g, want 2", ref/tar)
+	}
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	ref := []float64{10, 10}
+	tar := []float64{5, 20} // speedups 2 and 0.5
+	if got := GeoMeanSpeedup(ref, tar); math.Abs(got-1) > 1e-12 {
+		t.Errorf("geomean = %g, want 1", got)
+	}
+}
+
+func TestReductionBreakdown(t *testing.T) {
+	b := Reduction(4400, 440, 100)
+	if math.Abs(b.Total-44) > 1e-12 {
+		t.Errorf("total = %g", b.Total)
+	}
+	if math.Abs(b.InvocationFactor-10) > 1e-12 {
+		t.Errorf("invocation factor = %g", b.InvocationFactor)
+	}
+	if math.Abs(b.ClusteringFactor-4.4) > 1e-12 {
+		t.Errorf("clustering factor = %g", b.ClusteringFactor)
+	}
+	// Total factorizes exactly.
+	if math.Abs(b.Total-b.InvocationFactor*b.ClusteringFactor) > 1e-9 {
+		t.Error("breakdown does not factorize")
+	}
+	// Degenerate zeros must not divide by zero.
+	z := Reduction(100, 0, 0)
+	if !math.IsInf(z.Total, 0) && z.Total != 0 {
+		t.Errorf("zero handling: %+v", z)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 5) != 2 {
+		t.Error("speedup wrong")
+	}
+	if Speedup(10, 0) != 0 {
+		t.Error("zero target not guarded")
+	}
+}

@@ -1,0 +1,178 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fgbs/internal/rng"
+)
+
+// randomModel builds a valid model with n codelets in k clusters.
+func randomModel(r *rng.RNG, n, k int) (*Model, []float64, error) {
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = 0.1 + r.Float64()*10
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = r.Intn(k)
+	}
+	// Ensure every cluster is populated and pick its first member as
+	// representative.
+	for c := 0; c < k; c++ {
+		labels[c%n] = c
+	}
+	reps := make([]int, k)
+	for c := range reps {
+		reps[c] = -1
+		for i, l := range labels {
+			if l == c {
+				reps[c] = i
+				break
+			}
+		}
+	}
+	m, err := NewModel(ref, labels, reps)
+	return m, ref, err
+}
+
+// Property: prediction is linear in the representative measurements:
+// Predict(a*x + b*y) = a*Predict(x) + b*Predict(y).
+func TestPredictLinearity(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		k := 1 + r.Intn(n)
+		m, _, err := randomModel(r, n, k)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, k)
+		y := make([]float64, k)
+		for i := range x {
+			x[i] = 0.1 + r.Float64()
+			y[i] = 0.1 + r.Float64()
+		}
+		a, b := 2.0, 3.0
+		combo := make([]float64, k)
+		for i := range combo {
+			combo[i] = a*x[i] + b*y[i]
+		}
+		px, err1 := m.Predict(x)
+		py, err2 := m.Predict(y)
+		pc, err3 := m.Predict(combo)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range pc {
+			if math.Abs(pc[i]-(a*px[i]+b*py[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling every reference time by a constant leaves the
+// predictions unchanged (the model depends only on reference ratios).
+func TestPredictRefScaleInvariance(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(15)
+		k := 1 + r.Intn(n)
+		m1, ref, err := randomModel(r, n, k)
+		if err != nil {
+			return false
+		}
+		scaled := make([]float64, n)
+		for i := range ref {
+			scaled[i] = ref[i] * 7.5
+		}
+		// Recover labels/reps from the first model's matrix structure.
+		m2, err := NewModel(scaled, m1.labels, m1.reps)
+		if err != nil {
+			return false
+		}
+		tar := make([]float64, k)
+		for i := range tar {
+			tar[i] = 0.1 + r.Float64()
+		}
+		p1, _ := m1.Predict(tar)
+		p2, _ := m2.Predict(tar)
+		for i := range p1 {
+			if math.Abs(p1[i]-p2[i]) > 1e-9*math.Abs(p1[i])+1e-12 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: if every codelet in a cluster genuinely shares the
+// representative's speedup, the prediction is exact.
+func TestPredictExactUnderAssumption(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		k := 1 + r.Intn(n)
+		m, ref, err := randomModel(r, n, k)
+		if err != nil {
+			return false
+		}
+		speedups := make([]float64, k)
+		for c := range speedups {
+			speedups[c] = 0.2 + r.Float64()*3
+		}
+		actual := make([]float64, n)
+		for i := range actual {
+			actual[i] = ref[i] / speedups[m.labels[i]]
+		}
+		repTar := make([]float64, k)
+		for c, rep := range m.reps {
+			repTar[c] = actual[rep]
+		}
+		pred, err := m.Predict(repTar)
+		if err != nil {
+			return false
+		}
+		errs := Errors(pred, actual)
+		for _, e := range errs {
+			if e > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the reduction breakdown factorizes exactly:
+// Total = InvocationFactor x ClusteringFactor.
+func TestReductionFactorization(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		full := 1 + r.Float64()*1000
+		reduced := 0.01 + r.Float64()*full
+		reps := 0.001 + r.Float64()*reduced
+		b := Reduction(full, reduced, reps)
+		return math.Abs(b.Total-b.InvocationFactor*b.ClusteringFactor) < 1e-9*b.Total
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: app times scale linearly with per-codelet times.
+func TestAppTimesLinear(t *testing.T) {
+	app := &App{Codelets: []int{0, 1, 2}, Invocations: []int{3, 5, 7}, UncoveredFraction: 0.1}
+	base := []float64{1, 2, 3}
+	scaled := []float64{2, 4, 6}
+	if math.Abs(app.AppTimes(scaled)-2*app.AppTimes(base)) > 1e-12 {
+		t.Error("AppTimes not linear")
+	}
+}

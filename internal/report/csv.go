@@ -1,0 +1,94 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"fgbs/internal/features"
+	"fgbs/internal/pipeline"
+)
+
+// CSV exporters: machine-readable counterparts of the figure
+// renderers, for plotting the curves outside Go (the paper ships its
+// data as an IPython notebook; these are the equivalent raw series).
+
+// EvalCSV writes one row per codelet: app, codelet, reference seconds,
+// actual and predicted target seconds, relative error.
+func EvalCSV(w io.Writer, p *pipeline.Profile, ev *pipeline.Eval) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "codelet", "ref_s", "actual_s", "predicted_s", "rel_error"}); err != nil {
+		return err
+	}
+	for i, c := range p.Codelets {
+		rec := []string{
+			p.Progs[i].Name,
+			c.Name,
+			fmt.Sprintf("%.9g", p.RefInApp[i]),
+			fmt.Sprintf("%.9g", ev.Actual[i]),
+			fmt.Sprintf("%.9g", ev.Predicted[i]),
+			fmt.Sprintf("%.6g", ev.Errors[i]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SweepCSV writes one row per (K, target): the Figure 3 series.
+func SweepCSV(w io.Writer, p *pipeline.Profile, points []pipeline.SweepPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"k", "target", "median_error", "reduction"}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		for ti, m := range p.Targets {
+			rec := []string{
+				fmt.Sprintf("%d", pt.K),
+				m.Name,
+				fmt.Sprintf("%.6g", pt.MedianError[ti]),
+				fmt.Sprintf("%.6g", pt.Reduction[ti]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FeaturesCSV writes the raw 76-feature matrix, one row per codelet.
+func FeaturesCSV(w io.Writer, p *pipeline.Profile) error {
+	cw := csv.NewWriter(w)
+	header := []string{"app", "codelet"}
+	for _, d := range featureNames() {
+		header = append(header, d)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, c := range p.Codelets {
+		rec := []string{p.Progs[i].Name, c.Name}
+		for _, v := range p.Features[i] {
+			rec = append(rec, fmt.Sprintf("%.9g", v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// featureNames returns the catalog names in index order.
+func featureNames() []string {
+	cat := features.Catalog()
+	names := make([]string, len(cat))
+	for i, d := range cat {
+		names[i] = d.Name
+	}
+	return names
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"fgbs/internal/pipeline"
+)
+
+// DendrogramTree renders the Ward merge history as an ASCII tree, the
+// way Table 3's left margin draws it: leaves are codelets (annotated
+// with their final cluster), internal nodes carry the merge height.
+// Reading top-down shows which codelets the clustering considers
+// closest — duplicated computation patterns merge near height zero.
+func DendrogramTree(w io.Writer, p *pipeline.Profile, sub *pipeline.Subset) error {
+	if sub.Dendro == nil {
+		_, err := fmt.Fprintln(w, "(no dendrogram: externally provided partition)")
+		return err
+	}
+	d := sub.Dendro
+	if len(d.Merges) == 0 {
+		_, err := fmt.Fprintln(w, p.Codelets[0].Name)
+		return err
+	}
+
+	// children[id] resolves an internal node to its two children.
+	children := make(map[int][2]int, len(d.Merges))
+	heights := make(map[int]float64, len(d.Merges))
+	for i, m := range d.Merges {
+		id := d.N + i
+		children[id] = [2]int{m.A, m.B}
+		heights[id] = m.Height
+	}
+	root := d.N + len(d.Merges) - 1
+
+	reps := map[int]bool{}
+	for _, r := range sub.Selection.Reps {
+		reps[r] = true
+	}
+
+	var render func(id int, prefix string, last bool) error
+	render = func(id int, prefix string, last bool) error {
+		connector, childPrefix := "├── ", prefix+"│   "
+		if last {
+			connector, childPrefix = "└── ", prefix+"    "
+		}
+		if id < d.N {
+			name := p.Codelets[id].Name
+			if reps[id] {
+				name = "<" + name + ">"
+			}
+			_, err := fmt.Fprintf(w, "%s%s%s  [C%d]\n", prefix, connector, name, sub.Selection.Labels[id]+1)
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s+ (h=%.2f)\n", prefix, connector, heights[id]); err != nil {
+			return err
+		}
+		ch := children[id]
+		if err := render(ch[0], childPrefix, false); err != nil {
+			return err
+		}
+		return render(ch[1], childPrefix, true)
+	}
+
+	if _, err := fmt.Fprintf(w, "* (h=%.2f)\n", heights[root]); err != nil {
+		return err
+	}
+	ch := children[root]
+	if err := render(ch[0], "", false); err != nil {
+		return err
+	}
+	return render(ch[1], "", true)
+}

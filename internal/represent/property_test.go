@@ -1,0 +1,94 @@
+package represent
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fgbs/internal/rng"
+)
+
+// Property: over random inputs, every successful selection satisfies
+// the §3.4 invariants — representatives are well-behaved members of
+// their own cluster, labels are consecutive, and exactly the members
+// of destroyed clusters were moved.
+func TestSelectionInvariants(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(40)
+		k := 1 + r.Intn(n)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+		}
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = r.Intn(k)
+		}
+		for c := 0; c < k; c++ {
+			labels[c%n] = c // populate every label
+		}
+		ill := make([]bool, n)
+		healthy := 0
+		for i := range ill {
+			ill[i] = r.Bool(0.3)
+			if !ill[i] {
+				healthy++
+			}
+		}
+		if healthy == 0 {
+			ill[r.Intn(n)] = false
+		}
+
+		sel, err := Select(points, labels, ill)
+		if err != nil {
+			return false
+		}
+		// Labels consecutive in [0, K).
+		seen := make([]bool, sel.K)
+		for _, l := range sel.Labels {
+			if l < 0 || l >= sel.K {
+				return false
+			}
+			seen[l] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Representatives: well-behaved, and member of the cluster
+		// they represent.
+		for c, rep := range sel.Reps {
+			if rep < 0 || rep >= n || ill[rep] || sel.Labels[rep] != c {
+				return false
+			}
+		}
+		// Moved codelets are exactly those whose original cluster had
+		// no healthy member.
+		healthyCluster := make([]bool, k)
+		for i := range labels {
+			if !ill[i] {
+				healthyCluster[labels[i]] = true
+			}
+		}
+		movedSet := map[int]bool{}
+		for _, m := range sel.Moved {
+			movedSet[m] = true
+		}
+		for i, l := range labels {
+			if healthyCluster[l] == movedSet[i] {
+				return false // healthy-cluster member moved, or orphan not moved
+			}
+		}
+		// Destroyed count matches.
+		destroyed := 0
+		for _, h := range healthyCluster {
+			if !h {
+				destroyed++
+			}
+		}
+		return destroyed == sel.Destroyed && sel.K == k-destroyed
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package represent implements §3.4's representative selection loop:
+//
+//  1. Pick, in each cluster, the codelet closest to the centroid.
+//  2. If the candidate is ill-behaved (its extracted microbenchmark
+//     does not reproduce the in-application time on the reference
+//     architecture within 10%), mark it ineligible and reselect.
+//  3. If every member of a cluster is ineligible, destroy the cluster
+//     and move each member to the cluster containing its closest
+//     well-behaved neighbor.
+//
+// The outcome is a final clustering in which every cluster has a
+// well-behaved representative, possibly with fewer clusters than the
+// elbow method requested.
+package represent
+
+import (
+	"fmt"
+
+	"fgbs/internal/cluster"
+)
+
+// Selection is the outcome of the representative-selection process.
+type Selection struct {
+	// Labels is the final cluster assignment per codelet, with
+	// consecutive labels 0..K-1 after dissolutions.
+	Labels []int
+	// Reps maps each final cluster label to the index of its
+	// (well-behaved) representative codelet.
+	Reps []int
+	// K is the final cluster count.
+	K int
+	// Destroyed counts clusters dissolved because all their members
+	// were ill-behaved.
+	Destroyed int
+	// Moved lists the codelets reassigned by dissolutions.
+	Moved []int
+}
+
+// Select runs the selection process. points are the (normalized,
+// masked) feature vectors used for clustering; labels the initial
+// cut; illBehaved the per-codelet screening result on the reference
+// architecture.
+func Select(points [][]float64, labels []int, illBehaved []bool) (*Selection, error) {
+	n := len(points)
+	if len(labels) != n || len(illBehaved) != n {
+		return nil, fmt.Errorf("represent: length mismatch (points %d, labels %d, illBehaved %d)",
+			n, len(labels), len(illBehaved))
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("represent: no codelets")
+	}
+	k := 0
+	for _, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("represent: negative label")
+		}
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+
+	// A cluster survives if it has at least one well-behaved member.
+	// The iterative reselection of §3.4 converges to exactly that
+	// member of the surviving cluster closest to the centroid, since
+	// ill-behavedness is a property of the codelet, not of the
+	// selection attempt.
+	eligible := func(i int) bool { return !illBehaved[i] }
+	reps := cluster.Representatives(points, labels, eligible)
+
+	surviving := make([]bool, k)
+	for c, r := range reps {
+		surviving[c] = r >= 0
+	}
+	anySurvivor := false
+	for _, s := range surviving {
+		anySurvivor = anySurvivor || s
+	}
+	if !anySurvivor {
+		return nil, fmt.Errorf("represent: every cluster is ill-behaved; nothing can be extracted")
+	}
+
+	// Move members of destroyed clusters to the cluster of their
+	// closest neighbor in a surviving cluster.
+	final := append([]int(nil), labels...)
+	var moved []int
+	destroyed := 0
+	for c := 0; c < k; c++ {
+		if surviving[c] {
+			continue
+		}
+		destroyed++
+		for i := range points {
+			if labels[i] != c {
+				continue
+			}
+			nn := cluster.NearestNeighbor(points, i, func(j int) bool {
+				return surviving[labels[j]]
+			})
+			if nn < 0 {
+				return nil, fmt.Errorf("represent: no surviving neighbor for codelet %d", i)
+			}
+			final[i] = labels[nn]
+			moved = append(moved, i)
+		}
+	}
+
+	// Relabel surviving clusters consecutively and carry reps over.
+	remap := make(map[int]int)
+	for c := 0; c < k; c++ {
+		if surviving[c] {
+			remap[c] = len(remap)
+		}
+	}
+	sel := &Selection{
+		Labels:    make([]int, n),
+		Reps:      make([]int, len(remap)),
+		K:         len(remap),
+		Destroyed: destroyed,
+		Moved:     moved,
+	}
+	for i, l := range final {
+		sel.Labels[i] = remap[l]
+	}
+	for c, r := range reps {
+		if surviving[c] {
+			sel.Reps[remap[c]] = r
+		}
+	}
+	return sel, nil
+}

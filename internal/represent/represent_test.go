@@ -1,0 +1,143 @@
+package represent
+
+import (
+	"testing"
+)
+
+// Fixture: three clusters on a line.
+//
+//	cluster 0: points 0,1,2 at x = 0, 0.5, 1
+//	cluster 1: points 3,4   at x = 10, 10.5
+//	cluster 2: points 5     at x = 20
+func fixture() ([][]float64, []int) {
+	points := [][]float64{{0}, {0.5}, {1}, {10}, {10.5}, {20}}
+	labels := []int{0, 0, 0, 1, 1, 2}
+	return points, labels
+}
+
+func TestAllWellBehaved(t *testing.T) {
+	points, labels := fixture()
+	sel, err := Select(points, labels, make([]bool, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 3 || sel.Destroyed != 0 {
+		t.Fatalf("K=%d destroyed=%d", sel.K, sel.Destroyed)
+	}
+	// Cluster 0 centroid = 0.5 -> representative is point 1.
+	if sel.Reps[sel.Labels[0]] != 1 {
+		t.Errorf("rep of cluster 0 = %d, want 1", sel.Reps[sel.Labels[0]])
+	}
+	if sel.Reps[sel.Labels[5]] != 5 {
+		t.Errorf("singleton rep = %d, want 5", sel.Reps[sel.Labels[5]])
+	}
+}
+
+func TestIllBehavedRepReselected(t *testing.T) {
+	points, labels := fixture()
+	ill := make([]bool, 6)
+	ill[1] = true // centroid-closest of cluster 0 is ineligible
+	sel, err := Select(points, labels, ill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sel.Reps[sel.Labels[0]]
+	if rep == 1 {
+		t.Error("ill-behaved codelet kept as representative")
+	}
+	if rep != 0 && rep != 2 {
+		t.Errorf("rep = %d, want 0 or 2", rep)
+	}
+	if sel.Destroyed != 0 {
+		t.Error("cluster destroyed despite eligible members")
+	}
+}
+
+func TestClusterDissolution(t *testing.T) {
+	points, labels := fixture()
+	ill := make([]bool, 6)
+	ill[3] = true
+	ill[4] = true // whole cluster 1 ill-behaved
+	sel, err := Select(points, labels, ill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Destroyed != 1 {
+		t.Fatalf("destroyed = %d, want 1", sel.Destroyed)
+	}
+	if sel.K != 2 {
+		t.Fatalf("K = %d, want 2", sel.K)
+	}
+	// Points 3 and 4 sit at x=10, 10.5: their nearest surviving
+	// neighbor is point 5 (x=20) vs point 2 (x=1): 3 -> point 2 is 9
+	// away, point 5 is 10 away -> cluster of point 2; 4 -> point 5 is
+	// 9.5, point 2 is 9.5... point 2 at distance 9.5, point 5 at 9.5;
+	// ties resolve to the first scanned (point 2).
+	if sel.Labels[3] != sel.Labels[2] {
+		t.Errorf("codelet 3 moved to cluster of %d, want cluster of point 2", sel.Labels[3])
+	}
+	if len(sel.Moved) != 2 {
+		t.Errorf("moved = %v", sel.Moved)
+	}
+	// Labels stay consecutive.
+	seen := map[int]bool{}
+	for _, l := range sel.Labels {
+		if l < 0 || l >= sel.K {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) != sel.K {
+		t.Error("labels not consecutive")
+	}
+}
+
+func TestMovedMembersDoNotBecomeReps(t *testing.T) {
+	points, labels := fixture()
+	ill := []bool{false, false, false, true, true, false}
+	sel, err := Select(points, labels, ill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, r := range sel.Reps {
+		if ill[r] {
+			t.Errorf("cluster %d has ill-behaved representative %d", c, r)
+		}
+	}
+}
+
+func TestAllIllBehavedFails(t *testing.T) {
+	points, labels := fixture()
+	ill := []bool{true, true, true, true, true, true}
+	if _, err := Select(points, labels, ill); err == nil {
+		t.Error("fully ill-behaved suite accepted")
+	}
+}
+
+func TestLengthMismatchRejected(t *testing.T) {
+	points, labels := fixture()
+	if _, err := Select(points, labels, make([]bool, 3)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Select(nil, nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSingletonIllBehavedDissolves(t *testing.T) {
+	points, labels := fixture()
+	ill := make([]bool, 6)
+	ill[5] = true // singleton cluster 2
+	sel, err := Select(points, labels, ill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Destroyed != 1 || sel.K != 2 {
+		t.Fatalf("destroyed=%d K=%d", sel.Destroyed, sel.K)
+	}
+	// Point 5 joins the cluster of its nearest neighbor (point 4,
+	// cluster 1).
+	if sel.Labels[5] != sel.Labels[4] {
+		t.Error("dissolved singleton joined the wrong cluster")
+	}
+}

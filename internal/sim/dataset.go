@@ -1,0 +1,171 @@
+// Package sim executes codelets on the modeled machines and produces
+// the dynamic measurements (execution time and hardware-counter-style
+// statistics) that the paper obtains with Likwid probes on real
+// hardware.
+//
+// The simulator is a performance simulator, not a functional one:
+// floating-point values never influence an access stream, so they are
+// not materialized. Integer array contents are materialized because
+// they steer indirect addressing (gathers and scatters) — the one way
+// data influences timing.
+//
+// An invocation is simulated by walking the codelet's loop nest,
+// streaming every memory reference through the machine's cache
+// hierarchy (internal/cache), and combining three cost components:
+//
+//	compute   = sum over innermost loops of trips x cycles/iteration
+//	            (from internal/compile's port model, L1-hit assumption)
+//	bandwidth = line traffic to and from DRAM divided by the machine's
+//	            sustainable bandwidth
+//	latency   = per-access miss penalties, scaled by how much of them
+//	            the core exposes (in-order Atom exposes everything;
+//	            out-of-order cores hide most, hardware prefetchers hide
+//	            more on sequential streams)
+//
+//	cycles = max(compute, bandwidth) + exposed latency + probe overhead
+//
+// Two measurement modes mirror the paper's setup:
+//
+//   - ModeInApp: the codelet as profiled inside its application (Step
+//     B). Each invocation starts from a cold cache — between two
+//     invocations, the rest of the application has trashed it — and
+//     dataset-varying codelets see their per-invocation trip counts
+//     change.
+//   - ModeStandalone: the extracted microbenchmark (Step D). The
+//     wrapper loads the memory dump (warming the cache), invocations
+//     run back to back, and the dataset is the one captured at the
+//     application's first invocation. Context-sensitive codelets are
+//     recompiled without the application context.
+package sim
+
+import (
+	"fmt"
+
+	"fgbs/internal/ir"
+	"fgbs/internal/rng"
+)
+
+// datasetAlign is the base-address alignment of every array.
+const datasetAlign = 64
+
+// Dataset is the simulated memory image of one program: array base
+// addresses plus the contents of integer arrays.
+type Dataset struct {
+	prog  *ir.Program
+	bases map[string]int64
+	sizes map[string]int64
+	ints  map[string][]int64
+	// TotalBytes is the packed footprint of all arrays.
+	TotalBytes int64
+}
+
+// BuildDataset lays out the program's arrays in a flat address space
+// and fills integer arrays according to their declared initializers.
+// The seed makes the pseudo-random initializers reproducible.
+func BuildDataset(p *ir.Program, seed uint64) (*Dataset, error) {
+	ds := &Dataset{
+		prog:  p,
+		bases: make(map[string]int64),
+		sizes: make(map[string]int64),
+		ints:  make(map[string][]int64),
+	}
+	r := rng.New(seed)
+	addr := int64(4096)
+	for _, a := range p.Arrays() {
+		n := a.Elems(p.Params)
+		if n < 0 {
+			return nil, fmt.Errorf("sim: array %q has negative size", a.Name)
+		}
+		bytes := n * a.DT.Size()
+		ds.bases[a.Name] = addr
+		ds.sizes[a.Name] = bytes
+		addr += (bytes + datasetAlign) &^ (datasetAlign - 1)
+		if a.DT == ir.I64 {
+			data, err := initInts(a, n, p.Params, r)
+			if err != nil {
+				return nil, err
+			}
+			ds.ints[a.Name] = data
+		}
+	}
+	ds.TotalBytes = addr - 4096
+	return ds, nil
+}
+
+func initInts(a *ir.Array, n int64, params map[string]int64, r *rng.RNG) ([]int64, error) {
+	data := make([]int64, n)
+	switch a.Init.Kind {
+	case ir.IntInitZero:
+		// already zero
+	case ir.IntInitUniform:
+		bound := a.Init.Bound.Eval(params)
+		if bound <= 0 {
+			return nil, fmt.Errorf("sim: array %q: uniform init with bound %d", a.Name, bound)
+		}
+		for i := range data {
+			data[i] = r.Int63n(bound)
+		}
+	case ir.IntInitMod:
+		bound := a.Init.Bound.Eval(params)
+		if bound <= 0 {
+			return nil, fmt.Errorf("sim: array %q: mod init with bound %d", a.Name, bound)
+		}
+		for i := range data {
+			data[i] = int64(i) % bound
+		}
+	default:
+		return nil, fmt.Errorf("sim: array %q: unknown init kind %d", a.Name, a.Init.Kind)
+	}
+	return data, nil
+}
+
+// Base returns the base address of array name.
+func (ds *Dataset) Base(name string) int64 { return ds.bases[name] }
+
+// SizeBytes returns the footprint of array name.
+func (ds *Dataset) SizeBytes(name string) int64 { return ds.sizes[name] }
+
+// Ints returns the contents of integer array name (nil for FP arrays).
+func (ds *Dataset) Ints(name string) []int64 { return ds.ints[name] }
+
+// WorkingSetBytes returns the total footprint of the arrays referenced
+// by codelet c — the size of the memory dump its extracted
+// microbenchmark would carry.
+func (ds *Dataset) WorkingSetBytes(c *ir.Codelet) int64 {
+	names := referencedArrays(c)
+	var total int64
+	for name := range names {
+		total += ds.sizes[name]
+	}
+	return total
+}
+
+// referencedArrays collects the arrays a codelet touches.
+func referencedArrays(c *ir.Codelet) map[string]bool {
+	names := make(map[string]bool)
+	var walkLoop func(l *ir.Loop)
+	walkLoop = func(l *ir.Loop) {
+		for _, s := range l.Body {
+			switch st := s.(type) {
+			case *ir.Loop:
+				walkLoop(st)
+			case *ir.Assign:
+				names[st.LHS.Array] = true
+				ir.WalkExpr(st.RHS, func(e ir.Expr) {
+					if ld, ok := e.(*ir.Load); ok {
+						names[ld.Ref.Array] = true
+					}
+				})
+				for _, ix := range st.LHS.Index {
+					ir.WalkExpr(ix, func(e ir.Expr) {
+						if ld, ok := e.(*ir.Load); ok {
+							names[ld.Ref.Array] = true
+						}
+					})
+				}
+			}
+		}
+	}
+	walkLoop(c.Loop)
+	return names
+}

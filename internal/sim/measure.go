@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"fgbs/internal/arch"
+	"fgbs/internal/cache"
+	"fgbs/internal/ir"
+	"fgbs/internal/stats"
+)
+
+// Mode selects the measurement context (see the package comment).
+type Mode uint8
+
+const (
+	// ModeInApp profiles the codelet inside its application.
+	ModeInApp Mode = iota
+	// ModeStandalone measures the extracted microbenchmark.
+	ModeStandalone
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeStandalone {
+		return "standalone"
+	}
+	return "in-app"
+}
+
+// Default measurement knobs.
+const (
+	// DefaultProbeCycles is the fixed instrumentation overhead charged
+	// per invocation (the Likwid probe calls around the codelet). It
+	// is what makes short-lived codelets relatively noisy, as §4.4
+	// observes.
+	DefaultProbeCycles = 12000
+	// DefaultNoiseAmp is the amplitude of the deterministic
+	// pseudo-noise applied to measured times (run-to-run variability).
+	DefaultNoiseAmp = 0.02
+	// DefaultInvocations is how many invocations are simulated per
+	// measurement. Three cover both the dataset-variation period and
+	// a cold-then-warm transient.
+	DefaultInvocations = 3
+)
+
+// Options configures Measure.
+type Options struct {
+	Machine *arch.Machine
+	Mode    Mode
+	// Invocations overrides DefaultInvocations when > 0.
+	Invocations int
+	// Seed drives dataset initialization and measurement pseudo-noise.
+	Seed uint64
+	// ProbeCycles overrides DefaultProbeCycles when >= 0 (use a
+	// negative value to request the default; 0 disables the probe).
+	ProbeCycles float64
+	// NoiseAmp overrides DefaultNoiseAmp when >= 0.
+	NoiseAmp float64
+	// Dataset reuses a prebuilt dataset (else one is built from Seed).
+	Dataset *Dataset
+}
+
+func (o *Options) fill() {
+	if o.Invocations <= 0 {
+		o.Invocations = DefaultInvocations
+	}
+	if o.ProbeCycles < 0 {
+		o.ProbeCycles = DefaultProbeCycles
+	}
+	if o.NoiseAmp < 0 {
+		o.NoiseAmp = DefaultNoiseAmp
+	}
+}
+
+// Counters aggregates one invocation's simulated hardware events, the
+// stand-in for a Likwid counter group read.
+type Counters struct {
+	Cycles  float64
+	Seconds float64
+
+	Instructions float64
+	// Ops tallies architectural operations (scalar-equivalent).
+	Ops ir.OpCount
+	// VecFPOps is the number of FP operations retired by vector
+	// instructions.
+	VecFPOps float64
+	// MemLoads/MemStores count memory-visible references (after
+	// register allocation of scalars).
+	MemLoads, MemStores float64
+
+	// LevelHits[i] / LevelMisses[i] index the machine's cache levels.
+	LevelHits, LevelMisses []int64
+	MemAccesses            int64
+	MemWritebacks          int64
+
+	// Cost breakdown.
+	ComputeCycles    float64
+	BandwidthCycles  float64
+	ExposedLatCycles float64
+	ProbeCycles      float64
+}
+
+// Invocation is one simulated invocation's outcome.
+type Invocation struct {
+	Index    int
+	Seconds  float64
+	Counters Counters
+}
+
+// Measurement is the result of measuring one codelet on one machine in
+// one mode.
+type Measurement struct {
+	Codelet *ir.Codelet
+	Machine *arch.Machine
+	Mode    Mode
+
+	Invocations []Invocation
+	// Seconds is the median per-invocation time — the paper's
+	// outlier-robust summary.
+	Seconds float64
+	// Counters belongs to the median invocation.
+	Counters Counters
+	// WorkingSetBytes is the codelet's memory-dump size.
+	WorkingSetBytes int64
+}
+
+// Measure simulates codelet c of program p under opts.
+func Measure(p *ir.Program, c *ir.Codelet, opts Options) (*Measurement, error) {
+	if opts.Machine == nil {
+		return nil, fmt.Errorf("sim: no machine given")
+	}
+	opts.fill()
+
+	ds := opts.Dataset
+	if ds == nil {
+		var err error
+		ds, err = BuildDataset(p, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	inApp := opts.Mode == ModeInApp
+	pr, err := prepare(p, c, opts.Machine, ds, inApp)
+	if err != nil {
+		return nil, err
+	}
+
+	h, err := cache.NewHierarchy(opts.Machine)
+	if err != nil {
+		return nil, err
+	}
+
+	meas := &Measurement{
+		Codelet:         c,
+		Machine:         opts.Machine,
+		Mode:            opts.Mode,
+		WorkingSetBytes: ds.WorkingSetBytes(c),
+	}
+
+	if opts.Mode == ModeStandalone {
+		// The wrapper loads the memory dump before the first run,
+		// warming the hierarchy exactly as CF's replay does.
+		for name := range referencedArrays(c) {
+			h.Preload(ds.Base(name), ds.SizeBytes(name))
+		}
+	}
+
+	varyCell := pr.cells[c.VaryParam]
+	baseVary := int64(0)
+	if varyCell != nil {
+		baseVary = *varyCell
+	}
+
+	for k := 0; k < opts.Invocations; k++ {
+		if inApp {
+			// Between two in-app invocations the rest of the
+			// application has trashed the cache — unless the codelet
+			// works on the application's shared arrays, which the
+			// neighboring codelets keep warm.
+			if !c.WarmInApp {
+				h.Flush()
+			}
+			if varyCell != nil && c.DatasetVariation > 0 {
+				scale := 1 - c.DatasetVariation*float64(k%3)
+				if scale < 0.05 {
+					scale = 0.05
+				}
+				*varyCell = int64(float64(baseVary) * scale)
+			}
+		}
+		h.ResetCounters()
+
+		e := &execState{h: h}
+		for _, n := range pr.root {
+			n.run(e)
+		}
+
+		ctr := assemble(e, pr, opts, k)
+		meas.Invocations = append(meas.Invocations, Invocation{
+			Index: k, Seconds: ctr.Seconds, Counters: ctr,
+		})
+	}
+	if varyCell != nil {
+		*varyCell = baseVary
+	}
+
+	times := make([]float64, len(meas.Invocations))
+	for i, inv := range meas.Invocations {
+		times[i] = inv.Seconds
+	}
+	meas.Seconds = stats.Median(times)
+	// Attach the counters of the invocation closest to the median.
+	bestIdx, bestDiff := 0, -1.0
+	for i, inv := range meas.Invocations {
+		d := inv.Seconds - meas.Seconds
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			bestIdx, bestDiff = i, d
+		}
+	}
+	meas.Counters = meas.Invocations[bestIdx].Counters
+	return meas, nil
+}
+
+// assemble combines the walk's raw tallies into Counters under the
+// machine's cost model.
+func assemble(e *execState, pr *prepared, opts Options, invocation int) Counters {
+	m := pr.machine
+	line := float64(e.h.LineBytes())
+
+	var ctr Counters
+	ctr.Instructions = e.instr
+	ctr.Ops = e.ops
+	ctr.VecFPOps = e.vecFPOps
+	ctr.MemLoads = e.memLoads
+	ctr.MemStores = e.memStores
+	for _, l := range e.h.Levels {
+		ctr.LevelHits = append(ctr.LevelHits, l.Hits)
+		ctr.LevelMisses = append(ctr.LevelMisses, l.Misses)
+	}
+	ctr.MemAccesses = e.h.MemAccesses
+	ctr.MemWritebacks = e.h.MemWritebacks
+
+	ctr.ComputeCycles = e.computeCycles
+	ctr.BandwidthCycles = float64(ctr.MemAccesses+ctr.MemWritebacks) * line / m.MemBWBytesPerCycle
+	ctr.ExposedLatCycles = e.exposedLat
+	ctr.ProbeCycles = opts.ProbeCycles
+
+	core := ctr.ComputeCycles
+	if ctr.BandwidthCycles > core {
+		core = ctr.BandwidthCycles
+	}
+	cycles := core + ctr.ExposedLatCycles + ctr.ProbeCycles
+
+	// Deterministic measurement pseudo-noise.
+	noise := 1 + opts.NoiseAmp*hashUnit(pr.codelet.Name, m.Name, invocation, opts.Seed)
+	cycles *= noise
+
+	ctr.Cycles = cycles
+	ctr.Seconds = m.CyclesToSeconds(cycles)
+	return ctr
+}
+
+// hashUnit returns a deterministic value in [-1, 1] from the
+// measurement identity.
+func hashUnit(codelet, machine string, invocation int, seed uint64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d", codelet, machine, invocation, seed)
+	v := h.Sum64()
+	return float64(v%20001)/10000 - 1
+}

@@ -1,0 +1,176 @@
+// Package stats implements the small set of descriptive statistics the
+// benchmark-subsetting pipeline relies on: medians (used to summarize
+// prediction errors and repeated microbenchmark invocations), geometric
+// means (used for the per-architecture speedup summary of Figure 6),
+// variance (the quantity Ward's clustering criterion minimizes), and
+// z-score normalization (applied to feature vectors before clustering).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs, or NaN for an empty slice.
+// xs is not modified.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the R default).
+// It returns NaN for an empty slice and panics on q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// it returns NaN for an empty slice or any non-positive value.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Variance returns the population variance of xs (dividing by n, not
+// n-1): Ward's criterion is defined on total within-cluster dispersion,
+// for which the population form is the natural choice. Returns NaN for
+// an empty slice and 0 for a single element.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Normalize z-scores each column of the row-major matrix rows in place:
+// every column ends up with zero mean and unit variance. Columns with
+// (near-)zero variance are set to all zeros rather than dividing by
+// zero; such constant features carry no clustering information.
+//
+// This is the normalization of §3.3: "Features are normalized to have
+// unit variance and to be centered on zero," giving every feature equal
+// weight in the Euclidean distance.
+func Normalize(rows [][]float64) {
+	if len(rows) == 0 {
+		return
+	}
+	cols := len(rows[0])
+	col := make([]float64, len(rows))
+	for c := 0; c < cols; c++ {
+		for r := range rows {
+			col[r] = rows[r][c]
+		}
+		m := Mean(col)
+		sd := StdDev(col)
+		if sd < 1e-12 {
+			for r := range rows {
+				rows[r][c] = 0
+			}
+			continue
+		}
+		for r := range rows {
+			rows[r][c] = (rows[r][c] - m) / sd
+		}
+	}
+}
+
+// EuclideanDistance returns the L2 distance between a and b.
+// It panics if the lengths differ.
+func EuclideanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: dimension mismatch")
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// RelError returns |predicted-actual| / |actual| as a fraction.
+// A zero actual with nonzero predicted yields +Inf.
+func RelError(predicted, actual float64) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual)
+}

@@ -1,0 +1,292 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fgbs/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+		{[]float64{2.5, 2.5, 2.5, 2.5}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{7}, 7},
+		{[]float64{1, 1, 1, 100}, 1},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Median(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := Quantile(xs, 0.25); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("q.25 = %g, want 2", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(-0.1) did not panic")
+		}
+	}()
+	Quantile([]float64{1}, -0.1)
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeoMean(1,4) = %g, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeoMean(2,2,2) = %g", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean with negative value should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(nil) should be NaN")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if got := Variance([]float64{2, 4}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Variance(2,4) = %g, want 1 (population)", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance singleton = %g, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max(%v) = %g/%g", xs, Min(xs), Max(xs))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	rows := [][]float64{
+		{1, 10, 5},
+		{2, 20, 5},
+		{3, 30, 5},
+	}
+	Normalize(rows)
+	// Column means ~0, stddev ~1; constant column zeroed.
+	for c := 0; c < 3; c++ {
+		col := []float64{rows[0][c], rows[1][c], rows[2][c]}
+		if !almostEqual(Mean(col), 0, 1e-9) {
+			t.Errorf("col %d mean = %g", c, Mean(col))
+		}
+	}
+	for c := 0; c < 2; c++ {
+		col := []float64{rows[0][c], rows[1][c], rows[2][c]}
+		if !almostEqual(StdDev(col), 1, 1e-9) {
+			t.Errorf("col %d sd = %g", c, StdDev(col))
+		}
+	}
+	if rows[0][2] != 0 || rows[1][2] != 0 || rows[2][2] != 0 {
+		t.Errorf("constant column not zeroed: %v", rows)
+	}
+}
+
+func TestNormalizeEmpty(t *testing.T) {
+	Normalize(nil)              // must not panic
+	Normalize([][]float64{{}})  // zero columns
+	Normalize([][]float64{{1}}) // single row: sd 0 -> zeroed
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	if got := EuclideanDistance([]float64{0, 0}, []float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("distance = %g, want 5", got)
+	}
+}
+
+func TestEuclideanDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	EuclideanDistance([]float64{1}, []float64{1, 2})
+}
+
+func TestRelError(t *testing.T) {
+	if got := RelError(110, 100); !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("RelError = %g, want 0.1", got)
+	}
+	if got := RelError(0, 0); got != 0 {
+		t.Errorf("RelError(0,0) = %g, want 0", got)
+	}
+	if !math.IsInf(RelError(1, 0), 1) {
+		t.Error("RelError(1,0) should be +Inf")
+	}
+}
+
+// Property: median lies between min and max, and is invariant under
+// permutation.
+func TestMedianProperties(t *testing.T) {
+	r := rng.New(123)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		m := Median(xs)
+		if m < Min(xs)-1e-9 || m > Max(xs)+1e-9 {
+			t.Fatalf("median %g outside [%g,%g]", m, Min(xs), Max(xs))
+		}
+		shuffled := append([]float64(nil), xs...)
+		perm := r.Perm(n)
+		for i, p := range perm {
+			shuffled[i] = xs[p]
+		}
+		if m2 := Median(shuffled); !almostEqual(m, m2, 1e-9) {
+			t.Fatalf("median not permutation-invariant: %g vs %g", m, m2)
+		}
+	}
+}
+
+// Property: geometric mean of positive values lies between min and max
+// and is scale-equivariant: GeoMean(c*xs) = c*GeoMean(xs).
+func TestGeoMeanProperties(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.01 + r.Float64()*10
+		}
+		g := GeoMean(xs)
+		if g < Min(xs)-1e-9 || g > Max(xs)+1e-9 {
+			return false
+		}
+		scaled := make([]float64, n)
+		for i := range xs {
+			scaled[i] = xs[i] * 3
+		}
+		return almostEqual(GeoMean(scaled), 3*g, 1e-9*g+1e-12)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			qq := math.Min(q, 1)
+			v := Quantile(xs, qq)
+			if v < prev-1e-9 {
+				t.Fatalf("quantile not monotone at q=%g", qq)
+			}
+			prev = v
+		}
+	}
+}
+
+// Property: after Normalize, Euclidean distances are invariant to
+// per-column affine transforms of the raw data (the reason the paper
+// normalizes before clustering).
+func TestNormalizeAffineInvariance(t *testing.T) {
+	r := rng.New(2024)
+	const rows, cols = 12, 5
+	a := make([][]float64, rows)
+	b := make([][]float64, rows)
+	scale := make([]float64, cols)
+	shift := make([]float64, cols)
+	for c := 0; c < cols; c++ {
+		scale[c] = 0.5 + r.Float64()*10
+		shift[c] = r.NormFloat64() * 50
+	}
+	for i := range a {
+		a[i] = make([]float64, cols)
+		b[i] = make([]float64, cols)
+		for c := 0; c < cols; c++ {
+			v := r.NormFloat64()
+			a[i][c] = v
+			b[i][c] = v*scale[c] + shift[c]
+		}
+	}
+	Normalize(a)
+	Normalize(b)
+	for i := 0; i < rows; i++ {
+		for j := i + 1; j < rows; j++ {
+			da := EuclideanDistance(a[i], a[j])
+			db := EuclideanDistance(b[i], b[j])
+			if !almostEqual(da, db, 1e-9) {
+				t.Fatalf("distance (%d,%d) changed under affine transform: %g vs %g", i, j, da, db)
+			}
+		}
+	}
+}
+
+func TestQuantileAgainstSort(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	// With 101 points, quantile k/100 must equal sorted[k] exactly.
+	for k := 0; k <= 100; k += 10 {
+		if got := Quantile(xs, float64(k)/100); !almostEqual(got, sorted[k], 1e-12) {
+			t.Errorf("q%d = %g, want %g", k, got, sorted[k])
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package nas
+
+import (
+	"fgbs/internal/ir"
+)
+
+// Suite returns the seven NAS-like applications in alphabetical
+// order: bt, cg, ft, is, lu, mg, sp. Together they contribute 67
+// codelets.
+func Suite() []*ir.Program {
+	return []*ir.Program{BT(), CG(), FT(), IS(), LU(), MG(), SP()}
+}
+
+// Codelets flattens the suite into (program, codelet) pairs, aligned
+// by index.
+func Codelets() (progs []*ir.Program, codelets []*ir.Codelet) {
+	for _, p := range Suite() {
+		for _, c := range p.Codelets {
+			progs = append(progs, p)
+			codelets = append(codelets, c)
+		}
+	}
+	return progs, codelets
+}
+
+// BT builds the Block-Tridiagonal solver proxy (12 codelets, 200
+// pseudo-time steps). Two of its codelets are compiled differently
+// when extracted (ContextSensitive): the block back-substitution and
+// the exact-RHS forcing kernel.
+func BT() *ir.Program {
+	a := newApp("bt", 0.08, 384)
+	for _, g := range []string{"u", "rhs", "us", "vs", "ws", "qs", "rho", "square", "lhs", "diag", "forcing"} {
+		a.grid(g)
+	}
+	const steps = 200
+
+	a.add(a.stencilX("bt_rhs_x", "rhs", "u", 0.40, 4, steps), "BT/rhs.f:100-140")
+	a.add(a.stencilY("bt_rhs_y", "rhs", "us", 0.40, 4, steps), "BT/rhs.f:180-220")
+	a.add(a.planes5("bt_rhs_z", "rhs", [5]string{"u", "us", "vs", "ws", "qs"}, steps), "BT/rhs.f:266-311")
+	a.add(a.triSolve("bt_x_solve", "lhs", "rhs", "diag", 0.40, steps), "BT/x_solve.f:40-90")
+	a.add(a.triSolve("bt_y_solve", "lhs", "rhs", "diag", 0.44, steps), "BT/y_solve.f:40-90")
+	a.add(a.triSolve("bt_z_solve", "lhs", "rhs", "diag", 0.48, steps), "BT/z_solve.f:40-90")
+	a.add(a.addGrids("bt_add", "u", "rhs", steps), "BT/add.f:17-27")
+	a.add(a.sumSqScalar("bt_error_norm", "u", steps/25), "BT/error.f:20-40")
+	a.add(a.pointwise("bt_matmul_sub", "lhs", "u", "diag", "rhs", 0.7, 2*steps), "BT/solve_subs.f:10-60")
+	a.add(a.setGrid("bt_initialize", "u", 1.0, 4), "BT/initialize.f:20-60")
+
+	exact := a.expCompute("bt_exact_rhs", "forcing", "u", 4)
+	exact.ContextSensitive = true // loses vectorization context when outlined
+	a.add(exact, "BT/exact_rhs.f:30-90")
+
+	binv := a.divPointwise("bt_binvcrhs", "rhs", "diag", 2*steps)
+	binv.ContextSensitive = true
+	a.add(binv, "BT/solve_subs.f:100-160")
+	return a.p
+}
+
+// sumSqScalar declares its own accumulator then defers to sumSq.
+func (a *app) sumSqScalar(name, u string, inv int) *ir.Codelet {
+	acc := name + "_acc"
+	a.p.AddScalar(acc, ir.F64)
+	return a.sumSq(name, u, acc, inv)
+}
+
+// divPointwise builds a division-dominated per-cell kernel (block
+// inversion proxy).
+func (a *app) divPointwise(name, out, diag string, inv int) *ir.Codelet {
+	p := a.p
+	return &ir.Codelet{
+		Name: name, Pattern: "DP: pointwise division (block inverse)", Invocations: inv,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref(out, vi, vj),
+					RHS: ir.Div(p.LoadE(out, vi, vj),
+						ir.Add(p.LoadE(diag, vi, vj), ir.CF(2.0))),
+				},
+			}},
+		}},
+	}
+}
+
+// SP builds the Scalar-Pentadiagonal solver proxy (12 codelets, 400
+// steps). sp_tzetar is context-sensitive (ill-behaved when
+// extracted).
+func SP() *ir.Program {
+	a := newApp("sp", 0.08, 352)
+	for _, g := range []string{"u", "rhs", "us", "vs", "ws", "qs", "speed", "lhs", "diag"} {
+		a.grid(g)
+	}
+	const steps = 250
+
+	a.add(a.stencilX("sp_rhs_x", "rhs", "u", 0.55, 3, steps), "SP/rhs.f:80-120")
+	a.add(a.stencilY("sp_rhs_y", "rhs", "us", 0.55, 3, steps), "SP/rhs.f:170-210")
+	a.add(a.planes5("sp_rhs_z", "rhs", [5]string{"u", "us", "vs", "ws", "qs"}, steps), "SP/rhs.f:275-320")
+	a.add(a.triSolve("sp_x_solve", "lhs", "rhs", "diag", 0.55, steps), "SP/x_solve.f:30-80")
+	a.add(a.triSolve("sp_y_solve", "lhs", "rhs", "diag", 0.58, steps), "SP/y_solve.f:30-80")
+	a.add(a.triSolve("sp_z_solve", "lhs", "rhs", "diag", 0.61, steps), "SP/z_solve.f:30-80")
+	a.add(a.pointwise("sp_txinvr", "rhs", "speed", "qs", "u", 0.8, steps), "SP/txinvr.f:15-45")
+	a.add(a.pointwise("sp_ninvr", "rhs", "speed", "us", "u", 0.85, steps), "SP/ninvr.f:15-40")
+	a.add(a.pointwise("sp_pinvr", "rhs", "speed", "vs", "u", 0.9, steps), "SP/pinvr.f:15-40")
+	a.add(a.addGrids("sp_add", "u", "rhs", steps), "SP/add.f:15-25")
+	a.add(a.sumSqScalar("sp_error_norm", "u", steps/25), "SP/error.f:20-40")
+
+	tz := a.heavyPointwise("sp_tzetar", "rhs", "ws", "qs", "u", steps)
+	tz.ContextSensitive = true
+	a.add(tz, "SP/tzetar.f:15-50")
+	return a.p
+}
+
+// LU builds the SSOR solver proxy (11 codelets, 250 iterations).
+// lu_erhs pairs with FT's evolve kernel in the paper's compute-bound
+// Cluster A; lu_setbv is context-sensitive.
+func LU() *ir.Program {
+	a := newApp("lu", 0.08, 320)
+	for _, g := range []string{"u", "rsd", "frct", "flux", "a", "b", "d", "tv"} {
+		a.grid(g)
+	}
+	const steps = 200
+
+	a.add(a.triSolve("lu_blts", "rsd", "tv", "d", 0.50, steps), "LU/blts.f:30-90")
+	a.add(a.triSolve("lu_buts", "rsd", "tv", "d", 0.53, steps), "LU/buts.f:30-90")
+	a.add(a.divPointwise("lu_jacld", "a", "d", steps), "LU/jacld.f:20-80")
+	a.add(a.divPointwise("lu_jacu", "b", "d", steps), "LU/jacu.f:20-80")
+	a.add(a.stencilX("lu_rhs_x", "rsd", "u", 0.50, 2, steps), "LU/rhs.f:60-100")
+	a.add(a.stencilY("lu_rhs_y", "rsd", "flux", 0.50, 3, steps), "LU/rhs.f:140-180")
+	a.add(a.planes5("lu_rhs_z", "rsd", [5]string{"u", "flux", "frct", "a", "b"}, steps), "LU/rhs.f:220-270")
+	a.add(a.sumSqScalar("lu_l2norm", "rsd", steps/25), "LU/l2norm.f:15-35")
+	a.add(a.expCompute("lu_erhs", "frct", "u", 4), "LU/erhs.f:49-57")
+	a.add(a.addGrids("lu_ssor_update", "u", "rsd", steps), "LU/ssor.f:120-140")
+
+	setbv := a.setGrid("lu_setbv", "u", 1.0, 4)
+	setbv.ContextSensitive = true
+	a.add(setbv, "LU/setbv.f:15-50")
+	return a.p
+}
+
+// MG builds the multigrid proxy (8 codelets, 40 level sweeps). Every
+// MG codelet runs on a different grid at each invocation — the
+// V-cycle walks the level hierarchy — so all of them fall into the
+// paper's first ill-behaved category (DatasetVariation): the memory
+// dump captured at the first invocation misrepresents the average
+// one. This is why per-application subsetting cannot predict MG
+// (Figure 8).
+func MG() *ir.Program {
+	a := newApp("mg", 0.08, 448)
+	for _, g := range []string{"u", "v", "r", "z"} {
+		a.grid(g)
+	}
+	const sweeps = 40
+	vary := func(c *ir.Codelet) *ir.Codelet {
+		c.DatasetVariation = 0.35
+		c.VaryParam = "n"
+		return c
+	}
+
+	a.add(vary(a.stencilX("mg_resid", "r", "v", 0.35, 3, sweeps)), "MG/mg.f:588-610")
+	a.add(vary(a.stencilY("mg_psinv", "z", "r", 0.35, 3, sweeps)), "MG/mg.f:542-566")
+	a.add(vary(a.restrict2("mg_rprj3", "z", "r", sweeps)), "MG/mg.f:652-688")
+	a.add(vary(a.interp2("mg_interp", "u", "z", sweeps)), "MG/mg.f:712-750")
+	a.add(vary(a.sumSqScalar("mg_norm2u3", "r", sweeps/4)), "MG/mg.f:788-804")
+	a.add(vary(a.setGrid("mg_zero3", "z", 0, sweeps)), "MG/mg.f:824-836")
+	a.add(vary(a.copyGrid("mg_copy", "u", "z", sweeps)), "MG/mg.f:850-862")
+	a.add(vary(a.axpyGrid("mg_axpy", "u", "r", sweeps)), "MG/mg.f:876-890")
+	return a.p
+}
+
+// restrict2 builds the stride-2 fine-to-coarse restriction:
+// coarse[i][j] = 0.5*fine[i][2j] + 0.25*(fine[i][2j-1] + fine[i][2j+1]).
+func (a *app) restrict2(name, coarse, fine string, inv int) *ir.Codelet {
+	p := a.p
+	if _, ok := p.Params["nh"]; !ok {
+		p.SetParam("nh", gridN/2)
+	}
+	at := func(dj int64) ir.Expr {
+		return p.LoadE(fine, vi, ir.Add(ir.Mul(ir.CI(2), vj), ir.CI(dj)))
+	}
+	return &ir.Codelet{
+		Name: name, Pattern: "DP: fine-to-coarse restriction (stride 2)", Invocations: inv,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lower: ir.AC(1), Upper: ir.AV("nh").PlusK(-1), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref(coarse, vi, vj),
+					RHS: ir.Add(
+						ir.Mul(ir.CF(0.5), at(0)),
+						ir.Mul(ir.CF(0.25), ir.Add(at(-1), at(1)))),
+				},
+			}},
+		}},
+	}
+}
+
+// interp2 builds the stride-2 coarse-to-fine interpolation.
+func (a *app) interp2(name, fine, coarse string, inv int) *ir.Codelet {
+	p := a.p
+	if _, ok := p.Params["nh"]; !ok {
+		p.SetParam("nh", gridN/2)
+	}
+	return &ir.Codelet{
+		Name: name, Pattern: "DP: coarse-to-fine interpolation (stride 2)", Invocations: inv,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("nh").PlusK(-1), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref(fine, vi, ir.Mul(ir.CI(2), vj)),
+					RHS: ir.Add(p.LoadE(coarse, vi, vj),
+						ir.Mul(ir.CF(0.5), p.LoadE(coarse, vi, ir.Add(vj, ir.CI(1))))),
+				},
+			}},
+		}},
+	}
+}
+
+// copyGrid builds out = in.
+func (a *app) copyGrid(name, out, in string, inv int) *ir.Codelet {
+	p := a.p
+	return &ir.Codelet{
+		Name: name, Pattern: "DP: grid copy", Invocations: inv,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Assign{LHS: p.Ref(out, vi, vj), RHS: p.LoadE(in, vi, vj)},
+			}},
+		}},
+	}
+}
+
+// axpyGrid builds out += c*in.
+func (a *app) axpyGrid(name, out, in string, inv int) *ir.Codelet {
+	p := a.p
+	return &ir.Codelet{
+		Name: name, Pattern: "DP: grid axpy", Invocations: inv,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref(out, vi, vj),
+					RHS: ir.Add(p.LoadE(out, vi, vj), ir.Mul(ir.CF(0.25), p.LoadE(in, vi, vj))),
+				},
+			}},
+		}},
+	}
+}
+
+// FT builds the 3-D FFT proxy (8 codelets). ft_evolve is the paper's
+// Cluster A exemplar (division + exponential); the butterfly passes
+// carry the FFT stride signatures; ft_checksum is context-sensitive.
+func FT() *ir.Program {
+	a := newApp("ft", 0.08, 448)
+	for _, g := range []string{"u0", "u1", "twiddle"} {
+		a.grid(g)
+	}
+	const iters = 20
+
+	a.add(a.expCompute("ft_evolve", "u1", "u0", iters), "FT/appft.f:45-47")
+	a.add(a.butterfly("ft_cffts1", 2, 3*iters), "FT/fft3d.f:120-160")
+	a.add(a.butterfly("ft_cffts2", 4, 3*iters), "FT/fft3d.f:200-240")
+	a.add(a.butterflyUnit("ft_cffts3", "u1", "u0", 3*iters), "FT/fft3d.f:280-320")
+	a.add(a.setGrid("ft_init_ui", "u0", 0, 2), "FT/appft.f:20-30")
+	a.add(a.twiddleBuild("ft_twiddle", "twiddle", 2), "FT/appft.f:60-75")
+	a.add(a.indexMap("ft_indexmap", 2), "FT/appft.f:90-110")
+
+	chk := a.gatherSum("ft_checksum", "u1", iters)
+	chk.ContextSensitive = true
+	a.add(chk, "FT/appft.f:130-150")
+	return a.p
+}
+
+// butterfly builds a scalar strided FFT butterfly pass over a flat
+// complex-interleaved work array.
+func (a *app) butterfly(name string, stride int64, inv int) *ir.Codelet {
+	p := a.p
+	p.SetParam(name+"_n", int64(gridN*gridN)/stride-2)
+	p.AddArray(name+"_flat", ir.F64, ir.AC(int64(gridN*gridN)+8))
+	fat := func(off int64) ir.Expr {
+		return p.LoadE(name+"_flat", ir.Add(ir.Mul(ir.CI(stride), vi), ir.CI(off)))
+	}
+	return &ir.Codelet{
+		Name: name, Pattern: "DP: FFT butterfly pass", Invocations: inv,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV(name + "_n"), Body: []ir.Stmt{
+			&ir.Assign{
+				LHS:  p.Ref(name+"_flat", ir.Mul(ir.CI(stride), vi)),
+				RHS:  ir.Add(fat(0), ir.Mul(ir.CF(0.7), fat(1))),
+				Hint: ir.VecNever,
+			},
+			&ir.Assign{
+				LHS:  p.Ref(name+"_flat", ir.Add(ir.Mul(ir.CI(stride), vi), ir.CI(1))),
+				RHS:  ir.Sub(fat(1), ir.Mul(ir.CF(0.7), fat(0))),
+				Hint: ir.VecNever,
+			},
+		}},
+	}
+}
+
+// butterflyUnit builds the unit-stride (final) butterfly pass,
+// partially vectorized.
+func (a *app) butterflyUnit(name, out, in string, inv int) *ir.Codelet {
+	p := a.p
+	return &ir.Codelet{
+		Name: name, Pattern: "DP: FFT butterfly, unit stride", Invocations: inv,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lower: ir.AC(1), Upper: ir.AV("n").PlusK(-1), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref(out, vi, vj),
+					RHS: ir.Add(p.LoadE(in, vi, vj),
+						ir.Mul(ir.CF(0.7), p.LoadE(in, vi, ir.Sub(vj, ir.CI(1))))),
+				},
+			}},
+		}},
+	}
+}
+
+// twiddleBuild fills the twiddle-factor table with exponentials.
+func (a *app) twiddleBuild(name, out string, inv int) *ir.Codelet {
+	p := a.p
+	return &ir.Codelet{
+		Name: name, Pattern: "DP: exponential table build", Invocations: inv,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref(out, vi, vj),
+					RHS: ir.Exp(ir.Mul(ir.CF(-1e-8),
+						ir.ToF(ir.Add(ir.Mul(vi, ir.CI(gridN)), vj), ir.F64))),
+				},
+			}},
+		}},
+	}
+}
+
+// indexMap builds the integer index-map kernel.
+func (a *app) indexMap(name string, inv int) *ir.Codelet {
+	p := a.p
+	p.AddArray(name+"_map", ir.I64, ir.AV("n"), ir.AV("n"))
+	return &ir.Codelet{
+		Name: name, Pattern: "INT: index map computation", Invocations: inv,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref(name+"_map", vi, vj),
+					RHS: ir.Mod(
+						ir.Add(ir.Mul(vi, vi), ir.Mul(vj, vj)),
+						ir.CI(int64(gridN))),
+				},
+			}},
+		}},
+	}
+}
+
+// gatherSum builds a unit-stride squared-checksum reduction whose\n// vectorization depends on the application context.
+func (a *app) gatherSum(name, grid string, inv int) *ir.Codelet {
+	p := a.p
+	p.AddScalar(name+"_acc", ir.F64)
+	return &ir.Codelet{
+		Name: name, Pattern: "DP: checksum reduction", Invocations: inv,
+		Loop: &ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref(name + "_acc"),
+					RHS: ir.Add(p.LoadE(name+"_acc"),
+						ir.Mul(p.LoadE(grid, vi, vj), p.LoadE(grid, vi, vj))),
+				},
+			}},
+		}},
+	}
+}

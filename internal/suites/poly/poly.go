@@ -1,0 +1,471 @@
+// Package poly defines a PolyBench-like suite of 18 linear-algebra,
+// stencil and dynamic-programming kernels.
+//
+// The paper trains its feature set on Numerical Recipes and validates
+// on NAS; this third suite exists for the extension experiments the
+// paper's §5 and §6 sketch — checking that the trained subsetting
+// generalizes to yet another benchmark family ("our method could be
+// extended to other contexts such as compiler regression test-suites
+// or auto-tuning") and feeding the joint-suite experiment where one
+// set of representatives serves several suites at once.
+//
+// Like the NR suite, each kernel is one program with one codelet. The
+// patterns deliberately overlap NAS/NR families (stencils, reductions,
+// recurrences, divides) and add new ones (min-plus inner loops, tensor
+// contraction, IIR filters), so some poly codelets should join
+// existing clusters while others open new ones.
+package poly
+
+import (
+	"fmt"
+
+	"fgbs/internal/ir"
+)
+
+// Dataset dimensions (CacheScale-scaled, like the other suites).
+const (
+	// matN is the order of 2-D single-sweep kernels (1.2 MB per f64
+	// matrix: streams past every modeled cache).
+	matN = 384
+	// cubeN is the order of triple-nested kernels (kept small: the
+	// O(N^3) work, not the footprint, dominates them).
+	cubeN = 96
+	// vecN is the 1-D vector length.
+	vecN = 1 << 18
+)
+
+var (
+	vi = ir.V("i")
+	vj = ir.V("j")
+	vk = ir.V("k")
+)
+
+func oneKernel(name, pattern string, build func(p *ir.Program) *ir.Codelet) *ir.Program {
+	p := ir.NewProgram(name)
+	p.SetParam("n", matN)
+	p.SetParam("m", cubeN)
+	p.SetParam("v", vecN)
+	p.UncoveredFraction = 0
+	c := build(p)
+	c.Name = name
+	c.Pattern = pattern
+	c.SourceRef = fmt.Sprintf("POLY/%s.c", name)
+	if c.Invocations == 0 {
+		// PolyBench kernels run inside timing/tuning harness loops;
+		// repeated invocation is their normal life.
+		c.Invocations = 60
+	}
+	p.MustAddCodelet(c)
+	return p
+}
+
+// Suite returns the 18 kernels.
+func Suite() []*ir.Program {
+	return []*ir.Program{
+		gemm(), syrk(), atax(), bicg(), mvt(), doitgen(),
+		cholesky(), durbin(), gramschmidt(), trisolv(),
+		jacobi2d(), seidel2d(), fdtd2d(), adi(),
+		floyd(), correlation(), covariance(), deriche(),
+	}
+}
+
+// Codelets flattens the suite.
+func Codelets() (progs []*ir.Program, codelets []*ir.Codelet) {
+	for _, p := range Suite() {
+		progs = append(progs, p)
+		codelets = append(codelets, p.Codelets[0])
+	}
+	return progs, codelets
+}
+
+// gemm: dense matrix multiplication, compute-bound triple nest in the
+// interchange order (i,k,j) an optimizing compiler produces: the
+// innermost loop streams rows of b and c at unit stride.
+func gemm() *ir.Program {
+	return oneKernel("poly_gemm", "DP: dense matrix multiplication", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("a", ir.F64, ir.AV("m"), ir.AV("m"))
+		p.AddArray("b", ir.F64, ir.AV("m"), ir.AV("m"))
+		p.AddArray("c", ir.F64, ir.AV("m"), ir.AV("m"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+				&ir.Loop{Var: "k", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+					&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+						&ir.Assign{
+							LHS: p.Ref("c", vi, vj),
+							RHS: ir.Add(p.LoadE("c", vi, vj),
+								ir.Mul(p.LoadE("a", vi, vk), p.LoadE("b", vk, vj))),
+						},
+					}},
+				}},
+			},
+		}}
+	})
+}
+
+// syrk: symmetric rank-k update over the lower triangle.
+func syrk() *ir.Program {
+	return oneKernel("poly_syrk", "DP: symmetric rank-k update", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("a", ir.F64, ir.AV("m"), ir.AV("m"))
+		p.AddArray("c", ir.F64, ir.AV("m"), ir.AV("m"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("i").PlusK(1), Body: []ir.Stmt{
+					&ir.Loop{Var: "k", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+						&ir.Assign{
+							LHS: p.Ref("c", vi, vj),
+							RHS: ir.Add(p.LoadE("c", vi, vj),
+								ir.Mul(p.LoadE("a", vi, vk), p.LoadE("a", vj, vk))),
+						},
+					}},
+				}},
+			},
+		}}
+	})
+}
+
+// atax: y = A^T (A x), two dependent matvec sweeps.
+func atax() *ir.Program {
+	return oneKernel("poly_atax", "DP: A^T A x product", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("a", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("x", ir.F64, ir.AV("n"))
+		p.AddArray("tmp", ir.F64, ir.AV("n"))
+		p.AddArray("y", ir.F64, ir.AV("n"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("tmp", vi),
+						RHS: ir.Add(p.LoadE("tmp", vi), ir.Mul(p.LoadE("a", vi, vj), p.LoadE("x", vj))),
+					},
+				}},
+				&ir.Loop{Var: "k", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("y", vk),
+						RHS: ir.Add(p.LoadE("y", vk), ir.Mul(p.LoadE("a", vi, vk), p.LoadE("tmp", vi))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// bicg: two simultaneous matvec reductions (BiCG kernel).
+func bicg() *ir.Program {
+	return oneKernel("poly_bicg", "DP: BiCG dual matrix-vector products", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("a", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("pv", ir.F64, ir.AV("n"))
+		p.AddArray("r", ir.F64, ir.AV("n"))
+		p.AddArray("q", ir.F64, ir.AV("n"))
+		p.AddArray("s", ir.F64, ir.AV("n"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("s", vj),
+						RHS: ir.Add(p.LoadE("s", vj), ir.Mul(p.LoadE("r", vi), p.LoadE("a", vi, vj))),
+					},
+					&ir.Assign{
+						LHS: p.Ref("q", vi),
+						RHS: ir.Add(p.LoadE("q", vi), ir.Mul(p.LoadE("a", vi, vj), p.LoadE("pv", vj))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// mvt: matrix-vector product and transposed product.
+func mvt() *ir.Program {
+	return oneKernel("poly_mvt", "DP: matrix-vector products", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("a", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("x1", ir.F64, ir.AV("n"))
+		p.AddArray("y1", ir.F64, ir.AV("n"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("x1", vi),
+						RHS: ir.Add(p.LoadE("x1", vi), ir.Mul(p.LoadE("a", vi, vj), p.LoadE("y1", vj))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// doitgen: tensor contraction.
+func doitgen() *ir.Program {
+	return oneKernel("poly_doitgen", "DP: tensor contraction", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("a", ir.F64, ir.AV("m"), ir.AV("m"))
+		p.AddArray("c4", ir.F64, ir.AV("m"), ir.AV("m"))
+		p.AddArray("sum", ir.F64, ir.AV("m"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+				&ir.Loop{Var: "k", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+					&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+						&ir.Assign{
+							LHS: p.Ref("sum", vj),
+							RHS: ir.Add(p.LoadE("sum", vj), ir.Mul(p.LoadE("a", vi, vk), p.LoadE("c4", vk, vj))),
+						},
+					}},
+				}},
+			},
+		}}
+	})
+}
+
+// cholesky: diagonal divide + sqrt sweep (factorization inner kernel).
+func cholesky() *ir.Program {
+	return oneKernel("poly_cholesky", "DP: Cholesky column update (div + sqrt)", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("a", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("diag", ir.F64, ir.AV("n"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("a", vi, vj),
+						RHS: ir.Div(p.LoadE("a", vi, vj),
+							ir.Sqrt(ir.Add(p.LoadE("diag", vj), ir.CF(1.5)))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// durbin: Levinson-Durbin first-order recurrence with divisions.
+func durbin() *ir.Program {
+	return oneKernel("poly_durbin", "DP: Levinson-Durbin recurrence", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("y", ir.F64, ir.AT("v", 1).PlusK(2))
+		p.AddArray("r", ir.F64, ir.AT("v", 1).PlusK(2))
+		return &ir.Codelet{Invocations: 30, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(1), Upper: ir.AV("v"), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref("y", vi),
+					RHS: ir.Div(
+						ir.Sub(p.LoadE("r", vi), p.LoadE("y", ir.Sub(vi, ir.CI(1)))),
+						ir.Add(p.LoadE("r", vi), ir.CF(2))),
+				},
+			},
+		}}
+	})
+}
+
+// gramschmidt: column norm (reduction) followed by normalization
+// (divide) — two statements of opposite character.
+func gramschmidt() *ir.Program {
+	return oneKernel("poly_gramschmidt", "DP: norm + normalize", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("a", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("q", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddScalar("nrm", ir.F64)
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("nrm"),
+						RHS: ir.Add(p.LoadE("nrm"), ir.Mul(p.LoadE("a", vi, vj), p.LoadE("a", vi, vj))),
+					},
+					&ir.Assign{
+						LHS: p.Ref("q", vi, vj),
+						RHS: ir.Div(p.LoadE("a", vi, vj), ir.Add(p.LoadE("nrm"), ir.CF(1))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// trisolv: forward substitution.
+func trisolv() *ir.Program {
+	return oneKernel("poly_trisolv", "DP: triangular solve recurrence", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("x", ir.F64, ir.AT("v", 1).PlusK(2))
+		p.AddArray("b", ir.F64, ir.AT("v", 1).PlusK(2))
+		p.AddArray("l", ir.F64, ir.AT("v", 1).PlusK(2))
+		return &ir.Codelet{Invocations: 30, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(1), Upper: ir.AV("v"), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref("x", vi),
+					RHS: ir.Div(
+						ir.Sub(p.LoadE("b", vi),
+							ir.Mul(p.LoadE("l", vi), p.LoadE("x", ir.Sub(vi, ir.CI(1))))),
+						ir.Add(p.LoadE("l", vi), ir.CF(2))),
+				},
+			},
+		}}
+	})
+}
+
+// jacobi2d: five-point Jacobi stencil.
+func jacobi2d() *ir.Program {
+	return oneKernel("poly_jacobi2d", "DP: 5-point Jacobi stencil", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("a", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("b", ir.F64, ir.AV("n"), ir.AV("n"))
+		at := func(di, dj int64) ir.Expr {
+			return p.LoadE("a", ir.Add(vi, ir.CI(di)), ir.Add(vj, ir.CI(dj)))
+		}
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(1), Upper: ir.AV("n").PlusK(-1), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(1), Upper: ir.AV("n").PlusK(-1), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("b", vi, vj),
+						RHS: ir.Mul(ir.CF(0.2),
+							ir.Add(at(0, 0),
+								ir.Add(ir.Add(at(0, -1), at(0, 1)), ir.Add(at(-1, 0), at(1, 0))))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// seidel2d: Gauss-Seidel stencil — in-place, carried in both
+// dimensions, strictly scalar.
+func seidel2d() *ir.Program {
+	return oneKernel("poly_seidel2d", "DP: Gauss-Seidel serial stencil", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("a", ir.F64, ir.AV("n"), ir.AV("n"))
+		at := func(di, dj int64) ir.Expr {
+			return p.LoadE("a", ir.Add(vi, ir.CI(di)), ir.Add(vj, ir.CI(dj)))
+		}
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(1), Upper: ir.AV("n").PlusK(-1), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(1), Upper: ir.AV("n").PlusK(-1), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("a", vi, vj),
+						RHS: ir.Mul(ir.CF(0.2),
+							ir.Add(at(0, 0),
+								ir.Add(ir.Add(at(0, -1), at(0, 1)), ir.Add(at(-1, 0), at(1, 0))))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// fdtd2d: finite-difference time domain field updates.
+func fdtd2d() *ir.Program {
+	return oneKernel("poly_fdtd2d", "DP: FDTD field updates", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("ex", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("ey", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("hz", ir.F64, ir.AV("n"), ir.AV("n"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(1), Upper: ir.AV("n").PlusK(-1), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(1), Upper: ir.AV("n").PlusK(-1), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("ey", vi, vj),
+						RHS: ir.Sub(p.LoadE("ey", vi, vj),
+							ir.Mul(ir.CF(0.5),
+								ir.Sub(p.LoadE("hz", vi, vj), p.LoadE("hz", ir.Sub(vi, ir.CI(1)), vj)))),
+					},
+					&ir.Assign{
+						LHS: p.Ref("ex", vi, vj),
+						RHS: ir.Sub(p.LoadE("ex", vi, vj),
+							ir.Mul(ir.CF(0.5),
+								ir.Sub(p.LoadE("hz", vi, vj), p.LoadE("hz", vi, ir.Sub(vj, ir.CI(1)))))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// adi: alternating-direction implicit sweep (recurrence with divides).
+func adi() *ir.Program {
+	return oneKernel("poly_adi", "DP: ADI sweep (recurrence + div)", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("u", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("w", ir.F64, ir.AV("n"), ir.AV("n"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(1), Upper: ir.AV("n"), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("u", vi, vj),
+						RHS: ir.Div(
+							ir.Sub(p.LoadE("w", vi, vj),
+								ir.Mul(ir.CF(0.3), p.LoadE("u", vi, ir.Sub(vj, ir.CI(1))))),
+							ir.Add(p.LoadE("w", vi, vj), ir.CF(1.8))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// floyd: Floyd-Warshall min-plus inner loop.
+func floyd() *ir.Program {
+	return oneKernel("poly_floyd", "DP: min-plus relaxation", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("path", ir.F64, ir.AV("m"), ir.AV("m"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "k", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+				&ir.Loop{Var: "i", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+					&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("m"), Body: []ir.Stmt{
+						&ir.Assign{
+							LHS: p.Ref("path", vi, vj),
+							RHS: ir.MinE(p.LoadE("path", vi, vj),
+								ir.Add(p.LoadE("path", vi, vk), p.LoadE("path", vk, vj))),
+						},
+					}},
+				}},
+			},
+		}}
+	})
+}
+
+// correlation: mean/stddev pass with sqrt and divide.
+func correlation() *ir.Program {
+	return oneKernel("poly_correlation", "DP: column statistics (sqrt + div)", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("data", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("mean", ir.F64, ir.AV("n"))
+		p.AddArray("stddev", ir.F64, ir.AV("n"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("mean", vi),
+						RHS: ir.Add(p.LoadE("mean", vi), p.LoadE("data", vi, vj)),
+					},
+					&ir.Assign{
+						LHS: p.Ref("stddev", vi),
+						RHS: ir.Sqrt(ir.Add(p.LoadE("stddev", vi),
+							ir.Mul(p.LoadE("data", vi, vj), p.LoadE("data", vi, vj)))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// covariance: centered cross-products, reduction-heavy.
+func covariance() *ir.Program {
+	return oneKernel("poly_covariance", "DP: covariance accumulation", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("data", ir.F64, ir.AV("n"), ir.AV("n"))
+		p.AddArray("cov", ir.F64, ir.AV("n"))
+		return &ir.Codelet{WarmInApp: true, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV("n"), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: p.Ref("cov", vi),
+						RHS: ir.Add(p.LoadE("cov", vi),
+							ir.Mul(p.LoadE("data", vi, vj), p.LoadE("data", vj, vi))),
+					},
+				}},
+			},
+		}}
+	})
+}
+
+// deriche: single-precision IIR filter recurrence.
+func deriche() *ir.Program {
+	return oneKernel("poly_deriche", "SP: IIR filter recurrence", func(p *ir.Program) *ir.Codelet {
+		p.AddArray("y", ir.F32, ir.AT("v", 1).PlusK(2))
+		p.AddArray("x", ir.F32, ir.AT("v", 1).PlusK(2))
+		return &ir.Codelet{Invocations: 30, Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(1), Upper: ir.AV("v"), Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: p.Ref("y", vi),
+					RHS: ir.Add(
+						ir.Mul(ir.CF32(0.25), p.LoadE("x", vi)),
+						ir.Mul(ir.CF32(0.75), p.LoadE("y", ir.Sub(vi, ir.CI(1))))),
+				},
+			},
+		}}
+	})
+}
