@@ -1,0 +1,30 @@
+#!/bin/sh
+# ci.sh — the repository's verify command. Runs the same four gates a
+# reviewer runs locally; any failure is a red build.
+#
+#   ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+# Heavy single-threaded reproduction tests in the root package skip
+# themselves under -race (see skipIfRace in fixtures_test.go); all
+# concurrency-bearing code runs with the detector on.
+echo "== go test -race =="
+go test -race -timeout 25m ./...
+
+echo "ci.sh: all checks passed"

@@ -24,7 +24,9 @@
 //	dendro    Ward dendrogram merge history
 //	show      pseudo-source of a codelet (-codelet name)
 //	save      profile a suite and write it to -cache
-//	export    CSV series: -what eval|sweep|features
+//	export    data series: -what eval|sweep|features (CSV) or
+//	          evaljson|subsetjson|select (the JSON forms the fgbsd
+//	          service also returns)
 //
 // Flags:
 //
@@ -42,7 +44,8 @@
 //	                step — cache it once, then every experiment is
 //	                instant)
 //	-codelet name   codelet for the show experiment
-//	-what kind      export kind: eval, sweep or features
+//	-what kind      export kind: eval, sweep, features, evaljson,
+//	                subsetjson or select
 package main
 
 import (
@@ -55,12 +58,9 @@ import (
 	"fgbs/internal/arch"
 	"fgbs/internal/features"
 	"fgbs/internal/ga"
-	"fgbs/internal/ir"
 	"fgbs/internal/pipeline"
 	"fgbs/internal/report"
-	"fgbs/internal/suites/nas"
-	"fgbs/internal/suites/nr"
-	"fgbs/internal/suites/poly"
+	"fgbs/internal/suites"
 )
 
 func main() {
@@ -99,8 +99,11 @@ func run(args []string) error {
 	fs.BoolVar(&cfg.paperSet, "paperfeatures", false, "use the exact Table 2 feature set")
 	fs.StringVar(&cfg.cache, "cache", "", "profile cache file (load if present; 'save' writes it)")
 	fs.StringVar(&cfg.codelet, "codelet", "", "codelet name for 'show'")
-	fs.StringVar(&cfg.what, "what", "eval", "export kind: eval, sweep or features")
+	fs.StringVar(&cfg.what, "what", "eval", "export kind: eval, sweep, features, evaljson, subsetjson or select")
 	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if err := validate(cfg); err != nil {
 		return err
 	}
 
@@ -277,7 +280,7 @@ func run(args []string) error {
 			return err
 		}
 		switch cfg.what {
-		case "eval":
+		case "eval", "evaljson":
 			sub, err := prof.Subset(mask, cfg.k)
 			if err != nil {
 				return err
@@ -290,7 +293,34 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			if cfg.what == "evaljson" {
+				return report.WriteJSON(os.Stdout, report.NewEvalJSON(prof, ev))
+			}
 			return report.EvalCSV(os.Stdout, prof, ev)
+		case "subsetjson":
+			sub, err := prof.Subset(mask, cfg.k)
+			if err != nil {
+				return err
+			}
+			sj := report.NewSubsetJSON(prof, sub)
+			sj.Suite = cfg.suite
+			return report.WriteJSON(os.Stdout, sj)
+		case "select":
+			sub, err := prof.Subset(mask, cfg.k)
+			if err != nil {
+				return err
+			}
+			var evals []*pipeline.Eval
+			for t := range prof.Targets {
+				ev, err := prof.Evaluate(sub, t)
+				if err != nil {
+					return err
+				}
+				evals = append(evals, ev)
+			}
+			sj := report.NewSelectJSON(prof, sub, evals)
+			sj.Suite = cfg.suite
+			return report.WriteJSON(os.Stdout, sj)
 		case "sweep":
 			pts, err := prof.SweepK(mask, 2, 24)
 			if err != nil {
@@ -330,30 +360,50 @@ func run(args []string) error {
 // pipelineProfileFresh always re-profiles (ignoring any cache), which
 // is what 'save' wants.
 func pipelineProfileFresh(cfg config) (*pipeline.Profile, error) {
-	progs, err := suitePrograms(cfg.suite)
+	progs, err := suites.Programs(cfg.suite)
 	if err != nil {
 		return nil, err
 	}
 	return pipeline.NewProfile(progs, pipeline.Options{Seed: cfg.seed})
 }
 
-func suitePrograms(suite string) ([]*ir.Program, error) {
-	switch suite {
-	case "nr":
-		return nr.Suite(), nil
-	case "nas":
-		return nas.Suite(), nil
-	case "poly":
-		return poly.Suite(), nil
-	case "joint":
-		return append(nas.Suite(), poly.Suite()...), nil
-	default:
-		return nil, fmt.Errorf("unknown suite %q", suite)
+// exportKinds are the valid -what values.
+var exportKinds = []string{"eval", "sweep", "features", "evaljson", "subsetjson", "select"}
+
+// validate rejects bad flag values up front, with errors that list the
+// valid choices, instead of failing deep inside the pipeline after
+// seconds of profiling.
+func validate(cfg config) error {
+	if cfg.k < 0 {
+		return fmt.Errorf("-k must be >= 0 (0 = elbow rule), got %d", cfg.k)
 	}
+	if !suites.Valid(cfg.suite) {
+		return fmt.Errorf("unknown suite %q (valid: %s)", cfg.suite, strings.Join(suites.Names(), ", "))
+	}
+	kindOK := false
+	for _, k := range exportKinds {
+		kindOK = kindOK || k == cfg.what
+	}
+	if !kindOK {
+		return fmt.Errorf("unknown export kind %q (valid: %s)", cfg.what, strings.Join(exportKinds, ", "))
+	}
+	if cfg.target != "" {
+		if _, err := arch.ByName(cfg.target); err != nil {
+			var names []string
+			for _, m := range arch.All() {
+				names = append(names, m.Name)
+			}
+			return fmt.Errorf("unknown target %q (valid: %s)", cfg.target, strings.Join(names, ", "))
+		}
+	}
+	if cfg.trials <= 0 {
+		return fmt.Errorf("-trials must be positive, got %d", cfg.trials)
+	}
+	return nil
 }
 
 func profile(cfg config, suite string) (*pipeline.Profile, error) {
-	progs, err := suitePrograms(suite)
+	progs, err := suites.Programs(suite)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +421,7 @@ func profile(cfg config, suite string) (*pipeline.Profile, error) {
 }
 
 func cmdShow(cfg config) error {
-	progs, err := suitePrograms(cfg.suite)
+	progs, err := suites.Programs(cfg.suite)
 	if err != nil {
 		return err
 	}

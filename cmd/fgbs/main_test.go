@@ -19,6 +19,10 @@ func TestRunRejectsBadInvocations(t *testing.T) {
 		{"show without codelet", []string{"show"}},
 		{"show unknown codelet", []string{"show", "-codelet", "ghost"}},
 		{"save without cache", []string{"save", "-suite", "nr", "-cache", ""}},
+		{"negative k", []string{"summary", "-k", "-3"}},
+		{"unknown target", []string{"f4", "-target", "PDP-11"}},
+		{"unknown export kind", []string{"export", "-what", "yaml"}},
+		{"non-positive trials", []string{"f7", "-trials", "0"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -50,6 +54,26 @@ func TestProfileCacheRejectsCorrupt(t *testing.T) {
 	_, err := profile(config{cache: path}, "nr")
 	if err == nil || !strings.Contains(err.Error(), "re-create") {
 		t.Errorf("corrupt cache error = %v", err)
+	}
+}
+
+// TestValidateListsChoices checks that up-front validation names the
+// valid values instead of failing deep in the pipeline.
+func TestValidateListsChoices(t *testing.T) {
+	cases := []struct {
+		cfg  config
+		want string
+	}{
+		{config{suite: "spec", what: "eval", trials: 1}, "nas, nr, poly, joint"},
+		{config{suite: "nas", what: "yaml", trials: 1}, "eval, sweep, features, evaljson, subsetjson, select"},
+		{config{suite: "nas", what: "eval", target: "VAX", trials: 1}, "Atom"},
+		{config{suite: "nas", what: "eval", k: -1, trials: 1}, "elbow"},
+	}
+	for _, c := range cases {
+		err := validate(c.cfg)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("validate(%+v) = %v, want substring %q", c.cfg, err, c.want)
+		}
 	}
 }
 

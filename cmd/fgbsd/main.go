@@ -1,0 +1,164 @@
+// Command fgbsd is the long-running system-selection service: it
+// profiles each benchmark suite at most once (lazily, with concurrent
+// first requests coalesced into a single profiling run) and then
+// answers subsetting, evaluation and system-selection queries over
+// HTTP from the shared in-memory profiles, caching repeated results.
+//
+// Usage:
+//
+//	fgbsd [flags]
+//
+// Flags:
+//
+//	-addr host:port  listen address (default :8093)
+//	-suites list     comma-separated suites to serve (default all:
+//	                 nas, nr, poly, joint)
+//	-preload list    comma-separated suites to profile at startup
+//	                 instead of on first request
+//	-profiledir dir  persist built profiles as <dir>/<suite>.json and
+//	                 reload them on restart
+//	-cachesize N     LRU result-cache capacity in entries (default 256)
+//	-seed N          profiling seed (default 1)
+//	-workers N       concurrent measurements per profiling run
+//	                 (default GOMAXPROCS)
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops, in-flight requests get a drain window, and any profiling
+// build still running is canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fgbs/internal/server"
+	"fgbs/internal/suites"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgbsd:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "fgbsd:", err)
+		os.Exit(1)
+	}
+}
+
+// daemonConfig is the parsed and validated flag set.
+type daemonConfig struct {
+	addr    string
+	serve   []string
+	preload []string
+	dir     string
+	cacheN  int
+	seed    uint64
+	workers int
+}
+
+// parseFlags validates everything up front: a daemon that dies on its
+// first request because of a typo in -suites is strictly worse than
+// one that refuses to start.
+func parseFlags(args []string) (daemonConfig, error) {
+	cfg := daemonConfig{}
+	fs := flag.NewFlagSet("fgbsd", flag.ContinueOnError)
+	var suiteList, preloadList string
+	fs.StringVar(&cfg.addr, "addr", ":8093", "listen address")
+	fs.StringVar(&suiteList, "suites", "", "comma-separated suites to serve (default all)")
+	fs.StringVar(&preloadList, "preload", "", "comma-separated suites to profile at startup")
+	fs.StringVar(&cfg.dir, "profiledir", "", "directory for persisted profiles")
+	fs.IntVar(&cfg.cacheN, "cachesize", 256, "LRU result-cache capacity")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "profiling seed")
+	fs.IntVar(&cfg.workers, "workers", 0, "concurrent measurements per profiling run (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if fs.NArg() > 0 {
+		return cfg, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if cfg.cacheN <= 0 {
+		return cfg, fmt.Errorf("-cachesize must be positive, got %d", cfg.cacheN)
+	}
+	var err error
+	if cfg.serve, err = splitSuites(suiteList, suites.Names()); err != nil {
+		return cfg, fmt.Errorf("-suites: %w", err)
+	}
+	if cfg.preload, err = splitSuites(preloadList, cfg.serve); err != nil {
+		return cfg, fmt.Errorf("-preload: %w", err)
+	}
+	if preloadList == "" {
+		cfg.preload = nil
+	}
+	return cfg, nil
+}
+
+// splitSuites parses a comma-separated suite list, restricted to the
+// given valid names; an empty list means all of them.
+func splitSuites(list string, valid []string) ([]string, error) {
+	if list == "" {
+		return valid, nil
+	}
+	var out []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		ok := false
+		for _, v := range valid {
+			ok = ok || v == name
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown suite %q (valid: %s)", name, strings.Join(valid, ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// run serves until ctx is canceled, then drains and exits.
+func run(ctx context.Context, cfg daemonConfig) error {
+	s := server.New(server.Config{
+		Seed:            cfg.seed,
+		Workers:         cfg.workers,
+		ProfileDir:      cfg.dir,
+		ResultCacheSize: cfg.cacheN,
+		SuiteNames:      cfg.serve,
+	})
+	defer s.Close()
+
+	if len(cfg.preload) > 0 {
+		fmt.Printf("fgbsd: preloading %s\n", strings.Join(cfg.preload, ", "))
+		if err := s.Warm(cfg.preload); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Printf("fgbsd: serving %s on %s\n", strings.Join(cfg.serve, ", "), cfg.addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("fgbsd: shutting down")
+	drain, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(drain)
+}

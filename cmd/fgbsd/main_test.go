@@ -1,0 +1,85 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8093" || cfg.cacheN != 256 || cfg.seed != 1 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if len(cfg.serve) != 4 {
+		t.Errorf("serve = %v, want all four suites", cfg.serve)
+	}
+	if cfg.preload != nil {
+		t.Errorf("preload = %v, want none", cfg.preload)
+	}
+}
+
+func TestParseFlagsLists(t *testing.T) {
+	cfg, err := parseFlags([]string{"-suites", "nr,poly", "-preload", "nr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.serve) != 2 || cfg.serve[0] != "nr" || cfg.serve[1] != "poly" {
+		t.Errorf("serve = %v", cfg.serve)
+	}
+	if len(cfg.preload) != 1 || cfg.preload[0] != "nr" {
+		t.Errorf("preload = %v", cfg.preload)
+	}
+}
+
+func TestParseFlagsRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown suite", []string{"-suites", "spec"}, "valid: nas, nr, poly, joint"},
+		{"preload outside served", []string{"-suites", "nr", "-preload", "nas"}, "valid: nr"},
+		{"bad cachesize", []string{"-cachesize", "0"}, "must be positive"},
+		{"positional arg", []string{"extra"}, "unexpected argument"},
+		{"unknown flag", []string{"-bogus"}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseFlags(c.args)
+			if err == nil {
+				t.Fatalf("parseFlags(%v) succeeded, want error", c.args)
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestRunShutsDownOnContextCancel starts the daemon on an ephemeral
+// port and cancels its context: run must return promptly and cleanly —
+// the SIGINT/SIGTERM path without the signal plumbing.
+func TestRunShutsDownOnContextCancel(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down after cancellation")
+	}
+}

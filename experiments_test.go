@@ -20,6 +20,7 @@ import (
 // must beat the full set too — the paper's point that irrelevant
 // features degrade clustering.
 func TestTable2FeatureGA(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("GA is measurement- and compute-heavy")
 	}
@@ -49,6 +50,7 @@ func TestTable2FeatureGA(t *testing.T) {
 // recurrences together (cluster 12), and the two dense matrix-vector
 // products separated by precision.
 func TestTable3NRClustering(t *testing.T) {
+	skipIfRace(t)
 	prof := nrProfile(t)
 	sub, err := prof.Subset(DefaultFeatures(), 14)
 	if err != nil {
@@ -77,6 +79,7 @@ func TestTable3NRClustering(t *testing.T) {
 // K=14 -> medians 1.8%/3.2%, averages 12%/9.3%; elbow K -> medians
 // 0%, averages 1.7%/0.97%.
 func TestTable4NRPrediction(t *testing.T) {
+	skipIfRace(t)
 	prof := nrProfile(t)
 	check := func(k int, wantMedianBelow, wantAvgBelow float64) {
 		sub, err := prof.Subset(DefaultFeatures(), k)
@@ -112,6 +115,7 @@ func TestTable4NRPrediction(t *testing.T) {
 // x3.7/x2.8/x3.6, i.e. tens overall, invocation reduction the bigger
 // contributor, clustering worth about N/K.
 func TestTable5ReductionBreakdown(t *testing.T) {
+	skipIfRace(t)
 	prof := nasProfile(t)
 	sub := defaultSubset(t, prof)
 	for _, ev := range evaluateAll(t, prof, sub) {
@@ -137,6 +141,7 @@ func TestTable5ReductionBreakdown(t *testing.T) {
 // extrapolation lands siblings close to truth for well-behaved
 // clusters.
 func TestFigure2ClusterPrediction(t *testing.T) {
+	skipIfRace(t)
 	prof := nrProfile(t)
 	sub, err := prof.Subset(DefaultFeatures(), 14)
 	if err != nil {
@@ -158,6 +163,7 @@ func TestFigure2ClusterPrediction(t *testing.T) {
 // reduction factor; the elbow K sits in the paper's neighborhood
 // (18 of 67).
 func TestFigure3TradeoffSweep(t *testing.T) {
+	skipIfRace(t)
 	prof := nasProfile(t)
 	pts, err := prof.SweepK(DefaultFeatures(), 2, 24)
 	if err != nil {
@@ -191,6 +197,7 @@ func TestFigure3TradeoffSweep(t *testing.T) {
 // codelets badly mispredicted ("Only three codelets in BT, LU, and
 // SP are mispredicted").
 func TestFigure4CodeletPrediction(t *testing.T) {
+	skipIfRace(t)
 	prof := nasProfile(t)
 	sub := defaultSubset(t, prof)
 	ev := targetEval(t, prof, sub, "Sandy Bridge")
@@ -213,6 +220,7 @@ func TestFigure4CodeletPrediction(t *testing.T) {
 // anomaly); Core 2 close to the reference with app-dependent winners;
 // Sandy Bridge fast and accurately predicted.
 func TestFigure5ApplicationPrediction(t *testing.T) {
+	skipIfRace(t)
 	prof := nasProfile(t)
 	sub := defaultSubset(t, prof)
 
@@ -272,6 +280,7 @@ func TestFigure5ApplicationPrediction(t *testing.T) {
 // speedups. Paper: Atom 0.15 real / 0.19 predicted, Core 2 0.97 /
 // 1.00, Sandy Bridge 1.98 / 1.89.
 func TestFigure6GeomeanSpeedup(t *testing.T) {
+	skipIfRace(t)
 	prof := nasProfile(t)
 	sub := defaultSubset(t, prof)
 	bands := map[string][2]float64{
@@ -297,6 +306,7 @@ func TestFigure6GeomeanSpeedup(t *testing.T) {
 // must be consistently close to or better than the best of the random
 // clusterings.
 func TestFigure7RandomClusteringBaseline(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("random-clustering sweep is compute-heavy")
 	}
@@ -325,6 +335,7 @@ func TestFigure7RandomClusteringBaseline(t *testing.T) {
 // per-application subsetting at matched budgets, and MG is
 // unpredictable per-app (all its codelets are ill-behaved).
 func TestFigure8CrossApplication(t *testing.T) {
+	skipIfRace(t)
 	prof := nasProfile(t)
 	mask := DefaultFeatures()
 
@@ -374,6 +385,7 @@ func TestFigure8CrossApplication(t *testing.T) {
 // TestIllBehavedShareMatchesAkel: ~19% of NAS codelets fail the
 // extraction screening on the reference.
 func TestIllBehavedShareMatchesAkel(t *testing.T) {
+	skipIfRace(t)
 	prof := nasProfile(t)
 	ill := 0
 	for _, b := range prof.IllBehaved {
@@ -391,6 +403,7 @@ func TestIllBehavedShareMatchesAkel(t *testing.T) {
 // the compute-bound pair (LU/erhs, FT/evolve) speeds up on Core 2
 // while the memory-bound five-plane stencils slow down.
 func TestClusterAB(t *testing.T) {
+	skipIfRace(t)
 	prof := nasProfile(t)
 	ti, err := prof.TargetIndex("Core 2")
 	if err != nil {
@@ -438,6 +451,7 @@ func TestClusterAB(t *testing.T) {
 // among well-predicted clusters, the shortest codelets carry larger
 // median error than the longest.
 func TestShortCodeletsNoisier(t *testing.T) {
+	skipIfRace(t)
 	prof := nasProfile(t)
 	sub := defaultSubset(t, prof)
 	ev := targetEval(t, prof, sub, "Sandy Bridge")
@@ -487,6 +501,7 @@ func medianOf(xs []float64) float64 {
 // "is close to the ratio between the original number of codelets and
 // the number of representatives".
 func TestClusteringFactorNearNOverK(t *testing.T) {
+	skipIfRace(t)
 	prof := nasProfile(t)
 	sub := defaultSubset(t, prof)
 	ratio := float64(prof.N()) / float64(sub.K())
@@ -502,6 +517,7 @@ func TestClusteringFactorNearNOverK(t *testing.T) {
 // TestSeedRobustness: the headline shapes cannot depend on the
 // particular measurement-noise and dataset seed.
 func TestSeedRobustness(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("re-profiles the NAS suite")
 	}

@@ -53,6 +53,7 @@ func jointProfile(tb testing.TB) *Profile {
 // accurately — the §6 claim that the method extends to other
 // benchmark contexts.
 func TestExtensionPolyGeneralization(t *testing.T) {
+	skipIfRace(t)
 	prof := polyProfile(t)
 	if prof.N() != 18 {
 		t.Fatalf("poly profile has %d codelets", prof.N())
@@ -76,6 +77,7 @@ func TestExtensionPolyGeneralization(t *testing.T) {
 // paper's inter-application redundancy argument, lifted to whole
 // suites.
 func TestExtensionJointSuiteRedundancy(t *testing.T) {
+	skipIfRace(t)
 	nas := nasProfile(t)
 	poly := polyProfile(t)
 	joint := jointProfile(t)
@@ -139,6 +141,7 @@ func TestExtensionJointSuiteRedundancy(t *testing.T) {
 // independent characterization does at least as well — supporting the
 // paper's proposed generalization.
 func TestExtensionWideVectorTarget(t *testing.T) {
+	skipIfRace(t)
 	targets := append(arch.Targets(), arch.WideVec())
 	prof, err := pipeline.NewProfile(NASSuite(), pipeline.Options{Seed: 1, Targets: targets})
 	if err != nil {
@@ -201,6 +204,7 @@ func TestExtensionWideVectorTarget(t *testing.T) {
 // vectorizing and non-vectorizing builds must predict the per-codelet
 // vectorize-or-not decision for the rest of the suite.
 func TestExtensionAutotune(t *testing.T) {
+	skipIfRace(t)
 	targets := []*Machine{arch.Nehalem(), arch.NehalemNoVec()}
 	prof, err := pipeline.NewProfile(NASSuite(), pipeline.Options{Seed: 1, Targets: targets})
 	if err != nil {
@@ -243,6 +247,7 @@ func TestExtensionAutotune(t *testing.T) {
 // intact — the reference is a methodological choice, not a magic
 // constant.
 func TestExtensionReferenceChoice(t *testing.T) {
+	skipIfRace(t)
 	targets := []*Machine{arch.Nehalem(), arch.Atom(), arch.Core2()}
 	prof, err := pipeline.NewProfile(NASSuite(), pipeline.Options{
 		Seed: 1, Reference: arch.SandyBridge(), Targets: targets,

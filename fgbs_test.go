@@ -137,6 +137,7 @@ func TestBuilderExprHelpers(t *testing.T) {
 }
 
 func TestSelectFeaturesFacade(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("GA on the NR profile")
 	}

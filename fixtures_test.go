@@ -20,6 +20,17 @@ var (
 	nasErr  error
 )
 
+// skipIfRace skips single-threaded reproduction experiments under the
+// race detector: they run the simulator for tens of minutes at -race
+// speed without exercising any concurrency. Concurrency coverage lives
+// in internal/pipeline and internal/server, which run fully under -race.
+func skipIfRace(tb testing.TB) {
+	tb.Helper()
+	if raceDetectorEnabled {
+		tb.Skip("heavy single-threaded reproduction test; skipped under -race")
+	}
+}
+
 func nrProfile(tb testing.TB) *Profile {
 	tb.Helper()
 	nrOnce.Do(func() {

@@ -28,6 +28,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -64,6 +65,13 @@ type Options struct {
 // Profile holds every measurement the experiments need: Step B's
 // reference profile and features, the standalone (microbenchmark)
 // times, and the full-suite ground truth on each target.
+//
+// A Profile is immutable after NewProfile/ReadProfile returns: Subset,
+// Evaluate, NormalizedPoints and the experiment helpers only read it
+// (NormalizedPoints copies rows before normalizing), so one Profile
+// may be shared by any number of concurrent goroutines — the property
+// internal/server relies on to answer queries against a single shared
+// profile per suite.
 type Profile struct {
 	Progs    []*ir.Program
 	Codelets []*ir.Codelet
@@ -106,6 +114,16 @@ func Detect(progs []*ir.Program) ([]*ir.Program, []*ir.Codelet, error) {
 // gathers all measurements used downstream. Measurements run in
 // parallel; results are deterministic.
 func NewProfile(progs []*ir.Program, opts Options) (*Profile, error) {
+	return NewProfileContext(context.Background(), progs, opts)
+}
+
+// NewProfileContext is NewProfile with cancellation: profiling is the
+// expensive step (every codelet is simulated on every machine), and a
+// server shutting down mid-build must not leave goroutines simulating
+// into the void. Cancellation is checked between per-codelet
+// measurement jobs; on cancellation the context's error is returned
+// and the partial profile is discarded.
+func NewProfileContext(ctx context.Context, progs []*ir.Program, opts Options) (*Profile, error) {
 	if opts.Reference == nil {
 		opts.Reference = arch.Reference()
 	}
@@ -155,12 +173,15 @@ func NewProfile(progs []*ir.Program, opts Options) (*Profile, error) {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opts.Workers)
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && ctx.Err() == nil; i++ {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			refIn, err := measure(i, pr.Ref, sim.ModeInApp)
 			if err != nil {
 				errs[i] = err
@@ -196,6 +217,9 @@ func NewProfile(progs []*ir.Program, opts Options) (*Profile, error) {
 		}(i)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, e := range errs {
 		if e != nil {
 			return nil, e

@@ -71,7 +71,7 @@ func ReadProfile(r io.Reader, progs []*ir.Program) (*Profile, error) {
 		return nil, fmt.Errorf("pipeline: decoding profile: %w", err)
 	}
 	if pj.Version != profileVersion {
-		return nil, fmt.Errorf("pipeline: profile version %d, want %d", pj.Version, profileVersion)
+		return nil, fmt.Errorf("pipeline: profile cache has version %d, this build reads version %d — regenerate the cache", pj.Version, profileVersion)
 	}
 	n := len(pj.Codelets)
 	if len(pj.RefInApp) != n || len(pj.RefSA) != n || len(pj.Ill) != n ||

@@ -79,6 +79,57 @@ func TestReadProfileRejectsWrongSuite(t *testing.T) {
 	}
 }
 
+func TestReadProfileRejectsWrongVersion(t *testing.T) {
+	// A profile saved by a different build must point the user at
+	// regenerating the cache, not at a JSON internals error.
+	prof := tinyProfile(t)
+	var buf bytes.Buffer
+	if err := prof.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stale := strings.Replace(buf.String(), `"version": 1`, `"version": 99`, 1)
+	if stale == buf.String() {
+		t.Fatal("fixture did not contain the version field")
+	}
+	_, err := ReadProfile(strings.NewReader(stale), tinySuite())
+	if err == nil || !strings.Contains(err.Error(), "regenerate the cache") {
+		t.Errorf("stale version error = %v, want a 'regenerate the cache' hint", err)
+	}
+}
+
+func TestReadProfileRejectsTruncated(t *testing.T) {
+	prof := tinyProfile(t)
+	var buf bytes.Buffer
+	if err := prof.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// A partially written cache (disk full, killed save) at any cut
+	// point must fail loudly, never yield a half-filled profile.
+	for _, frac := range []int{4, 2} {
+		cut := full[:len(full)/frac]
+		if _, err := ReadProfile(bytes.NewReader(cut), tinySuite()); err == nil {
+			t.Errorf("truncated profile (1/%d) accepted", frac)
+		}
+	}
+}
+
+func TestReadProfileRejectsMissingCodelet(t *testing.T) {
+	prof := tinyProfile(t)
+	var buf bytes.Buffer
+	if err := prof.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A suite that lost a codelet since the profile was saved (count
+	// mismatch) must be rejected.
+	smaller := tinySuite()
+	smaller[0].Codelets = smaller[0].Codelets[:len(smaller[0].Codelets)-1]
+	_, err := ReadProfile(bytes.NewReader(buf.Bytes()), smaller)
+	if err == nil || !strings.Contains(err.Error(), "codelets") {
+		t.Errorf("shrunken suite error = %v, want codelet count mismatch", err)
+	}
+}
+
 func TestReadProfileRejectsGarbage(t *testing.T) {
 	if _, err := ReadProfile(strings.NewReader("not json"), tinySuite()); err == nil {
 		t.Error("garbage accepted")

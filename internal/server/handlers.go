@@ -1,0 +1,288 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"fgbs/internal/features"
+	"fgbs/internal/pipeline"
+	"fgbs/internal/report"
+)
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeRaw replays pre-encoded JSON, tagging whether it came from the
+// result cache (the header the cache-hit tests and curious operators
+// read).
+func writeRaw(w http.ResponseWriter, body []byte, cached bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// parseFeatureMask resolves the request's "features" field: a named
+// preset or an explicit bit string.
+func parseFeatureMask(s string) (features.Mask, error) {
+	switch s {
+	case "", "default":
+		return features.DefaultMask(), nil
+	case "paper":
+		return features.PaperMask(), nil
+	case "archindep":
+		return features.ArchIndependentMask(), nil
+	case "all":
+		return features.AllMask(), nil
+	default:
+		m, err := features.ParseMask(s)
+		if err != nil {
+			return features.Mask{}, fmt.Errorf("features must be default, paper, archindep, all, or a %d-bit mask: %w", features.NumFeatures, err)
+		}
+		return m, nil
+	}
+}
+
+// queryRequest is the shared body of the three POST endpoints; only
+// /v1/evaluate reads Target.
+type queryRequest struct {
+	Suite    string `json:"suite"`
+	K        int    `json:"k"`
+	Features string `json:"features"`
+	Target   string `json:"target"`
+}
+
+// decodeQuery parses and validates a POST body far enough to build a
+// cache key. It writes the error response itself and reports ok.
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (queryRequest, features.Mask, bool) {
+	var req queryRequest
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return req, features.Mask{}, false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return req, features.Mask{}, false
+	}
+	if !s.validSuite(req.Suite) {
+		writeError(w, http.StatusBadRequest, "unknown suite %q (valid: %s)", req.Suite, strings.Join(s.suiteSet, ", "))
+		return req, features.Mask{}, false
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, "k must be >= 0 (0 = elbow rule), got %d", req.K)
+		return req, features.Mask{}, false
+	}
+	mask, err := parseFeatureMask(req.Features)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return req, features.Mask{}, false
+	}
+	return req, mask, true
+}
+
+// answer serves the query from the result cache or computes, caches
+// and serves it. compute returns the response value to encode.
+func (s *Server) answer(w http.ResponseWriter, r *http.Request, key string, compute func(*pipeline.Profile) (any, error), suite string) {
+	if body, ok := s.results.Get(key); ok {
+		writeRaw(w, body, true)
+		return
+	}
+	prof, err := s.registry.Profile(r.Context(), suite)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone; the status is for the access log.
+			writeError(w, http.StatusServiceUnavailable, "request canceled: %v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "profiling %s: %v", suite, err)
+		return
+	}
+	v, err := compute(prof)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	s.results.Put(key, body)
+	writeRaw(w, body, false)
+}
+
+func (s *Server) handleSubset(w http.ResponseWriter, r *http.Request) {
+	req, mask, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	key := resultKey("subset", req.Suite, mask.String(), req.K, "*", s.cfg.Seed)
+	s.answer(w, r, key, func(prof *pipeline.Profile) (any, error) {
+		sub, err := prof.Subset(mask, req.K)
+		if err != nil {
+			return nil, err
+		}
+		sj := report.NewSubsetJSON(prof, sub)
+		sj.Suite = req.Suite
+		return sj, nil
+	}, req.Suite)
+}
+
+// evaluateResponse wraps the per-target evaluations of one query.
+type evaluateResponse struct {
+	Suite string             `json:"suite"`
+	K     int                `json:"k"`
+	Evals []*report.EvalJSON `json:"evals"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	req, mask, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	target := req.Target
+	if target == "" {
+		target = "*"
+	}
+	key := resultKey("evaluate", req.Suite, mask.String(), req.K, target, s.cfg.Seed)
+	s.answer(w, r, key, func(prof *pipeline.Profile) (any, error) {
+		sub, err := prof.Subset(mask, req.K)
+		if err != nil {
+			return nil, err
+		}
+		targets := make([]int, 0, len(prof.Targets))
+		if req.Target == "" {
+			for t := range prof.Targets {
+				targets = append(targets, t)
+			}
+		} else {
+			t, err := prof.TargetIndex(req.Target)
+			if err != nil {
+				var names []string
+				for _, m := range prof.Targets {
+					names = append(names, m.Name)
+				}
+				return nil, fmt.Errorf("unknown target %q (valid: %s)", req.Target, strings.Join(names, ", "))
+			}
+			targets = append(targets, t)
+		}
+		resp := &evaluateResponse{Suite: req.Suite, K: sub.K()}
+		for _, t := range targets {
+			ev, err := prof.Evaluate(sub, t)
+			if err != nil {
+				return nil, err
+			}
+			resp.Evals = append(resp.Evals, report.NewEvalJSON(prof, ev))
+		}
+		return resp, nil
+	}, req.Suite)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	req, mask, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	key := resultKey("select", req.Suite, mask.String(), req.K, "*", s.cfg.Seed)
+	s.answer(w, r, key, func(prof *pipeline.Profile) (any, error) {
+		sub, err := prof.Subset(mask, req.K)
+		if err != nil {
+			return nil, err
+		}
+		var evals []*pipeline.Eval
+		for t := range prof.Targets {
+			ev, err := prof.Evaluate(sub, t)
+			if err != nil {
+				return nil, err
+			}
+			evals = append(evals, ev)
+		}
+		sj := report.NewSelectJSON(prof, sub, evals)
+		sj.Suite = req.Suite
+		return sj, nil
+	}, req.Suite)
+}
+
+// suiteInfo is one entry of the /v1/suites listing.
+type suiteInfo struct {
+	Name string `json:"name"`
+	// Loaded reports whether the suite's profile is resident.
+	Loaded   bool     `json:"loaded"`
+	Codelets int      `json:"codelets,omitempty"`
+	Targets  []string `json:"targets,omitempty"`
+}
+
+func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	loaded := s.registry.Loaded()
+	out := struct {
+		Suites []suiteInfo `json:"suites"`
+	}{}
+	for _, name := range s.suiteSet {
+		info := suiteInfo{Name: name}
+		if prof, ok := loaded[name]; ok {
+			info.Loaded = true
+			info.Codelets = prof.N()
+			for _, m := range prof.Targets {
+				info.Targets = append(info.Targets, m.Name)
+			}
+		}
+		out.Suites = append(out.Suites, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":            true,
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	endpoints, inFlight := s.metrics.snapshot()
+	hits, misses, size := s.results.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+		"inFlight":      inFlight,
+		"endpoints":     endpoints,
+		"resultCache": map[string]any{
+			"hits":     hits,
+			"misses":   misses,
+			"size":     size,
+			"capacity": s.cfg.ResultCacheSize,
+		},
+		"registry": map[string]any{
+			"builds":         s.registry.builds.Load(),
+			"coalesced":      s.registry.coalesced.Load(),
+			"diskLoads":      s.registry.diskLoads.Load(),
+			"inFlightBuilds": s.registry.building.Load(),
+		},
+	})
+}

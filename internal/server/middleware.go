@@ -1,0 +1,103 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"fgbs/internal/stats"
+)
+
+// maxLatencySamples bounds the per-endpoint latency reservoir: a ring
+// of the most recent samples, enough for stable p50/p90/p99 without
+// unbounded growth under heavy traffic.
+const maxLatencySamples = 512
+
+// endpointStats aggregates one route's traffic.
+type endpointStats struct {
+	requests  int64
+	errors    int64 // responses with status >= 400
+	latencies []float64
+	next      int // ring cursor once the reservoir is full
+}
+
+// httpMetrics tracks request counts, error counts, in-flight requests
+// and per-endpoint latency quantiles for /metricz.
+type httpMetrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	inFlight  int64
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{endpoints: make(map[string]*endpointStats)}
+}
+
+// statusWriter captures the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Wrap instruments a handler under the given route name.
+func (m *httpMetrics) Wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.mu.Lock()
+		m.inFlight++
+		m.mu.Unlock()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start).Seconds()
+
+		m.mu.Lock()
+		m.inFlight--
+		es, ok := m.endpoints[name]
+		if !ok {
+			es = &endpointStats{}
+			m.endpoints[name] = es
+		}
+		es.requests++
+		if sw.status >= 400 {
+			es.errors++
+		}
+		if len(es.latencies) < maxLatencySamples {
+			es.latencies = append(es.latencies, elapsed)
+		} else {
+			es.latencies[es.next] = elapsed
+			es.next = (es.next + 1) % maxLatencySamples
+		}
+		m.mu.Unlock()
+	}
+}
+
+// endpointMetricsJSON is one route's /metricz entry.
+type endpointMetricsJSON struct {
+	Requests  int64              `json:"requests"`
+	Errors    int64              `json:"errors"`
+	LatencyMs map[string]float64 `json:"latencyMs,omitempty"`
+}
+
+// snapshot renders the per-endpoint metrics with latency quantiles.
+func (m *httpMetrics) snapshot() (map[string]endpointMetricsJSON, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]endpointMetricsJSON, len(m.endpoints))
+	for name, es := range m.endpoints {
+		e := endpointMetricsJSON{Requests: es.requests, Errors: es.errors}
+		if len(es.latencies) > 0 {
+			e.LatencyMs = map[string]float64{
+				"p50": stats.Quantile(es.latencies, 0.50) * 1e3,
+				"p90": stats.Quantile(es.latencies, 0.90) * 1e3,
+				"p99": stats.Quantile(es.latencies, 0.99) * 1e3,
+			}
+		}
+		out[name] = e
+	}
+	return out, m.inFlight
+}

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"fgbs/internal/ir"
+	"fgbs/internal/pipeline"
+	"fgbs/internal/suites"
+)
+
+// registry owns one lazily-built Profile per suite. Profiling is the
+// expensive step — seconds of simulation per suite — so the registry
+// coalesces concurrent demand singleflight-style: the first request
+// for a suite starts exactly one build, every later request (while it
+// runs) waits on the same entry, and once built the profile is shared
+// read-only forever (see pipeline.Profile's immutability contract).
+//
+// With a cache directory configured, builds are bypassed by loading a
+// previously saved profile (pipeline.ReadProfile), and fresh builds
+// are saved back — the daemon's restart-survival analogue of the CLI's
+// -cache flag.
+type registry struct {
+	programs func(string) ([]*ir.Program, error)
+	seed     uint64
+	workers  int
+	cacheDir string
+
+	// ctx is the registry's lifetime: builds run detached from any
+	// single request (a canceled requester must not kill the build the
+	// coalesced waiters share) but die with the server.
+	ctx  context.Context
+	stop context.CancelFunc
+
+	mu      sync.Mutex
+	entries map[string]*regEntry
+
+	builds    atomic.Int64 // profiling runs started
+	coalesced atomic.Int64 // requests that joined an in-flight build
+	diskLoads atomic.Int64 // builds satisfied from the cache directory
+	building  atomic.Int64 // builds currently in flight
+}
+
+// regEntry is one suite's build slot. ready is closed when prof/err
+// are final.
+type regEntry struct {
+	ready chan struct{}
+	prof  *pipeline.Profile
+	err   error
+}
+
+func newRegistry(cfg Config) *registry {
+	programs := cfg.Programs
+	if programs == nil {
+		programs = suites.Programs
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	return &registry{
+		programs: programs,
+		seed:     cfg.Seed,
+		workers:  cfg.Workers,
+		cacheDir: cfg.ProfileDir,
+		ctx:      ctx,
+		stop:     stop,
+		entries:  make(map[string]*regEntry),
+	}
+}
+
+// Close cancels in-flight builds. Waiters receive the cancellation
+// error.
+func (r *registry) Close() { r.stop() }
+
+// Profile returns the suite's shared profile, building it at most
+// once. ctx bounds this caller's wait, not the build itself.
+func (r *registry) Profile(ctx context.Context, suite string) (*pipeline.Profile, error) {
+	r.mu.Lock()
+	e, ok := r.entries[suite]
+	if !ok {
+		e = &regEntry{ready: make(chan struct{})}
+		r.entries[suite] = e
+		r.mu.Unlock()
+		// Detached: the build must survive this requester giving up,
+		// because coalesced waiters share its outcome.
+		go r.build(suite, e)
+	} else {
+		r.mu.Unlock()
+		select {
+		case <-e.ready:
+		default:
+			r.coalesced.Add(1)
+		}
+	}
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return e.prof, e.err
+}
+
+// build runs (or loads) the profile and publishes the outcome. On
+// failure the entry is removed so a later request can retry — a
+// transient error (say, an unwritable cache file) must not wedge the
+// suite forever.
+func (r *registry) build(suite string, e *regEntry) {
+	r.builds.Add(1)
+	r.building.Add(1)
+	defer r.building.Add(-1)
+	e.prof, e.err = r.buildProfile(suite)
+	if e.err != nil {
+		r.mu.Lock()
+		delete(r.entries, suite)
+		r.mu.Unlock()
+	}
+	close(e.ready)
+}
+
+func (r *registry) buildProfile(suite string) (*pipeline.Profile, error) {
+	progs, err := r.programs(suite)
+	if err != nil {
+		return nil, err
+	}
+	if prof := r.loadCached(suite, progs); prof != nil {
+		return prof, nil
+	}
+	prof, err := pipeline.NewProfileContext(r.ctx, progs, pipeline.Options{
+		Seed: r.seed, Workers: r.workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: profiling %s: %w", suite, err)
+	}
+	r.saveCached(suite, prof)
+	return prof, nil
+}
+
+func (r *registry) cachePath(suite string) string {
+	return filepath.Join(r.cacheDir, suite+".json")
+}
+
+// loadCached returns the saved profile, or nil to trigger a fresh
+// build (missing file, stale version, mismatched suite — all are
+// rebuilt rather than surfaced, since the simulator can always
+// regenerate them).
+func (r *registry) loadCached(suite string, progs []*ir.Program) *pipeline.Profile {
+	if r.cacheDir == "" {
+		return nil
+	}
+	f, err := os.Open(r.cachePath(suite))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	prof, err := pipeline.ReadProfile(f, progs)
+	if err != nil {
+		return nil
+	}
+	r.diskLoads.Add(1)
+	return prof
+}
+
+// saveCached persists a freshly built profile; failures are ignored
+// (the profile is already in memory, the disk copy is an optimization).
+func (r *registry) saveCached(suite string, prof *pipeline.Profile) {
+	if r.cacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(r.cacheDir, 0o755); err != nil {
+		return
+	}
+	tmp := r.cachePath(suite) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	if err := prof.SaveJSON(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	os.Rename(tmp, r.cachePath(suite))
+}
+
+// Loaded lists the suites with a ready profile (for /v1/suites).
+func (r *registry) Loaded() map[string]*pipeline.Profile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*pipeline.Profile)
+	for name, e := range r.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out[name] = e.prof
+			}
+		default:
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fgbs/internal/ir"
+)
+
+func newTestRegistry(dir string) *registry {
+	return newRegistry(Config{Seed: 1, ProfileDir: dir, Programs: testPrograms})
+}
+
+func TestRegistryPersistsProfiles(t *testing.T) {
+	dir := t.TempDir()
+	r := newTestRegistry(dir)
+	defer r.Close()
+	prof, err := r.Profile(context.Background(), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tiny.json")); err != nil {
+		t.Fatalf("profile not persisted: %v", err)
+	}
+
+	// A second registry over the same directory loads instead of
+	// rebuilding, and the loaded profile matches.
+	r2 := newTestRegistry(dir)
+	defer r2.Close()
+	prof2, err := r2.Profile(context.Background(), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.diskLoads.Load() != 1 {
+		t.Errorf("diskLoads = %d, want 1", r2.diskLoads.Load())
+	}
+	if prof2.N() != prof.N() {
+		t.Errorf("loaded profile has %d codelets, want %d", prof2.N(), prof.N())
+	}
+	for i := 0; i < prof.N(); i++ {
+		if prof2.RefInApp[i] != prof.RefInApp[i] {
+			t.Fatalf("loaded profile differs at codelet %d", i)
+		}
+	}
+}
+
+func TestRegistryRebuildsOnCorruptCache(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tiny.json"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := newTestRegistry(dir)
+	defer r.Close()
+	prof, err := r.Profile(context.Background(), "tiny")
+	if err != nil {
+		t.Fatalf("corrupt cache should trigger a rebuild, got %v", err)
+	}
+	if prof.N() == 0 || r.diskLoads.Load() != 0 {
+		t.Errorf("N = %d, diskLoads = %d", prof.N(), r.diskLoads.Load())
+	}
+}
+
+func TestRegistryRetriesAfterError(t *testing.T) {
+	calls := 0
+	r := newRegistry(Config{Seed: 1, Programs: func(name string) ([]*ir.Program, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return testPrograms("tiny")
+	}})
+	defer r.Close()
+	if _, err := r.Profile(context.Background(), "tiny"); err == nil {
+		t.Fatal("first call should fail")
+	}
+	// The failed entry must not wedge the suite: the next request
+	// retries and succeeds.
+	prof, err := r.Profile(context.Background(), "tiny")
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if prof == nil || calls != 2 {
+		t.Errorf("prof=%v calls=%d", prof, calls)
+	}
+	if r.builds.Load() != 2 {
+		t.Errorf("builds = %d, want 2", r.builds.Load())
+	}
+}
+
+func TestRegistryWaiterHonorsContext(t *testing.T) {
+	block := make(chan struct{})
+	r := newRegistry(Config{Seed: 1, Programs: func(name string) ([]*ir.Program, error) {
+		<-block
+		return testPrograms("tiny")
+	}})
+	defer r.Close()
+	defer close(block)
+
+	// Kick off the build with a background waiter.
+	go r.Profile(context.Background(), "tiny")
+
+	// A waiter with an expired context gives up without killing the
+	// build for everyone else.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Profile(ctx, "tiny"); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRegistryLoaded(t *testing.T) {
+	r := newTestRegistry("")
+	defer r.Close()
+	if got := r.Loaded(); len(got) != 0 {
+		t.Fatalf("fresh registry reports %d loaded suites", len(got))
+	}
+	if _, err := r.Profile(context.Background(), "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Loaded()
+	if len(got) != 1 || got["tiny"] == nil {
+		t.Errorf("Loaded = %v, want tiny", got)
+	}
+}

@@ -1,0 +1,118 @@
+// Package server is the long-running serving layer over the
+// subsetting pipeline: the paper's amortization argument turned into a
+// daemon. Profiling a suite on the reference machine is expensive and
+// happens at most once per suite (a lazily-built registry with
+// singleflight coalescing); answering "which system is best for this
+// workload?" is cheap and happens per request, with an LRU cache
+// replaying repeated queries byte-for-byte.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/subset    clustering + representative selection
+//	POST /v1/evaluate  per-target prediction errors + reduction factor
+//	POST /v1/select    rank all targets, return the best system
+//	GET  /v1/suites    known suites and their load state
+//	GET  /healthz      liveness
+//	GET  /metricz      request/cache/registry counters, latency quantiles
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"fgbs/internal/ir"
+	"fgbs/internal/suites"
+)
+
+// Config tunes a Server. The zero value serves the built-in suites
+// with the pipeline's defaults and a small result cache.
+type Config struct {
+	// Seed drives profiling, as the CLI's -seed flag does. Every
+	// profile the server builds uses this seed, and it is part of
+	// every result-cache key.
+	Seed uint64
+	// Workers bounds concurrent measurements per profiling run
+	// (0 = GOMAXPROCS).
+	Workers int
+	// ProfileDir, when set, persists built profiles as
+	// <dir>/<suite>.json and loads them back on restart.
+	ProfileDir string
+	// ResultCacheSize caps the LRU result cache (entries; default 256).
+	ResultCacheSize int
+	// SuiteNames lists the suites the server accepts; defaults to
+	// suites.Names().
+	SuiteNames []string
+	// Programs resolves a suite name to its IR programs; defaults to
+	// suites.Programs. Tests inject small synthetic suites here.
+	Programs func(string) ([]*ir.Program, error)
+}
+
+// Server answers system-selection queries over shared, cached
+// profiles. Create with New, expose via Handler, release with Close.
+type Server struct {
+	cfg      Config
+	suiteSet []string
+	registry *registry
+	results  *resultCache
+	metrics  *httpMetrics
+	mux      *http.ServeMux
+	started  time.Time
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.ResultCacheSize <= 0 {
+		cfg.ResultCacheSize = 256
+	}
+	if cfg.SuiteNames == nil {
+		cfg.SuiteNames = suites.Names()
+	}
+	s := &Server{
+		cfg:      cfg,
+		suiteSet: cfg.SuiteNames,
+		registry: newRegistry(cfg),
+		results:  newResultCache(cfg.ResultCacheSize),
+		metrics:  newHTTPMetrics(),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+	}
+	s.route("/v1/subset", s.handleSubset)
+	s.route("/v1/evaluate", s.handleEvaluate)
+	s.route("/v1/select", s.handleSelect)
+	s.route("/v1/suites", s.handleSuites)
+	s.route("/healthz", s.handleHealthz)
+	s.route("/metricz", s.handleMetricz)
+	return s
+}
+
+func (s *Server) route(path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(path, s.metrics.Wrap(path, h))
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels any in-flight profiling builds. In-memory profiles
+// and cached results simply become garbage.
+func (s *Server) Close() { s.registry.Close() }
+
+// validSuite reports whether the server serves the named suite.
+func (s *Server) validSuite(name string) bool {
+	for _, n := range s.suiteSet {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Warm builds (or loads) the named suites' profiles ahead of traffic,
+// returning the first error. The daemon calls this for -preload.
+func (s *Server) Warm(suiteNames []string) error {
+	for _, name := range suiteNames {
+		if _, err := s.registry.Profile(s.registry.ctx, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package suites names the benchmark suites the pipeline can profile
+// and maps each name to its IR programs. It is the single registry the
+// CLI (cmd/fgbs), the daemon (cmd/fgbsd) and the serving layer
+// (internal/server) share, so "valid suite" means the same thing
+// everywhere.
+package suites
+
+import (
+	"fmt"
+	"strings"
+
+	"fgbs/internal/ir"
+	"fgbs/internal/suites/nas"
+	"fgbs/internal/suites/nr"
+	"fgbs/internal/suites/poly"
+)
+
+// Names returns the valid suite names in canonical order.
+func Names() []string {
+	return []string{"nas", "nr", "poly", "joint"}
+}
+
+// Valid reports whether name is a known suite.
+func Valid(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Programs returns the IR programs of the named suite. The error for
+// an unknown name lists the valid ones.
+func Programs(name string) ([]*ir.Program, error) {
+	switch name {
+	case "nr":
+		return nr.Suite(), nil
+	case "nas":
+		return nas.Suite(), nil
+	case "poly":
+		return poly.Suite(), nil
+	case "joint":
+		return append(nas.Suite(), poly.Suite()...), nil
+	default:
+		return nil, fmt.Errorf("suites: unknown suite %q (valid: %s)", name, strings.Join(Names(), ", "))
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package fgbs
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. See skipIfRace in fixtures_test.go.
+const raceDetectorEnabled = true
