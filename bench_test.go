@@ -13,7 +13,9 @@ package fgbs
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -241,6 +243,49 @@ func BenchmarkFigure7RandomClusteringBaseline(b *testing.B) {
 	b.StopTimer()
 	logArtifact(b, func(buf *bytes.Buffer) error {
 		fmt.Fprintf(buf, "Guided vs 100 random clusterings on Atom (paper uses 1000; cmd/fgbs f7 for the full run):\n")
+		return report.Figure7(buf, "Atom", rows)
+	})
+}
+
+// BenchmarkFigure7RandomClusteringBaselineParallel is the serial
+// baseline above fanned out over GOMAXPROCS workers. Every trial's
+// partition is a pure function of (seed, trial index), so the rows it
+// produces are asserted identical to the serial run — the speedup is
+// free of any result drift.
+func BenchmarkFigure7RandomClusteringBaselineParallel(b *testing.B) {
+	prof := nasProfile(b)
+	ti, err := prof.TargetIndex("Atom")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks := []int{6, 12, 18, 24}
+	serial := make([]pipeline.RandomClusteringStats, len(ks))
+	for i, k := range ks {
+		if serial[i], err = prof.RandomClusterings(DefaultFeatures(), k, 100, ti, 99); err != nil {
+			b.Fatal(err)
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var rows []pipeline.RandomClusteringStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, k := range ks {
+			st, err := prof.RandomClusteringsParallel(context.Background(), DefaultFeatures(), k, 100, ti, 99, workers, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, st)
+		}
+	}
+	b.StopTimer()
+	for i := range serial {
+		if rows[i] != serial[i] {
+			b.Fatalf("parallel row %d diverged from serial: %+v != %+v", i, rows[i], serial[i])
+		}
+	}
+	logArtifact(b, func(buf *bytes.Buffer) error {
+		fmt.Fprintf(buf, "Parallel (%d workers) guided vs 100 random clusterings on Atom — rows identical to the serial benchmark:\n", workers)
 		return report.Figure7(buf, "Atom", rows)
 	})
 }

@@ -27,4 +27,10 @@ go build ./...
 echo "== go test -race =="
 go test -race -timeout 25m ./...
 
+# Benchmarks rot silently if nothing executes them: run the fastest one
+# once (no profiling fixture) so the whole bench file stays compilable
+# AND runnable.
+echo "== bench smoke =="
+go test -run='^$' -bench='^BenchmarkTable1Architectures$' -benchtime=1x .
+
 echo "ci.sh: all checks passed"

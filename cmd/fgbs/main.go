@@ -46,14 +46,24 @@
 //	-codelet name   codelet for the show experiment
 //	-what kind      export kind: eval, sweep, features, evaljson,
 //	                subsetjson or select
+//	-j N            parallel workers for the f3/f7 sweeps and the
+//	                sweep export (0 = GOMAXPROCS, 1 = serial); the
+//	                output is identical at every worker count
+//
+// SIGINT/SIGTERM cancel the running experiment: long sweeps and GA
+// runs abort at the next unit of work instead of ignoring Ctrl-C.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
+	"syscall"
 
 	"fgbs/internal/arch"
 	"fgbs/internal/features"
@@ -64,7 +74,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "fgbs:", err)
 		os.Exit(1)
 	}
@@ -81,9 +93,18 @@ type config struct {
 	cache    string
 	codelet  string
 	what     string
+	jobs     int
 }
 
-func run(args []string) error {
+// workers resolves the -j flag (0 = GOMAXPROCS).
+func (c config) workers() int {
+	if c.jobs == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.jobs
+}
+
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: fgbs <experiment> [flags]; run 'go doc fgbs/cmd/fgbs' for the list")
 	}
@@ -100,6 +121,7 @@ func run(args []string) error {
 	fs.StringVar(&cfg.cache, "cache", "", "profile cache file (load if present; 'save' writes it)")
 	fs.StringVar(&cfg.codelet, "codelet", "", "codelet name for 'show'")
 	fs.StringVar(&cfg.what, "what", "eval", "export kind: eval, sweep, features, evaljson, subsetjson or select")
+	fs.IntVar(&cfg.jobs, "j", 0, "parallel workers for f3/f7 and the sweep export (0 = GOMAXPROCS)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -118,9 +140,9 @@ func run(args []string) error {
 
 	switch exp {
 	case "t2":
-		return cmdGA(cfg)
+		return cmdGA(ctx, cfg)
 	case "t3", "f2":
-		prof, err := profile(cfg, "nr")
+		prof, err := profile(ctx, cfg, "nr")
 		if err != nil {
 			return err
 		}
@@ -141,7 +163,7 @@ func run(args []string) error {
 		}
 		return report.Figure2(os.Stdout, prof, sub, ev, []int{0, 1})
 	case "t4":
-		prof, err := profile(cfg, "nr")
+		prof, err := profile(ctx, cfg, "nr")
 		if err != nil {
 			return err
 		}
@@ -151,7 +173,7 @@ func run(args []string) error {
 		}
 		return report.Table4(os.Stdout, prof, mask, []int{14, elbow}, []string{"Atom", "Sandy Bridge"})
 	case "t5":
-		prof, err := profile(cfg, "nas")
+		prof, err := profile(ctx, cfg, "nas")
 		if err != nil {
 			return err
 		}
@@ -161,11 +183,11 @@ func run(args []string) error {
 		}
 		return report.Table5(os.Stdout, prof, sub)
 	case "f3":
-		prof, err := profile(cfg, "nas")
+		prof, err := profile(ctx, cfg, "nas")
 		if err != nil {
 			return err
 		}
-		pts, err := prof.SweepK(mask, 2, 24)
+		pts, err := prof.SweepKParallel(ctx, mask, 2, 24, cfg.workers(), nil)
 		if err != nil {
 			return err
 		}
@@ -175,7 +197,7 @@ func run(args []string) error {
 		}
 		return report.Figure3(os.Stdout, prof, pts, elbow)
 	case "f4":
-		prof, err := profile(cfg, "nas")
+		prof, err := profile(ctx, cfg, "nas")
 		if err != nil {
 			return err
 		}
@@ -193,7 +215,7 @@ func run(args []string) error {
 		}
 		return report.Figure4(os.Stdout, prof, ev)
 	case "f5", "f6", "summary":
-		prof, err := profile(cfg, cfg.suite)
+		prof, err := profile(ctx, cfg, cfg.suite)
 		if err != nil {
 			return err
 		}
@@ -218,7 +240,7 @@ func run(args []string) error {
 			return summary(prof, sub, evals)
 		}
 	case "f7":
-		prof, err := profile(cfg, "nas")
+		prof, err := profile(ctx, cfg, "nas")
 		if err != nil {
 			return err
 		}
@@ -228,7 +250,7 @@ func run(args []string) error {
 		}
 		var rows []pipeline.RandomClusteringStats
 		for _, k := range []int{4, 8, 12, 16, 20, 24} {
-			st, err := prof.RandomClusterings(mask, k, cfg.trials, ti, cfg.seed)
+			st, err := prof.RandomClusteringsParallel(ctx, mask, k, cfg.trials, ti, cfg.seed, cfg.workers(), nil)
 			if err != nil {
 				return err
 			}
@@ -236,13 +258,13 @@ func run(args []string) error {
 		}
 		return report.Figure7(os.Stdout, pickS(cfg.target, "Atom"), rows)
 	case "f8":
-		prof, err := profile(cfg, "nas")
+		prof, err := profile(ctx, cfg, "nas")
 		if err != nil {
 			return err
 		}
 		var cross, per []pipeline.PerAppPoint
 		for _, reps := range []int{1, 2, 3, 4, 6, 8, 10, 12} {
-			pp, err := prof.PerAppSubsetting(mask, reps)
+			pp, err := prof.PerAppSubsettingContext(ctx, mask, reps)
 			if err != nil {
 				return err
 			}
@@ -258,7 +280,7 @@ func run(args []string) error {
 		if cfg.cache == "" {
 			return fmt.Errorf("save needs -cache <path>")
 		}
-		prof, err := pipelineProfileFresh(cfg)
+		prof, err := pipelineProfileFresh(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -275,7 +297,7 @@ func run(args []string) error {
 	case "show":
 		return cmdShow(cfg)
 	case "export":
-		prof, err := profile(cfg, cfg.suite)
+		prof, err := profile(ctx, cfg, cfg.suite)
 		if err != nil {
 			return err
 		}
@@ -322,7 +344,7 @@ func run(args []string) error {
 			sj.Suite = cfg.suite
 			return report.WriteJSON(os.Stdout, sj)
 		case "sweep":
-			pts, err := prof.SweepK(mask, 2, 24)
+			pts, err := prof.SweepKParallel(ctx, mask, 2, 24, cfg.workers(), nil)
 			if err != nil {
 				return err
 			}
@@ -333,7 +355,7 @@ func run(args []string) error {
 			return fmt.Errorf("unknown export kind %q", cfg.what)
 		}
 	case "dendro":
-		prof, err := profile(cfg, cfg.suite)
+		prof, err := profile(ctx, cfg, cfg.suite)
 		if err != nil {
 			return err
 		}
@@ -343,7 +365,7 @@ func run(args []string) error {
 		}
 		return report.DendrogramTree(os.Stdout, prof, sub)
 	case "clusters":
-		prof, err := profile(cfg, cfg.suite)
+		prof, err := profile(ctx, cfg, cfg.suite)
 		if err != nil {
 			return err
 		}
@@ -359,12 +381,12 @@ func run(args []string) error {
 
 // pipelineProfileFresh always re-profiles (ignoring any cache), which
 // is what 'save' wants.
-func pipelineProfileFresh(cfg config) (*pipeline.Profile, error) {
+func pipelineProfileFresh(ctx context.Context, cfg config) (*pipeline.Profile, error) {
 	progs, err := suites.Programs(cfg.suite)
 	if err != nil {
 		return nil, err
 	}
-	return pipeline.NewProfile(progs, pipeline.Options{Seed: cfg.seed})
+	return pipeline.NewProfileContext(ctx, progs, pipeline.Options{Seed: cfg.seed})
 }
 
 // exportKinds are the valid -what values.
@@ -399,10 +421,13 @@ func validate(cfg config) error {
 	if cfg.trials <= 0 {
 		return fmt.Errorf("-trials must be positive, got %d", cfg.trials)
 	}
+	if cfg.jobs < 0 {
+		return fmt.Errorf("-j must be >= 0 (0 = GOMAXPROCS), got %d", cfg.jobs)
+	}
 	return nil
 }
 
-func profile(cfg config, suite string) (*pipeline.Profile, error) {
+func profile(ctx context.Context, cfg config, suite string) (*pipeline.Profile, error) {
 	progs, err := suites.Programs(suite)
 	if err != nil {
 		return nil, err
@@ -417,7 +442,7 @@ func profile(cfg config, suite string) (*pipeline.Profile, error) {
 			return prof, nil
 		}
 	}
-	return pipeline.NewProfile(progs, pipeline.Options{Seed: cfg.seed})
+	return pipeline.NewProfileContext(ctx, progs, pipeline.Options{Seed: cfg.seed})
 }
 
 func cmdShow(cfg config) error {
@@ -459,12 +484,12 @@ func pickS(v, def string) string {
 	return def
 }
 
-func cmdGA(cfg config) error {
-	prof, err := profile(cfg, "nr")
+func cmdGA(ctx context.Context, cfg config) error {
+	prof, err := profile(ctx, cfg, "nr")
 	if err != nil {
 		return err
 	}
-	fitness, err := prof.FeatureFitness("Atom", "Sandy Bridge")
+	fitness, err := prof.FeatureFitnessContext(ctx, "Atom", "Sandy Bridge")
 	if err != nil {
 		return err
 	}
@@ -480,7 +505,7 @@ func cmdGA(cfg config) error {
 		// The paper's configuration (§4.2).
 		opts.Population, opts.Generations = 1000, 100
 	}
-	res, err := ga.Run(fitness, opts)
+	res, err := ga.RunContext(ctx, fitness, opts)
 	if err != nil {
 		return err
 	}

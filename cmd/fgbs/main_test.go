@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,10 +24,11 @@ func TestRunRejectsBadInvocations(t *testing.T) {
 		{"unknown target", []string{"f4", "-target", "PDP-11"}},
 		{"unknown export kind", []string{"export", "-what", "yaml"}},
 		{"non-positive trials", []string{"f7", "-trials", "0"}},
+		{"negative jobs", []string{"f7", "-j", "-4"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if err := run(c.args); err == nil {
+			if err := run(context.Background(), c.args); err == nil {
 				t.Errorf("run(%v) succeeded, want error", c.args)
 			}
 		})
@@ -34,14 +36,24 @@ func TestRunRejectsBadInvocations(t *testing.T) {
 }
 
 func TestRunTable1(t *testing.T) {
-	if err := run([]string{"t1"}); err != nil {
+	if err := run(context.Background(), []string{"t1"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunShow(t *testing.T) {
-	if err := run([]string{"show", "-suite", "nr", "-codelet", "tridag_1"}); err != nil {
+	if err := run(context.Background(), []string{"show", "-suite", "nr", "-codelet", "tridag_1"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunCanceled: a canceled context aborts an experiment before it
+// burns profiling time — the SIGINT path without the signal.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"f7", "-suite", "nas", "-trials", "10"}); err == nil {
+		t.Error("canceled f7 run succeeded, want context error")
 	}
 }
 
@@ -51,7 +63,7 @@ func TestProfileCacheRejectsCorrupt(t *testing.T) {
 	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := profile(config{cache: path}, "nr")
+	_, err := profile(context.Background(), config{cache: path}, "nr")
 	if err == nil || !strings.Contains(err.Error(), "re-create") {
 		t.Errorf("corrupt cache error = %v", err)
 	}

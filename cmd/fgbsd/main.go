@@ -21,10 +21,17 @@
 //	-seed N          profiling seed (default 1)
 //	-workers N       concurrent measurements per profiling run
 //	                 (default GOMAXPROCS)
+//	-jobworkers N    concurrently running experiment jobs submitted
+//	                 via POST /v1/jobs (default GOMAXPROCS)
+//	-jobretention d  how long finished jobs stay pollable (default 15m)
+//
+// Long experiments run asynchronously through the /v1/jobs API (see
+// internal/server); completed job results are persisted under
+// <profiledir>/jobs when -profiledir is set.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops, in-flight requests get a drain window, and any profiling
-// build still running is canceled.
+// build or experiment job still running is canceled.
 package main
 
 import (
@@ -59,13 +66,15 @@ func main() {
 
 // daemonConfig is the parsed and validated flag set.
 type daemonConfig struct {
-	addr    string
-	serve   []string
-	preload []string
-	dir     string
-	cacheN  int
-	seed    uint64
-	workers int
+	addr         string
+	serve        []string
+	preload      []string
+	dir          string
+	cacheN       int
+	seed         uint64
+	workers      int
+	jobWorkers   int
+	jobRetention time.Duration
 }
 
 // parseFlags validates everything up front: a daemon that dies on its
@@ -82,6 +91,8 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.IntVar(&cfg.cacheN, "cachesize", 256, "LRU result-cache capacity")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "profiling seed")
 	fs.IntVar(&cfg.workers, "workers", 0, "concurrent measurements per profiling run (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.jobWorkers, "jobworkers", 0, "concurrently running experiment jobs (0 = GOMAXPROCS)")
+	fs.DurationVar(&cfg.jobRetention, "jobretention", 0, "how long finished jobs stay pollable (0 = 15m)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -90,6 +101,12 @@ func parseFlags(args []string) (daemonConfig, error) {
 	}
 	if cfg.cacheN <= 0 {
 		return cfg, fmt.Errorf("-cachesize must be positive, got %d", cfg.cacheN)
+	}
+	if cfg.jobWorkers < 0 {
+		return cfg, fmt.Errorf("-jobworkers must be >= 0, got %d", cfg.jobWorkers)
+	}
+	if cfg.jobRetention < 0 {
+		return cfg, fmt.Errorf("-jobretention must be >= 0, got %v", cfg.jobRetention)
 	}
 	var err error
 	if cfg.serve, err = splitSuites(suiteList, suites.Names()); err != nil {
@@ -133,6 +150,8 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		ProfileDir:      cfg.dir,
 		ResultCacheSize: cfg.cacheN,
 		SuiteNames:      cfg.serve,
+		JobWorkers:      cfg.jobWorkers,
+		JobRetention:    cfg.jobRetention,
 	})
 	defer s.Close()
 

@@ -45,6 +45,8 @@ func TestParseFlagsRejectsBadInput(t *testing.T) {
 		{"unknown suite", []string{"-suites", "spec"}, "valid: nas, nr, poly, joint"},
 		{"preload outside served", []string{"-suites", "nr", "-preload", "nas"}, "valid: nr"},
 		{"bad cachesize", []string{"-cachesize", "0"}, "must be positive"},
+		{"negative jobworkers", []string{"-jobworkers", "-1"}, "-jobworkers"},
+		{"negative jobretention", []string{"-jobretention", "-5m"}, "-jobretention"},
 		{"positional arg", []string{"extra"}, "unexpected argument"},
 		{"unknown flag", []string{"-bogus"}, ""},
 	}

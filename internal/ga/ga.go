@@ -10,6 +10,7 @@
 package ga
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -85,6 +86,16 @@ type scored struct {
 
 // Run evolves feature masks against the fitness function.
 func Run(fitness Fitness, opts Options) (*Result, error) {
+	return RunContext(context.Background(), fitness, opts)
+}
+
+// RunContext is Run with cancellation: the loop aborts between
+// generations and between fitness fan-outs, returning the context's
+// error. A GA run is minutes of pipeline evaluations at the paper's
+// population size, so a canceled job must stop dispatching work
+// promptly (pair with pipeline.FeatureFitnessContext so in-flight
+// evaluations degrade to +Inf as well).
+func RunContext(ctx context.Context, fitness Fitness, opts Options) (*Result, error) {
 	if fitness == nil {
 		return nil, fmt.Errorf("ga: nil fitness")
 	}
@@ -103,6 +114,9 @@ func Run(fitness Fitness, opts Options) (*Result, error) {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, opts.Workers)
 		for i := range gen {
+			if ctx.Err() != nil {
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(s *scored) {
@@ -121,6 +135,12 @@ func Run(fitness Fitness, opts Options) (*Result, error) {
 
 	for gen := 0; gen < opts.Generations; gen++ {
 		evaluate(pop)
+		// A cancellation during the fan-out leaves unevaluated
+		// zero-fitness individuals; discard the generation rather than
+		// let them win the sort.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sort.SliceStable(pop, func(i, j int) bool { return pop[i].fit < pop[j].fit })
 		if pop[0].fit < res.BestFitness {
 			res.BestFitness = pop[0].fit

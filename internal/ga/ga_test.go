@@ -1,6 +1,8 @@
 package ga
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -141,5 +143,35 @@ func TestParallelFitnessSafe(t *testing.T) {
 	}
 	if _, err := Run(fit, Options{Population: 32, Generations: 3, MutationProb: 0.05, Seed: 5, Workers: 8}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunContextCanceled: a canceled context aborts the run with the
+// context's error — before the first generation, and mid-run via
+// OnGeneration.
+func TestRunContextCanceled(t *testing.T) {
+	target := features.MaskOf(1, 5, 9)
+	opts := Options{Population: 50, Generations: 40, MutationProb: 0.01, Seed: 3}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := RunContext(ctx, targetFitness(target), opts); !errors.Is(err, context.Canceled) || res != nil {
+		t.Errorf("pre-canceled run = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	gens := 0
+	opts.OnGeneration = func(gen int, best float64, mask features.Mask) {
+		gens++
+		if gen == 2 {
+			cancel()
+		}
+	}
+	if res, err := RunContext(ctx, targetFitness(target), opts); !errors.Is(err, context.Canceled) || res != nil {
+		t.Errorf("mid-run cancel = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	if gens < 3 || gens >= opts.Generations {
+		t.Errorf("observed %d generations before abort, want a handful", gens)
 	}
 }

@@ -1,0 +1,490 @@
+// Package jobs is the asynchronous experiment-job engine: it turns
+// the pipeline's minute-scale computations (the Figure 3 sweep, the
+// Figure 7 random baseline, the §4.2 GA) into submit/poll/cancel jobs
+// executed on a bounded worker pool, so the serving layer never blocks
+// a request on a long experiment.
+//
+// A Manager owns a fixed pool of workers draining a bounded queue.
+// Each job gets a stable ID, a state machine
+// (pending → running → done|failed|canceled), a context derived from
+// the manager's lifetime for cancellation, and live progress counters
+// ("trials 412/1000") the job function updates as it runs. Terminal
+// jobs are retained for polling and garbage-collected after a
+// retention window (or beyond a retained-count cap); completed results
+// can optionally be persisted to disk as JSON.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StatePending  State = "pending"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is a job's live work counter. The job function calls Set
+// and SetTotal as it advances; pollers read a consistent snapshot at
+// any time. All methods are safe for concurrent use.
+type Progress struct {
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+// SetTotal publishes the total number of work units.
+func (p *Progress) SetTotal(n int64) { p.total.Store(n) }
+
+// Set publishes the cumulative number of completed work units.
+func (p *Progress) Set(n int64) { p.done.Store(n) }
+
+// Add increments the completed-unit counter.
+func (p *Progress) Add(n int64) { p.done.Add(n) }
+
+// Snapshot returns (done, total).
+func (p *Progress) Snapshot() (done, total int64) {
+	return p.done.Load(), p.total.Load()
+}
+
+// Fn is the work a job performs. It must honor ctx — returning
+// ctx.Err() promptly once canceled — and may update pr throughout.
+// The returned value becomes the job's result; it must be
+// JSON-marshalable if disk persistence is enabled.
+type Fn func(ctx context.Context, pr *Progress) (any, error)
+
+// Job is one submitted experiment. All exported state is read through
+// Snapshot (or Result); the struct itself is owned by the manager.
+type Job struct {
+	id   string
+	kind string
+	fn   Fn
+
+	// Progress is updated lock-free by the running fn.
+	progress Progress
+
+	mu       sync.Mutex
+	state    State
+	result   any
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	// done is closed when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// ID returns the job's stable identifier.
+func (j *Job) ID() string { return j.id }
+
+// Kind returns the job's submitted kind label.
+func (j *Job) Kind() string { return j.kind }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot is a consistent copy of a job's observable state.
+type Snapshot struct {
+	ID       string
+	Kind     string
+	State    State
+	Done     int64
+	Total    int64
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	Err      string
+}
+
+// Snapshot captures the job's current observable state.
+func (j *Job) Snapshot() Snapshot {
+	done, total := j.progress.Snapshot()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID: j.id, Kind: j.kind, State: j.state,
+		Done: done, Total: total,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+	if j.err != nil {
+		s.Err = j.err.Error()
+	}
+	return s
+}
+
+// Result returns the job's result value once done. ok is false while
+// the job is not in StateDone (pollers should retry or give up based
+// on the snapshot's state).
+func (j *Job) Result() (any, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == StateDone
+}
+
+// Config tunes a Manager. The zero value gets GOMAXPROCS workers, a
+// 64-deep queue, 15-minute retention of up to 128 terminal jobs, and
+// no disk persistence.
+type Config struct {
+	// Workers is the pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds pending jobs; Submit fails when full (default 64).
+	QueueDepth int
+	// Retention is how long terminal jobs stay queryable (default 15m).
+	Retention time.Duration
+	// MaxRetained caps terminal jobs kept in memory (default 128).
+	MaxRetained int
+	// Dir, when set, persists each completed job's result as
+	// <Dir>/<id>.json (best-effort; GC removes the file with the job).
+	Dir string
+	// now is a test hook; nil means time.Now.
+	now func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Retention <= 0 {
+		c.Retention = 15 * time.Minute
+	}
+	if c.MaxRetained <= 0 {
+		c.MaxRetained = 128
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// Errors returned by Submit/Cancel/lookup.
+var (
+	ErrClosed    = errors.New("jobs: manager closed")
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrNotFound  = errors.New("jobs: no such job")
+)
+
+// Stats are the /metricz gauges: queued and running are instantaneous,
+// completed/failed/canceled are cumulative since the manager started
+// (GC never decrements them).
+type Stats struct {
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+}
+
+// Manager executes jobs on a bounded worker pool. Create with
+// NewManager, release with Close.
+type Manager struct {
+	cfg   Config
+	ctx   context.Context
+	stop  context.CancelFunc
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  uint64
+
+	queued    atomic.Int64
+	running   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+}
+
+// NewManager starts the worker pool.
+func NewManager(cfg Config) *Manager {
+	cfg.fill()
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:   cfg,
+		ctx:   ctx,
+		stop:  stop,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close cancels every pending and running job and waits for the
+// workers to drain. Job functions observe cancellation through their
+// contexts.
+func (m *Manager) Close() {
+	m.stop()
+	m.wg.Wait()
+	// Workers are gone; finalize whatever never ran so waiters on
+	// Done() are released.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			j.state = StateCanceled
+			j.err = ErrClosed
+			j.finished = m.cfg.now()
+			m.canceled.Add(1)
+			close(j.done)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Submit enqueues fn under the given kind label and returns the job,
+// already in StatePending. It fails fast when the queue is full or the
+// manager is closed.
+func (m *Manager) Submit(kind string, fn Fn) (*Job, error) {
+	if m.ctx.Err() != nil {
+		return nil, ErrClosed
+	}
+	m.mu.Lock()
+	m.seq++
+	j := &Job{
+		id:      fmt.Sprintf("job-%08d", m.seq),
+		kind:    kind,
+		fn:      fn,
+		state:   StatePending,
+		created: m.cfg.now(),
+		done:    make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.gcLocked()
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+		m.queued.Add(1)
+		return j, nil
+	default:
+		m.mu.Lock()
+		delete(m.jobs, j.id)
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// List snapshots every known job, newest first.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	m.gcLocked()
+	js := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	out := make([]Snapshot, 0, len(js))
+	for _, j := range js {
+		out = append(out, j.Snapshot())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID > out[b].ID })
+	return out
+}
+
+// Cancel requests cancellation: a pending job is finalized
+// immediately, a running job's context is canceled (the job turns
+// canceled when its fn returns), and a terminal job is left untouched.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StatePending:
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = m.cfg.now()
+		m.canceled.Add(1)
+		close(j.done)
+	case StateRunning:
+		j.cancel()
+	}
+	return j, nil
+}
+
+// Stats returns the gauge snapshot.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Queued:    m.queued.Load(),
+		Running:   m.running.Load(),
+		Completed: m.completed.Load(),
+		Failed:    m.failed.Load(),
+		Canceled:  m.canceled.Load(),
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			m.queued.Add(-1)
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job to a terminal state.
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	if j.state != StatePending { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	// A draining worker can win the race against its own shutdown and
+	// pull one more job off the queue after Close; don't start it.
+	if m.ctx.Err() != nil {
+		j.state = StateCanceled
+		j.err = ErrClosed
+		j.finished = m.cfg.now()
+		m.canceled.Add(1)
+		close(j.done)
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.ctx)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = m.cfg.now()
+	j.mu.Unlock()
+	defer cancel()
+
+	m.running.Add(1)
+	res, err := j.fn(ctx, &j.progress)
+	m.running.Add(-1)
+
+	j.mu.Lock()
+	j.finished = m.cfg.now()
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil):
+		j.state = StateCanceled
+		j.err = context.Canceled
+		m.canceled.Add(1)
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+		m.failed.Add(1)
+	default:
+		j.state = StateDone
+		j.result = res
+		m.completed.Add(1)
+	}
+	done := j.state == StateDone
+	close(j.done)
+	j.mu.Unlock()
+	if done {
+		m.persist(j)
+	}
+}
+
+// persistedJob is the on-disk form of a completed job.
+type persistedJob struct {
+	ID       string    `json:"id"`
+	Kind     string    `json:"kind"`
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished"`
+	Result   any       `json:"result"`
+}
+
+// persist writes the completed result under the configured directory.
+// Failures are ignored: the in-memory result still serves pollers, the
+// disk copy is an archival convenience.
+func (m *Manager) persist(j *Job) {
+	if m.cfg.Dir == "" {
+		return
+	}
+	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
+		return
+	}
+	s := j.Snapshot()
+	data, err := json.Marshal(persistedJob{
+		ID: s.ID, Kind: s.Kind, Created: s.Created, Finished: s.Finished,
+		Result: j.result,
+	})
+	if err != nil {
+		return
+	}
+	path := filepath.Join(m.cfg.Dir, s.ID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+	}
+}
+
+// gcLocked drops terminal jobs past the retention window, then the
+// oldest beyond MaxRetained. Callers hold m.mu.
+func (m *Manager) gcLocked() {
+	cutoff := m.cfg.now().Add(-m.cfg.Retention)
+	var terminal []*Job
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		t, fin := j.state.Terminal(), j.finished
+		j.mu.Unlock()
+		if !t {
+			continue
+		}
+		if fin.Before(cutoff) {
+			m.dropLocked(j)
+			continue
+		}
+		terminal = append(terminal, j)
+	}
+	if len(terminal) > m.cfg.MaxRetained {
+		sort.Slice(terminal, func(a, b int) bool { return terminal[a].id < terminal[b].id })
+		for _, j := range terminal[:len(terminal)-m.cfg.MaxRetained] {
+			m.dropLocked(j)
+		}
+	}
+}
+
+// dropLocked removes a job from the map and its persisted file.
+func (m *Manager) dropLocked(j *Job) {
+	delete(m.jobs, j.id)
+	if m.cfg.Dir != "" {
+		os.Remove(filepath.Join(m.cfg.Dir, j.id+".json"))
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,24 +22,45 @@ type SweepPoint struct {
 // SweepK evaluates cluster counts kMin..kMax on every target,
 // producing Figure 3's two curves per architecture.
 func (p *Profile) SweepK(mask features.Mask, kMin, kMax int) ([]SweepPoint, error) {
+	return p.SweepKContext(context.Background(), mask, kMin, kMax)
+}
+
+// SweepKContext is SweepK with cancellation, checked between cluster
+// counts (each K is seconds of clustering + evaluation on a full
+// suite). On cancellation the context's error is returned.
+func (p *Profile) SweepKContext(ctx context.Context, mask features.Mask, kMin, kMax int) ([]SweepPoint, error) {
 	var out []SweepPoint
 	for k := kMin; k <= kMax && k <= p.N(); k++ {
-		sub, err := p.Subset(mask, k)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: sweep k=%d: %w", k, err)
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		pt := SweepPoint{K: k, FinalK: sub.K()}
-		for t := range p.Targets {
-			ev, err := p.Evaluate(sub, t)
-			if err != nil {
-				return nil, err
-			}
-			pt.MedianError = append(pt.MedianError, ev.Summary.Median)
-			pt.Reduction = append(pt.Reduction, ev.Reduction.Total)
+		pt, err := p.sweepPoint(mask, k)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// sweepPoint computes one K of the sweep. It is pure in (mask, k), the
+// property that lets SweepKParallel fan K values out and merge the
+// points back in order with results identical to the serial loop.
+func (p *Profile) sweepPoint(mask features.Mask, k int) (SweepPoint, error) {
+	sub, err := p.Subset(mask, k)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("pipeline: sweep k=%d: %w", k, err)
+	}
+	pt := SweepPoint{K: k, FinalK: sub.K()}
+	for t := range p.Targets {
+		ev, err := p.Evaluate(sub, t)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		pt.MedianError = append(pt.MedianError, ev.Summary.Median)
+		pt.Reduction = append(pt.Reduction, ev.Reduction.Total)
+	}
+	return pt, nil
 }
 
 // RandomClusteringStats is Figure 7's envelope for one K and one
@@ -53,6 +75,35 @@ type RandomClusteringStats struct {
 // RandomClusterings compares the mask-guided Ward clustering against
 // `trials` uniformly random partitions into K clusters (Figure 7).
 func (p *Profile) RandomClusterings(mask features.Mask, k, trials int, t int, seed uint64) (RandomClusteringStats, error) {
+	return p.RandomClusteringsContext(context.Background(), mask, k, trials, t, seed)
+}
+
+// RandomClusteringsContext is RandomClusterings with cancellation,
+// checked between trials. Every trial draws from its own generator
+// seeded by trialSeeds, so trial i's partition depends only on (seed,
+// i) — the property that makes RandomClusteringsParallel's per-chunk
+// fan-out byte-identical to this serial loop.
+func (p *Profile) RandomClusteringsContext(ctx context.Context, mask features.Mask, k, trials int, t int, seed uint64) (RandomClusteringStats, error) {
+	res, err := p.guidedStats(mask, k, t)
+	if err != nil {
+		return RandomClusteringStats{}, err
+	}
+	seeds := trialSeeds(seed, trials)
+	errs := make([]float64, trials)
+	for trial := 0; trial < trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return RandomClusteringStats{}, err
+		}
+		errs[trial], err = p.randomTrial(mask, seeds[trial], k, t)
+		if err != nil {
+			return RandomClusteringStats{}, err
+		}
+	}
+	return finishRandomStats(res, errs), nil
+}
+
+// guidedStats computes the feature-guided side of the Figure 7 duel.
+func (p *Profile) guidedStats(mask features.Mask, k, t int) (RandomClusteringStats, error) {
 	sub, err := p.Subset(mask, k)
 	if err != nil {
 		return RandomClusteringStats{}, err
@@ -61,30 +112,46 @@ func (p *Profile) RandomClusterings(mask features.Mask, k, trials int, t int, se
 	if err != nil {
 		return RandomClusteringStats{}, err
 	}
-	res := RandomClusteringStats{K: k, Guided: ev.Summary.Median}
+	return RandomClusteringStats{K: k, Guided: ev.Summary.Median}, nil
+}
 
-	r := rng.New(seed)
-	var errs []float64
-	for trial := 0; trial < trials; trial++ {
-		labels := randomPartition(r, p.N(), k)
-		rsub, err := p.SubsetFromLabels(mask, labels)
-		if err != nil {
-			// A random cluster can be entirely ill-behaved with no
-			// surviving neighbor cluster only if everything is
-			// ill-behaved, which Profile construction precludes; any
-			// other error is fatal.
-			return RandomClusteringStats{}, err
-		}
-		rev, err := p.Evaluate(rsub, t)
-		if err != nil {
-			return RandomClusteringStats{}, err
-		}
-		errs = append(errs, rev.Summary.Median)
+// randomTrial runs one random partition and returns its median error.
+func (p *Profile) randomTrial(mask features.Mask, seed uint64, k, t int) (float64, error) {
+	labels := randomPartition(rng.New(seed), p.N(), k)
+	rsub, err := p.SubsetFromLabels(mask, labels)
+	if err != nil {
+		// A random cluster can be entirely ill-behaved with no
+		// surviving neighbor cluster only if everything is
+		// ill-behaved, which Profile construction precludes; any
+		// other error is fatal.
+		return 0, err
 	}
+	rev, err := p.Evaluate(rsub, t)
+	if err != nil {
+		return 0, err
+	}
+	return rev.Summary.Median, nil
+}
+
+// trialSeeds derives one independent sub-seed per trial from the base
+// seed (one SplitMix64 stream, consumed up front), so a trial's
+// outcome is a pure function of (seed, trial index) regardless of
+// which worker runs it.
+func trialSeeds(seed uint64, trials int) []uint64 {
+	r := rng.New(seed)
+	s := make([]uint64, trials)
+	for i := range s {
+		s[i] = r.Uint64()
+	}
+	return s
+}
+
+// finishRandomStats folds per-trial errors into the Figure 7 envelope.
+func finishRandomStats(res RandomClusteringStats, errs []float64) RandomClusteringStats {
 	res.Best = stats.Min(errs)
 	res.Median = stats.Median(errs)
 	res.Worst = stats.Max(errs)
-	return res, nil
+	return res
 }
 
 // randomPartition draws a uniform surjective assignment of n items to
@@ -132,11 +199,20 @@ type PerAppPoint struct {
 // (Figure 8's "Per Application" series). Applications whose clusters
 // are all ill-behaved are excluded, as the paper excludes MG.
 func (p *Profile) PerAppSubsetting(mask features.Mask, repsPerApp int) (PerAppPoint, error) {
+	return p.PerAppSubsettingContext(context.Background(), mask, repsPerApp)
+}
+
+// PerAppSubsettingContext is PerAppSubsetting with cancellation,
+// checked between applications.
+func (p *Profile) PerAppSubsettingContext(ctx context.Context, mask features.Mask, repsPerApp int) (PerAppPoint, error) {
 	pt := PerAppPoint{RepsPerApp: repsPerApp, MedianError: make([]float64, len(p.Targets))}
 	perTargetErrs := make([][]float64, len(p.Targets))
 
 	appIdx := p.AppIndices()
 	for _, name := range sortedKeys(appIdx) {
+		if err := ctx.Err(); err != nil {
+			return pt, err
+		}
 		indices := appIdx[name]
 		sp := p.SubProfile(indices)
 		k := repsPerApp
@@ -201,6 +277,15 @@ func sortedKeys(m map[string][]int) []string {
 // the elbow-selected cluster count. Lower is better. The returned
 // function is safe for concurrent use.
 func (p *Profile) FeatureFitness(targetNames ...string) (ga.Fitness, error) {
+	return p.FeatureFitnessContext(context.Background(), targetNames...)
+}
+
+// FeatureFitnessContext is FeatureFitness with cancellation: once ctx
+// is canceled the fitness short-circuits to +Inf, so an in-flight GA
+// generation stops burning simulation time on results nobody will
+// read (pair it with ga.RunContext, which aborts between
+// evaluations).
+func (p *Profile) FeatureFitnessContext(ctx context.Context, targetNames ...string) (ga.Fitness, error) {
 	var targets []int
 	for _, name := range targetNames {
 		t, err := p.TargetIndex(name)
@@ -213,7 +298,7 @@ func (p *Profile) FeatureFitness(targetNames ...string) (ga.Fitness, error) {
 		return nil, fmt.Errorf("pipeline: fitness needs at least one target")
 	}
 	return func(mask features.Mask) float64 {
-		if mask.Count() == 0 {
+		if ctx.Err() != nil || mask.Count() == 0 {
 			return math.Inf(1)
 		}
 		sub, err := p.Subset(mask, 0) // elbow-selected K

@@ -1,0 +1,189 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"fgbs/internal/features"
+)
+
+// Parallel experiment runners. The expensive experiments are
+// embarrassingly parallel once their unit of work is pure: SweepK's
+// unit is one K (sweepPoint), RandomClusterings' unit is one trial
+// (randomTrial, seeded per trial index). Each runner fans units out
+// over a bounded worker set and merges results back by index, so the
+// output is identical — byte for byte — to the serial loop, whatever
+// the worker count or scheduling order. Profile is immutable and
+// shared read-only by every worker.
+
+// ProgressFunc observes fan-out progress: done units completed out of
+// total. It may be called concurrently from worker goroutines and the
+// done values may arrive slightly out of order; treat it as a gauge,
+// not a strictly monotonic counter. A nil ProgressFunc is ignored.
+type ProgressFunc func(done, total int)
+
+// SweepKParallel is SweepKContext with the K values fanned out over
+// `workers` goroutines (<=1 means serial). Results are merged in K
+// order and are identical to the serial sweep.
+func (p *Profile) SweepKParallel(ctx context.Context, mask features.Mask, kMin, kMax, workers int, progress ProgressFunc) ([]SweepPoint, error) {
+	var ks []int
+	for k := kMin; k <= kMax && k <= p.N(); k++ {
+		ks = append(ks, k)
+	}
+	out := make([]SweepPoint, len(ks))
+	err := runIndexed(ctx, len(ks), workers, progress, func(i int) error {
+		pt, err := p.sweepPoint(mask, ks[i])
+		if err != nil {
+			return err
+		}
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RandomClusteringsParallel is RandomClusteringsContext with the
+// trials fanned out in chunks over `workers` goroutines (<=1 means
+// serial). Trial i always runs with the same derived seed, so the
+// envelope is identical to the serial run.
+func (p *Profile) RandomClusteringsParallel(ctx context.Context, mask features.Mask, k, trials int, t int, seed uint64, workers int, progress ProgressFunc) (RandomClusteringStats, error) {
+	res, err := p.guidedStats(mask, k, t)
+	if err != nil {
+		return RandomClusteringStats{}, err
+	}
+	seeds := trialSeeds(seed, trials)
+	errs := make([]float64, trials)
+	runErr := runChunked(ctx, trials, workers, progress, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			e, err := p.randomTrial(mask, seeds[i], k, t)
+			if err != nil {
+				return err
+			}
+			errs[i] = e
+		}
+		return nil
+	})
+	if runErr != nil {
+		return RandomClusteringStats{}, runErr
+	}
+	return finishRandomStats(res, errs), nil
+}
+
+// runIndexed executes n independent units on up to `workers`
+// goroutines, reporting progress per unit. The error from the
+// lowest-indexed failing unit wins, matching what the serial loop
+// would have returned first.
+func runIndexed(ctx context.Context, n, workers int, progress ProgressFunc, unit func(i int) error) error {
+	return runChunked(ctx, n, workers, progress, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := unit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// runChunked splits [0, n) into contiguous chunks and executes them on
+// up to `workers` goroutines. Chunk boundaries affect only scheduling
+// granularity, never results: every unit's outcome is a pure function
+// of its index. Progress is reported once per finished chunk.
+func runChunked(ctx context.Context, n, workers int, progress ProgressFunc, chunk func(lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial fast path, chunked anyway so progress granularity
+		// matches the parallel path.
+		for lo := 0; lo < n; lo += chunkSize(n, 1) {
+			hi := lo + chunkSize(n, 1)
+			if hi > n {
+				hi = n
+			}
+			if err := chunk(lo, hi); err != nil {
+				return err
+			}
+			if progress != nil {
+				progress(hi, n)
+			}
+		}
+		return nil
+	}
+
+	size := chunkSize(n, workers)
+	type chunkErr struct {
+		lo  int
+		err error
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstE  *chunkErr
+		doneCnt atomic.Int64
+	)
+	sem := make(chan struct{}, workers)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			if err := chunk(lo, hi); err != nil {
+				mu.Lock()
+				// Keep the lowest-indexed failure: it is the one the
+				// serial loop would have hit first, so parallel error
+				// reporting is deterministic too.
+				if firstE == nil || lo < firstE.lo {
+					firstE = &chunkErr{lo: lo, err: err}
+				}
+				mu.Unlock()
+				return
+			}
+			if progress != nil {
+				progress(int(doneCnt.Add(int64(hi-lo))), n)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if firstE != nil {
+		return firstE.err
+	}
+	return nil
+}
+
+// chunkSize picks the fan-out granularity: enough chunks to keep the
+// pool busy and progress lively (4 per worker), capped so tiny inputs
+// still split, floored at one unit.
+func chunkSize(n, workers int) int {
+	size := n / (workers * 4)
+	if size > 256 {
+		size = 256
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}

@@ -284,5 +284,6 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 			"diskLoads":      s.registry.diskLoads.Load(),
 			"inFlightBuilds": s.registry.building.Load(),
 		},
+		"jobs": s.jobs.Stats(),
 	})
 }

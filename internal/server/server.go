@@ -13,14 +13,25 @@
 //	POST /v1/select    rank all targets, return the best system
 //	GET  /v1/suites    known suites and their load state
 //	GET  /healthz      liveness
-//	GET  /metricz      request/cache/registry counters, latency quantiles
+//	GET  /metricz      request/cache/registry/jobs counters, latency quantiles
+//
+// Long experiments (the Figure 3 sweep, the Figure 7 random baseline,
+// the §4.2 GA) run asynchronously on a bounded worker pool:
+//
+//	POST   /v1/jobs             submit (kind: sweep | randbaseline | ga)
+//	GET    /v1/jobs             list jobs, newest first
+//	GET    /v1/jobs/{id}        state + progress
+//	GET    /v1/jobs/{id}/result completed result
+//	DELETE /v1/jobs/{id}        cancel
 package server
 
 import (
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"fgbs/internal/ir"
+	"fgbs/internal/jobs"
 	"fgbs/internal/suites"
 )
 
@@ -45,6 +56,16 @@ type Config struct {
 	// Programs resolves a suite name to its IR programs; defaults to
 	// suites.Programs. Tests inject small synthetic suites here.
 	Programs func(string) ([]*ir.Program, error)
+	// JobWorkers bounds concurrently running experiment jobs
+	// (0 = GOMAXPROCS). Each job additionally fans out its own
+	// experiment-level parallelism.
+	JobWorkers int
+	// JobQueueDepth bounds queued jobs; submits fail fast when full
+	// (default 64).
+	JobQueueDepth int
+	// JobRetention is how long terminal jobs stay pollable
+	// (default 15m).
+	JobRetention time.Duration
 }
 
 // Server answers system-selection queries over shared, cached
@@ -55,6 +76,7 @@ type Server struct {
 	registry *registry
 	results  *resultCache
 	metrics  *httpMetrics
+	jobs     *jobs.Manager
 	mux      *http.ServeMux
 	started  time.Time
 }
@@ -67,14 +89,24 @@ func New(cfg Config) *Server {
 	if cfg.SuiteNames == nil {
 		cfg.SuiteNames = suites.Names()
 	}
+	jobDir := ""
+	if cfg.ProfileDir != "" {
+		jobDir = filepath.Join(cfg.ProfileDir, "jobs")
+	}
 	s := &Server{
 		cfg:      cfg,
 		suiteSet: cfg.SuiteNames,
 		registry: newRegistry(cfg),
 		results:  newResultCache(cfg.ResultCacheSize),
 		metrics:  newHTTPMetrics(),
-		mux:      http.NewServeMux(),
-		started:  time.Now(),
+		jobs: jobs.NewManager(jobs.Config{
+			Workers:    cfg.JobWorkers,
+			QueueDepth: cfg.JobQueueDepth,
+			Retention:  cfg.JobRetention,
+			Dir:        jobDir,
+		}),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
 	}
 	s.route("/v1/subset", s.handleSubset)
 	s.route("/v1/evaluate", s.handleEvaluate)
@@ -82,6 +114,11 @@ func New(cfg Config) *Server {
 	s.route("/v1/suites", s.handleSuites)
 	s.route("/healthz", s.handleHealthz)
 	s.route("/metricz", s.handleMetricz)
+	s.route("POST /v1/jobs", s.handleJobSubmit)
+	s.route("GET /v1/jobs", s.handleJobList)
+	s.route("GET /v1/jobs/{id}", s.handleJobGet)
+	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return s
 }
 
@@ -92,9 +129,13 @@ func (s *Server) route(path string, h http.HandlerFunc) {
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close cancels any in-flight profiling builds. In-memory profiles
+// Close cancels every experiment job and any in-flight profiling
+// builds, then waits for the job workers to drain. In-memory profiles
 // and cached results simply become garbage.
-func (s *Server) Close() { s.registry.Close() }
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.registry.Close()
+}
 
 // validSuite reports whether the server serves the named suite.
 func (s *Server) validSuite(name string) bool {
