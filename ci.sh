@@ -1,5 +1,5 @@
 #!/bin/sh
-# ci.sh — the repository's verify command. Runs the same four gates a
+# ci.sh — the repository's verify command. Runs the same gates a
 # reviewer runs locally; any failure is a red build.
 #
 #   ./ci.sh
@@ -7,16 +7,22 @@ set -eu
 
 cd "$(dirname "$0")"
 
-echo "== gofmt =="
-unformatted=$(gofmt -l .)
+echo "== gofmt -s =="
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:" >&2
+	echo "gofmt -s needed on:" >&2
 	echo "$unformatted" >&2
 	exit 1
 fi
 
 echo "== go vet =="
 go vet ./...
+
+# fgbsvet is the repository's own invariant analyzer (determinism,
+# ctxpropagation, floatcompare, errwrap, guardedby — see DESIGN.md).
+# Findings are suppressed only at the site with //fgbs:allow + reason.
+echo "== fgbsvet =="
+go run ./cmd/fgbsvet ./...
 
 echo "== go build =="
 go build ./...
@@ -29,8 +35,9 @@ go test -race -timeout 25m ./...
 
 # Benchmarks rot silently if nothing executes them: run the fastest one
 # once (no profiling fixture) so the whole bench file stays compilable
-# AND runnable.
+# AND runnable, plus the Figure 7 parallel baseline so the fan-out
+# path (and its byte-identical-to-serial contract) stays exercised.
 echo "== bench smoke =="
-go test -run='^$' -bench='^BenchmarkTable1Architectures$' -benchtime=1x .
+go test -run='^$' -bench='^BenchmarkTable1Architectures$|^BenchmarkFigure7RandomClusteringBaselineParallel$' -benchtime=1x .
 
 echo "ci.sh: all checks passed"

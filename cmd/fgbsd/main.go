@@ -177,6 +177,7 @@ func run(ctx context.Context, cfg daemonConfig) error {
 	case <-ctx.Done():
 	}
 	fmt.Println("fgbsd: shutting down")
+	//fgbs:allow ctxpropagation the graceful drain must outlive the already-canceled signal ctx
 	drain, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return httpSrv.Shutdown(drain)

@@ -1,0 +1,111 @@
+// Command fgbsvet runs the repository's invariant analyzers over the
+// module and reports findings in the standard file:line:col form.
+//
+// Usage:
+//
+//	fgbsvet [flags] [packages]
+//
+// Packages are go-tool-style patterns ("./...", "./internal/pipeline",
+// "fgbs/internal/ga/..."); the default is ./... from the current
+// module. Exit status is 0 when the tree is clean, 1 when any finding
+// survives, and 2 on usage or load errors.
+//
+// Flags:
+//
+//	-checks list   comma-separated checks to run (default: all)
+//	-list          print the available checks and exit
+//
+// Findings are suppressed at the site with an inline
+// //fgbs:allow <check> <reason> comment; see DESIGN.md's "Static
+// analysis" section for each check's contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fgbs/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("fgbsvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	list := fs.Bool("list", false, "print the available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, c := range analysis.Checks() {
+			fmt.Fprintf(stdout, "%-16s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	opts, err := parseChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "fgbsvet:", err)
+		return 2
+	}
+
+	mod, err := analysis.LoadModule(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "fgbsvet:", err)
+		return 2
+	}
+	pkgs, err := mod.Select(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "fgbsvet:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "fgbsvet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "fgbsvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// parseChecks validates the -checks flag up front, with errors that
+// list the valid names (the cmd/fgbs convention).
+func parseChecks(list string) (analysis.Options, error) {
+	var opts analysis.Options
+	if list == "" {
+		return opts, nil
+	}
+	valid := make(map[string]bool)
+	for _, name := range analysis.CheckNames() {
+		valid[name] = true
+	}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !valid[name] {
+			return opts, fmt.Errorf("unknown check %q (valid: %s)",
+				name, strings.Join(analysis.CheckNames(), ", "))
+		}
+		opts.Checks = append(opts.Checks, name)
+	}
+	if len(opts.Checks) == 0 {
+		return opts, fmt.Errorf("-checks lists no checks (valid: %s)",
+			strings.Join(analysis.CheckNames(), ", "))
+	}
+	return opts, nil
+}

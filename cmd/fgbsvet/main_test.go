@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanTree is the end-to-end acceptance gate: fgbsvet over the
+// real module exits 0 with no output. LoadModule walks up from the
+// test's working directory to the repository's go.mod.
+func TestRunCleanTree(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(&stdout, &stderr, []string{"./..."}); code != 0 {
+		t.Fatalf("fgbsvet ./... = exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed:\n%s", stdout.String())
+	}
+}
+
+// TestRunFindings: on a module with a violation, fgbsvet exits 1 and
+// prints a file:line:col diagnostic.
+func TestRunFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "clock.go"),
+		"package scratch\n\nimport \"time\"\n\nfunc Stamp() time.Time {\n\treturn time.Now()\n}\n")
+	t.Chdir(dir)
+
+	var stdout, stderr strings.Builder
+	if code := run(&stdout, &stderr, nil); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "clock.go:6:9:") || !strings.Contains(out, "[determinism]") {
+		t.Errorf("diagnostic output missing file:line:col or check name:\n%s", out)
+	}
+}
+
+// TestRunChecksFlagFilters: -checks narrows the suite, so the same
+// violation passes when only an unrelated check runs.
+func TestRunChecksFlagFilters(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "clock.go"),
+		"package scratch\n\nimport \"time\"\n\nfunc Stamp() time.Time {\n\treturn time.Now()\n}\n")
+	t.Chdir(dir)
+
+	var stdout, stderr strings.Builder
+	if code := run(&stdout, &stderr, []string{"-checks", "floatcompare,errwrap"}); code != 0 {
+		t.Fatalf("exit %d, want 0 (determinism disabled)\nstdout:\n%s", code, stdout.String())
+	}
+}
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"unknown check", []string{"-checks", "ghost"}, "valid: determinism, ctxpropagation, floatcompare, errwrap, guardedby"},
+		{"empty checks", []string{"-checks", ","}, "lists no checks"},
+		{"bad flag", []string{"-bogus"}, "-bogus"},
+		{"unknown package", []string{"./nonexistent"}, "no packages match"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(&stdout, &stderr, c.args); code != 2 {
+				t.Fatalf("run(%v) = exit %d, want 2", c.args, code)
+			}
+			if !strings.Contains(stderr.String(), c.want) {
+				t.Errorf("stderr %q lacks %q", stderr.String(), c.want)
+			}
+		})
+	}
+}
+
+func TestListPrintsEveryCheck(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(&stdout, &stderr, []string{"-list"}); code != 0 {
+		t.Fatalf("-list = exit %d", code)
+	}
+	for _, name := range []string{"determinism", "ctxpropagation", "floatcompare", "errwrap", "guardedby"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output lacks %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

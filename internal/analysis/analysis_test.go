@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// loadRealTree loads the enclosing module once for all tests; the
+// stdlib source-import is the expensive part and is identical across
+// callers.
+var realTreeOnce = sync.OnceValues(func() (*Module, error) {
+	return LoadModule("../..")
+})
+
+func loadRealTree(t *testing.T) *Module {
+	t.Helper()
+	mod, err := realTreeOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// Corpus harness: each check has a testdata/src/<check> package whose
+// lines carry golden assertions of the form
+//
+//	want "regexp" ["regexp" ...]
+//
+// inside a comment. Every diagnostic must match an assertion on its
+// line and every assertion must be matched by a diagnostic — so the
+// corpora pin both the positive cases and the suppressed ones (a
+// suppressed line simply carries no want).
+
+func TestDeterminismCorpus(t *testing.T)    { testCorpus(t, "determinism") }
+func TestCtxPropagationCorpus(t *testing.T) { testCorpus(t, "ctxpropagation") }
+func TestFloatCompareCorpus(t *testing.T)   { testCorpus(t, "floatcompare") }
+func TestErrWrapCorpus(t *testing.T)        { testCorpus(t, "errwrap") }
+func TestGuardedByCorpus(t *testing.T)      { testCorpus(t, "guardedby") }
+
+func testCorpus(t *testing.T, check string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", check)
+	pkg, err := LoadDir(dir, "corpus/"+check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, Options{Checks: []string{check}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !consumeWant(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s: no diagnostic matched want %q", key, re)
+			}
+		}
+	}
+}
+
+var wantLineRe = regexp.MustCompile(`\bwant ("(?:[^"\\]|\\.)*")`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants parses every want assertion in dir's Go files, keyed
+// by "file:line".
+func collectWants(dir string) (map[string][]*regexp.Regexp, error) {
+	wants := make(map[string][]*regexp.Regexp)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			loc := wantLineRe.FindStringIndex(text)
+			if loc == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", path, line)
+			for _, m := range wantArgRe.FindAllStringSubmatch(text[loc[0]:], -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("%s: bad want %q: %v", key, m[1], err)
+				}
+				wants[key] = append(wants[key], re)
+			}
+		}
+		f.Close()
+	}
+	return wants, nil
+}
+
+// consumeWant marks the first unconsumed assertion on the diagnostic's
+// line that matches its message.
+func consumeWant(wants map[string][]*regexp.Regexp, file string, line int, msg string) bool {
+	key := fmt.Sprintf("%s:%d", file, line)
+	for i, re := range wants[key] {
+		if re != nil && re.MatchString(msg) {
+			wants[key][i] = nil
+			return true
+		}
+	}
+	return false
+}
+
+// TestRealTreeIsClean is the acceptance gate: the shipped module must
+// carry zero findings (fixed or justified with //fgbs:allow).
+func TestRealTreeIsClean(t *testing.T) {
+	mod := loadRealTree(t)
+	diags, err := Run(mod.Pkgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding on the real tree: %s", d)
+	}
+}
+
+// TestRunRejectsUnknownCheck pins the flag-validation convention: the
+// error names the valid checks.
+func TestRunRejectsUnknownCheck(t *testing.T) {
+	_, err := Run(nil, Options{Checks: []string{"ghost"}})
+	if err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Errorf("Run with unknown check = %v, want error listing valid checks", err)
+	}
+}
+
+// loadSnippet type-checks one generated file as a package, for cases
+// (like malformed suppressions) that cannot carry same-line want
+// assertions.
+func loadSnippet(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "corpus/snippet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestMalformedAllows: a suppression that cannot work (no check, bad
+// check, or no reason) must itself surface as a finding instead of
+// silently not suppressing.
+func TestMalformedAllows(t *testing.T) {
+	cases := []struct {
+		name      string
+		directive string
+		want      string
+	}{
+		{"bare", "//fgbs:allow", "needs a check name and a reason"},
+		{"unknown check", "//fgbs:allow ghostcheck because reasons", `unknown check "ghostcheck"`},
+		{"missing reason", "//fgbs:allow determinism", "needs a reason"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := "package snippet\n\nimport \"time\"\n\nfunc f() time.Time {\n\t" +
+				c.directive + "\n\treturn time.Now()\n}\n"
+			pkg := loadSnippet(t, src)
+			diags, err := Run([]*Package{pkg}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var allowMsg, determinism bool
+			for _, d := range diags {
+				if d.Check == "allow" && strings.Contains(d.Message, c.want) {
+					allowMsg = true
+				}
+				if d.Check == "determinism" {
+					determinism = true
+				}
+			}
+			if !allowMsg {
+				t.Errorf("diagnostics %v lack an allow finding containing %q", diags, c.want)
+			}
+			if !determinism {
+				t.Errorf("broken directive still suppressed the determinism finding: %v", diags)
+			}
+		})
+	}
+}
+
+// TestAllowOnPrecedingLine: the directive suppresses from its own line
+// or the line directly above, but not further away.
+func TestAllowOnPrecedingLine(t *testing.T) {
+	src := `package snippet
+
+import "time"
+
+func f() time.Time {
+	//fgbs:allow determinism display timestamp only
+	return time.Now()
+}
+
+func g() time.Time {
+	//fgbs:allow determinism too far away to apply
+
+	return time.Now()
+}
+`
+	pkg := loadSnippet(t, src)
+	diags, err := Run([]*Package{pkg}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the finding in g", diags)
+	}
+	if diags[0].Pos.Line != 13 {
+		t.Errorf("finding at line %d, want 13 (g's time.Now)", diags[0].Pos.Line)
+	}
+}
+
+// TestSelectPatterns covers the package-pattern forms fgbsvet accepts.
+func TestSelectPatterns(t *testing.T) {
+	mod := loadRealTree(t)
+	cases := []struct {
+		patterns []string
+		wantAny  string
+		wantErr  bool
+	}{
+		{nil, "fgbs/internal/analysis", false},
+		{[]string{"./..."}, "fgbs/internal/rng", false},
+		{[]string{"./internal/rng"}, "fgbs/internal/rng", false},
+		{[]string{"internal/suites/..."}, "fgbs/internal/suites/nas", false},
+		{[]string{"fgbs/internal/ga"}, "fgbs/internal/ga", false},
+		{[]string{"."}, "fgbs", false},
+		{[]string{"./nonexistent"}, "", true},
+	}
+	for _, c := range cases {
+		pkgs, err := mod.Select(c.patterns)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("Select(%v) succeeded, want error", c.patterns)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Select(%v): %v", c.patterns, err)
+			continue
+		}
+		found := false
+		for _, p := range pkgs {
+			if p.Path == c.wantAny {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Select(%v) = %d packages without %s", c.patterns, len(pkgs), c.wantAny)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismCheck guards the reproducibility contract PR 2's parallel
+// runners rely on: results must be byte-identical across worker counts
+// and reruns. That only holds when every random draw flows through a
+// seeded internal/rng stream and every timestamp comes from an
+// injected clock (the jobs.now hook pattern) — so any reference to
+// time.Now or to math/rand's functions is a finding, module-wide.
+// Infrastructure that legitimately reads the wall clock (HTTP metrics,
+// uptime) carries an //fgbs:allow determinism annotation; the
+// deterministic pipeline packages (internal/cluster, features, ga,
+// pipeline, predict, represent, sim, stats, ir, extract, compile)
+// must never need one.
+var determinismCheck = &Check{
+	Name: "determinism",
+	Doc:  "forbid time.Now and math/rand: use internal/rng streams and injected clocks",
+	run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on an injected *rand.Rand) are fine
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" {
+					p.Reportf(sel.Pos(), "time.Now reads the wall clock; inject a clock (the jobs.now hook pattern) so runs stay reproducible")
+				}
+			case "math/rand", "math/rand/v2":
+				p.Reportf(sel.Pos(), "%s.%s bypasses internal/rng; all randomness must come from a seeded rng.RNG stream", obj.Pkg().Name(), obj.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// floatCompareCheck bans raw floating-point equality. Accumulated
+// rounding differs across evaluation orders, so a bare == or != (or a
+// switch on a float) silently encodes an assumption the hardware does
+// not honor; comparisons belong behind the epsilon-aware helpers in
+// internal/stats, which is exempt, as are *_test.go files (golden
+// assertions compare exact bytes on purpose).
+var floatCompareCheck = &Check{
+	Name: "floatcompare",
+	Doc:  "forbid ==/!=/switch on floating-point operands outside tests and internal/stats",
+	run:  runFloatCompare,
+}
+
+// floatCompareExemptSuffix names the approved-helper package: the
+// epsilon-aware comparison code itself.
+const floatCompareExemptSuffix = "internal/stats"
+
+func runFloatCompare(p *Pass) {
+	if p.Pkg.Path == floatCompareExemptSuffix ||
+		strings.HasSuffix(p.Pkg.Path, "/"+floatCompareExemptSuffix) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isFloat(p, n.X) || isFloat(p, n.Y) {
+					p.Reportf(n.OpPos, "floating-point %s comparison; use an epsilon or an internal/stats helper", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(p, n.Tag) {
+					p.Reportf(n.Tag.Pos(), "switch on a floating-point value compares floats exactly; use an epsilon or an internal/stats helper")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether expr has (possibly untyped) floating-point
+// type.
+func isFloat(p *Pass, expr ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

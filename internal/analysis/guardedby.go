@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// guardedByCheck turns the informal "// guarded by mu" field comment
+// into a machine-checked invariant: every method of the struct that
+// reads or writes an annotated field must acquire the named mutex
+// (mu.Lock or mu.RLock on the receiver) somewhere in its body. The
+// tracking is intra-procedural and syntactic — helper methods that
+// run with the lock already held document that with //fgbs:allow.
+var guardedByCheck = &Check{
+	Name: "guardedby",
+	Doc:  "fields annotated '// guarded by <mu>' must only be touched by methods that lock <mu>",
+	run:  runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardedField records one annotation: struct type name, field name,
+// and the mutex field that guards it.
+type guardedField struct {
+	structName string
+	field      string
+	mu         string
+}
+
+func runGuardedBy(p *Pass) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			recvName, typeName := receiverInfo(fn)
+			if recvName == "" {
+				continue
+			}
+			fields := guards[typeName]
+			if len(fields) == 0 {
+				continue
+			}
+			locked := lockedMutexes(fn.Body, recvName)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok || x.Name != recvName {
+					return true
+				}
+				mu, guarded := fields[sel.Sel.Name]
+				if guarded && !locked[mu] {
+					p.Reportf(sel.Pos(), "%s.%s is guarded by %s, but %s never locks it",
+						typeName, sel.Sel.Name, mu, fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectGuards gathers '// guarded by <mu>' field annotations,
+// validating that the named mutex is a sibling field.
+func collectGuards(p *Pass) map[string]map[string]string {
+	guards := make(map[string]map[string]string)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				if !siblings[mu] {
+					p.Reportf(field.Pos(), "'guarded by %s' names no field of %s", mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					if guards[ts.Name.Name] == nil {
+						guards[ts.Name.Name] = make(map[string]string)
+					}
+					guards[ts.Name.Name][name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, or "" when the field carries no annotation.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// receiverInfo returns the receiver variable name and its base type
+// name ("" when the receiver is unnamed or anonymous).
+func receiverInfo(fn *ast.FuncDecl) (recvName, typeName string) {
+	recv := fn.Recv.List[0]
+	if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+		return "", ""
+	}
+	t := recv.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers appear as IndexExpr/IndexListExpr; unwrap.
+	switch it := t.(type) {
+	case *ast.IndexExpr:
+		t = it.X
+	case *ast.IndexListExpr:
+		t = it.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	return recv.Names[0].Name, id.Name
+}
+
+// lockedMutexes returns the set of receiver mutex fields on which the
+// body calls Lock or RLock (recv.mu.Lock(), possibly deferred).
+func lockedMutexes(body *ast.BlockStmt, recvName string) map[string]bool {
+	locked := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if x, ok := muSel.X.(*ast.Ident); ok && x.Name == recvName {
+			locked[muSel.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}

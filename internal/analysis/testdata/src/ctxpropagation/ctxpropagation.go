@@ -1,0 +1,54 @@
+// Corpus for the ctxpropagation check: functions holding a ctx must
+// pass it on instead of minting fresh contexts or calling the
+// context-free variant of a function that has a Context sibling.
+package ctxpropagation
+
+import "context"
+
+func SweepK() int                           { return 0 }
+func SweepKContext(ctx context.Context) int { return 0 }
+func Standalone() int                       { return 0 }
+func use(ctx context.Context, n int)        {}
+func report(name string, n int)             {}
+func lookup(ctx context.Context, name string) int {
+	return 0
+}
+
+type Profile struct{}
+
+func (p *Profile) Evaluate() int                           { return 0 }
+func (p *Profile) EvaluateContext(ctx context.Context) int { return 0 }
+
+func holder(ctx context.Context) {
+	SweepK()                            // want "SweepK drops the in-scope ctx; call SweepKContext"
+	SweepKContext(ctx)                  // propagated: no finding
+	SweepKContext(context.Background()) // want "Background.. passed while a ctx is in scope"
+	use(context.TODO(), 1)              // want "TODO.. passed while a ctx is in scope"
+	Standalone()                        // no Context sibling: no finding
+}
+
+func methodHolder(ctx context.Context, p *Profile) {
+	p.Evaluate()           // want "Evaluate drops the in-scope ctx; call EvaluateContext"
+	p.EvaluateContext(ctx) // propagated: no finding
+}
+
+// closures still see ctx, so the body of a literal counts.
+func litHolder() func(context.Context) {
+	return func(ctx context.Context) {
+		SweepK() // want "SweepK drops the in-scope ctx"
+	}
+}
+
+// noCtx has no context parameter: delegation wrappers like SweepK
+// calling SweepKContext with a fresh Background are the approved
+// pattern and must not be flagged.
+func noCtx() int {
+	return SweepKContext(context.Background())
+}
+
+func suppressed(ctx context.Context) {
+	//fgbs:allow ctxpropagation corpus: detached background build outlives the request
+	SweepKContext(context.Background())
+	//fgbs:allow ctxpropagation corpus: fire-and-forget telemetry
+	SweepK()
+}

@@ -1,0 +1,44 @@
+// Corpus for the determinism check: wall-clock reads and math/rand
+// draws are findings; injected clocks and rng methods are not.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func nowAsValue() func() time.Time {
+	return time.Now // want "time.Now reads the wall clock"
+}
+
+func draw() int {
+	return rand.Intn(10) // want "rand.Intn bypasses internal/rng"
+}
+
+func fresh() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want "rand.New bypasses internal/rng" "rand.NewSource bypasses internal/rng"
+}
+
+// methodsAreFine: once a generator is injected, its methods are the
+// caller's responsibility, not a new randomness source.
+func methodsAreFine(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// injectedClock is the approved pattern: the clock is a parameter.
+func injectedClock(now func() time.Time) time.Time {
+	return now()
+}
+
+func suppressed() time.Time {
+	//fgbs:allow determinism corpus: uptime display only, no experiment reads it
+	return time.Now()
+}
+
+func suppressedTrailing() int {
+	return rand.Intn(3) //fgbs:allow determinism corpus: jitter for backoff, not an experiment
+}

@@ -1,0 +1,41 @@
+// Corpus for the errwrap check: fmt.Errorf formatting an error without
+// %w flattens the chain and is a finding.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("boom")
+
+func bad() error {
+	return fmt.Errorf("load failed: %v", errSentinel) // want "fmt.Errorf formats an error without %w"
+}
+
+func badString(path string, err error) error {
+	return fmt.Errorf("read %s: %s", path, err) // want "fmt.Errorf formats an error without %w"
+}
+
+func good() error {
+	return fmt.Errorf("load failed: %w", errSentinel)
+}
+
+func goodMixed(path string, err error) error {
+	return fmt.Errorf("read %s: %w", path, err)
+}
+
+func noError(path string) error {
+	return fmt.Errorf("read %s: corrupt header", path)
+}
+
+// flattenedText passes the message, not the error: the chain was
+// already cut deliberately and visibly at the call site.
+func flattenedText(err error) error {
+	return fmt.Errorf("wrapped: %s", err.Error())
+}
+
+func suppressed(err error) error {
+	//fgbs:allow errwrap corpus: public API promises an opaque error string
+	return fmt.Errorf("internal failure: %v", err)
+}

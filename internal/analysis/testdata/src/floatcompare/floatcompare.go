@@ -1,0 +1,42 @@
+// Corpus for the floatcompare check: raw ==/!= and switch on floats
+// are findings; integer comparisons and suppressed sites are not.
+package floatcompare
+
+func eq(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func neq(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+type celsius float64
+
+func named(a, b celsius) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func mixed(a float64) bool {
+	return a == 0 // want "floating-point == comparison"
+}
+
+func sw(x float64) int {
+	switch x { // want "switch on a floating-point value"
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func ordered(a, b float64) bool {
+	return a < b // orderings are fine; only equality is banned
+}
+
+func suppressed(a, b float64) bool {
+	//fgbs:allow floatcompare corpus: bit-exact guard against the sentinel value
+	return a == b
+}

@@ -1,0 +1,67 @@
+// Corpus for the guardedby check: methods touching a field annotated
+// '// guarded by <mu>' must lock that mutex somewhere in their body.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) bad() int {
+	return c.n // want "counter.n is guarded by mu, but bad never locks it"
+}
+
+func (c *counter) wrongLock(other *counter) int {
+	other.mu.Lock() // locking someone else's mutex does not count
+	defer other.mu.Unlock()
+	return c.n // want "counter.n is guarded by mu, but wrongLock never locks it"
+}
+
+func (c *counter) suppressed() int {
+	//fgbs:allow guardedby corpus: caller holds mu, locked-suffix contract
+	return c.n
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	// v is the published value.
+	// guarded by mu
+	v float64
+}
+
+func (g *gauge) read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+func (g *gauge) set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+type typo struct {
+	mux sync.Mutex
+	n   int // guarded by mu; want "'guarded by mu' names no field of typo"
+}
+
+func (t *typo) get() int {
+	return t.n // the broken annotation guards nothing, so no finding here
+}
+
+type free struct {
+	n int // unannotated fields are never checked
+}
+
+func (f *free) get() int {
+	return f.n
+}

@@ -279,6 +279,7 @@ func (m *Machine) Validate() error {
 	if m.Overlap < 0 || m.Overlap > 1 {
 		return fmt.Errorf("arch %s: overlap %f outside [0,1]", m.Name, m.Overlap)
 	}
+	//fgbs:allow floatcompare exact-zero sentinel: in-order overlap is set to literal 0, never computed
 	if m.InOrder && m.Overlap != 0 {
 		return fmt.Errorf("arch %s: in-order core cannot overlap misses", m.Name)
 	}

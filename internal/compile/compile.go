@@ -376,6 +376,7 @@ func (c *Codelet) VecRatios(params map[string]int64) VecRatios {
 }
 
 func ratio(num, den float64) float64 {
+	//fgbs:allow floatcompare exact-zero division guard, not a tolerance comparison
 	if den == 0 {
 		return 0
 	}

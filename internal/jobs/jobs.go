@@ -83,13 +83,13 @@ type Job struct {
 	progress Progress
 
 	mu       sync.Mutex
-	state    State
-	result   any
-	err      error
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc
+	state    State              // guarded by mu
+	result   any                // guarded by mu
+	err      error              // guarded by mu
+	created  time.Time          // guarded by mu
+	started  time.Time          // guarded by mu
+	finished time.Time          // guarded by mu
+	cancel   context.CancelFunc // guarded by mu
 	// done is closed when the job reaches a terminal state.
 	done chan struct{}
 }
@@ -174,7 +174,7 @@ func (c *Config) fill() {
 		c.MaxRetained = 128
 	}
 	if c.now == nil {
-		c.now = time.Now
+		c.now = time.Now //fgbs:allow determinism the injection point itself: tests swap this hook for a fake clock
 	}
 }
 
@@ -206,8 +206,8 @@ type Manager struct {
 	wg    sync.WaitGroup
 
 	mu   sync.Mutex
-	jobs map[string]*Job
-	seq  uint64
+	jobs map[string]*Job // guarded by mu
+	seq  uint64          // guarded by mu
 
 	queued    atomic.Int64
 	running   atomic.Int64
@@ -460,6 +460,7 @@ func (m *Manager) persist(j *Job) {
 func (m *Manager) gcLocked() {
 	cutoff := m.cfg.now().Add(-m.cfg.Retention)
 	var terminal []*Job
+	//fgbs:allow guardedby the *Locked naming contract: every caller holds m.mu
 	for _, j := range m.jobs {
 		j.mu.Lock()
 		t, fin := j.state.Terminal(), j.finished
@@ -483,6 +484,7 @@ func (m *Manager) gcLocked() {
 
 // dropLocked removes a job from the map and its persisted file.
 func (m *Manager) dropLocked(j *Job) {
+	//fgbs:allow guardedby the *Locked naming contract: every caller holds m.mu
 	delete(m.jobs, j.id)
 	if m.cfg.Dir != "" {
 		os.Remove(filepath.Join(m.cfg.Dir, j.id+".json"))

@@ -158,6 +158,7 @@ func Analyze(p *ir.Program, c *ir.Codelet, m *arch.Machine) Static {
 		}
 		wRegs += w * regs
 	}
+	//fgbs:allow floatcompare exact-zero division guard, not a tolerance comparison
 	if totalW == 0 {
 		return s
 	}

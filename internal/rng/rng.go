@@ -81,6 +81,7 @@ func (r *RNG) Float64() float64 {
 // uniforms per call).
 func (r *RNG) NormFloat64() float64 {
 	u1 := r.Float64()
+	//fgbs:allow floatcompare exact-zero rejection: log(0) must be avoided, any nonzero value is fine
 	for u1 == 0 {
 		u1 = r.Float64()
 	}

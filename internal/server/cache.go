@@ -17,11 +17,11 @@ import (
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	ll    *list.List               // front = most recently used; guarded by mu
+	items map[string]*list.Element // guarded by mu
 
-	hits   int64
-	misses int64
+	hits   int64 // guarded by mu
+	misses int64 // guarded by mu
 }
 
 type cacheEntry struct {

@@ -78,6 +78,7 @@ func (req *jobRequest) fillDefaults(serverSeed uint64) {
 	if req.Generations == 0 {
 		req.Generations = 40
 	}
+	//fgbs:allow floatcompare exact-zero means "field omitted from the request JSON"
 	if req.MutationProb == 0 {
 		req.MutationProb = 0.01
 	}

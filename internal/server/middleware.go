@@ -25,8 +25,8 @@ type endpointStats struct {
 // and per-endpoint latency quantiles for /metricz.
 type httpMetrics struct {
 	mu        sync.Mutex
-	endpoints map[string]*endpointStats
-	inFlight  int64
+	endpoints map[string]*endpointStats // guarded by mu
+	inFlight  int64                     // guarded by mu
 }
 
 func newHTTPMetrics() *httpMetrics {
@@ -47,7 +47,7 @@ func (w *statusWriter) WriteHeader(code int) {
 // Wrap instruments a handler under the given route name.
 func (m *httpMetrics) Wrap(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := time.Now() //fgbs:allow determinism latency metrics measure real wall time; no experiment result depends on it
 		m.mu.Lock()
 		m.inFlight++
 		m.mu.Unlock()

@@ -37,7 +37,7 @@ type registry struct {
 	stop context.CancelFunc
 
 	mu      sync.Mutex
-	entries map[string]*regEntry
+	entries map[string]*regEntry // guarded by mu
 
 	builds    atomic.Int64 // profiling runs started
 	coalesced atomic.Int64 // requests that joined an in-flight build

@@ -106,7 +106,7 @@ func New(cfg Config) *Server {
 			Dir:        jobDir,
 		}),
 		mux:     http.NewServeMux(),
-		started: time.Now(),
+		started: time.Now(), //fgbs:allow determinism /healthz uptime reports real wall time; no experiment result depends on it
 	}
 	s.route("/v1/subset", s.handleSubset)
 	s.route("/v1/evaluate", s.handleEvaluate)
