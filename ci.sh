@@ -27,6 +27,15 @@ go run ./cmd/fgbsvet ./...
 echo "== go build =="
 go build ./...
 
+# The chaos gate drives fault-injected measurement end to end on a
+# fixed seed (20140215, the reference profile): subset predictions must
+# stay within 2x the clean-run error and every fault schedule must
+# converge or degrade loudly (stale markers, breaker state) — never
+# silently corrupt a result. -race is mandatory here: retry/backoff
+# and breaker probing are where the concurrency lives.
+echo "== chaos =="
+go test -race -timeout 20m -run '^TestChaos' ./internal/pipeline ./internal/server
+
 # Heavy single-threaded reproduction tests in the root package skip
 # themselves under -race (see skipIfRace in fixtures_test.go); all
 # concurrency-bearing code runs with the detector on.

@@ -49,6 +49,11 @@
 //	-j N            parallel workers for the f3/f7 sweeps and the
 //	                sweep export (0 = GOMAXPROCS, 1 = serial); the
 //	                output is identical at every worker count
+//	-faultprofile p JSON fault-injection profile applied to every
+//	                measurement, with the robust retry/outlier-rejection
+//	                protocol mounted on top (chaos testing; see the
+//	                README's "Chaos testing" section). Validated before
+//	                any profiling starts.
 //
 // SIGINT/SIGTERM cancel the running experiment: long sweeps and GA
 // runs abort at the next unit of work instead of ignoring Ctrl-C.
@@ -66,8 +71,10 @@ import (
 	"syscall"
 
 	"fgbs/internal/arch"
+	"fgbs/internal/fault"
 	"fgbs/internal/features"
 	"fgbs/internal/ga"
+	"fgbs/internal/measure"
 	"fgbs/internal/pipeline"
 	"fgbs/internal/report"
 	"fgbs/internal/suites"
@@ -83,17 +90,22 @@ func main() {
 }
 
 type config struct {
-	suite    string
-	target   string
-	k        int
-	seed     uint64
-	trials   int
-	full     bool
-	paperSet bool
-	cache    string
-	codelet  string
-	what     string
-	jobs     int
+	suite     string
+	target    string
+	k         int
+	seed      uint64
+	trials    int
+	full      bool
+	paperSet  bool
+	cache     string
+	codelet   string
+	what      string
+	jobs      int
+	faultPath string
+	// measurer is the fault-injection + robust-measurement stack built
+	// from -faultprofile; nil keeps the pipeline fault-unaware (and
+	// byte-identical to earlier releases).
+	measurer fault.Measurer
 }
 
 // workers resolves the -j flag (0 = GOMAXPROCS).
@@ -122,11 +134,19 @@ func run(ctx context.Context, args []string) error {
 	fs.StringVar(&cfg.codelet, "codelet", "", "codelet name for 'show'")
 	fs.StringVar(&cfg.what, "what", "eval", "export kind: eval, sweep, features, evaljson, subsetjson or select")
 	fs.IntVar(&cfg.jobs, "j", 0, "parallel workers for f3/f7 and the sweep export (0 = GOMAXPROCS)")
+	fs.StringVar(&cfg.faultPath, "faultprofile", "", "JSON fault-injection profile (chaos testing)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 	if err := validate(cfg); err != nil {
 		return err
+	}
+	if cfg.faultPath != "" {
+		fp, err := fault.Load(cfg.faultPath)
+		if err != nil {
+			return fmt.Errorf("-faultprofile: %w", err)
+		}
+		cfg.measurer = measure.New(fault.NewInjector(fp, nil), measure.Config{})
 	}
 
 	if exp == "t1" {
@@ -386,7 +406,7 @@ func pipelineProfileFresh(ctx context.Context, cfg config) (*pipeline.Profile, e
 	if err != nil {
 		return nil, err
 	}
-	return pipeline.NewProfileContext(ctx, progs, pipeline.Options{Seed: cfg.seed})
+	return pipeline.NewProfileContext(ctx, progs, pipeline.Options{Seed: cfg.seed, Measurer: cfg.measurer})
 }
 
 // exportKinds are the valid -what values.
@@ -442,7 +462,7 @@ func profile(ctx context.Context, cfg config, suite string) (*pipeline.Profile, 
 			return prof, nil
 		}
 	}
-	return pipeline.NewProfileContext(ctx, progs, pipeline.Options{Seed: cfg.seed})
+	return pipeline.NewProfileContext(ctx, progs, pipeline.Options{Seed: cfg.seed, Measurer: cfg.measurer})
 }
 
 func cmdShow(cfg config) error {

@@ -25,6 +25,7 @@ func TestRunRejectsBadInvocations(t *testing.T) {
 		{"unknown export kind", []string{"export", "-what", "yaml"}},
 		{"non-positive trials", []string{"f7", "-trials", "0"}},
 		{"negative jobs", []string{"f7", "-j", "-4"}},
+		{"missing fault profile", []string{"summary", "-faultprofile", "/nonexistent/faults.json"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -86,6 +87,20 @@ func TestValidateListsChoices(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("validate(%+v) = %v, want substring %q", c.cfg, err, c.want)
 		}
+	}
+}
+
+// TestRunRejectsInvalidFaultProfile: -faultprofile is validated before
+// any profiling starts, and the error names what is wrong.
+func TestRunRejectsInvalidFaultProfile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "faults.json")
+	if err := os.WriteFile(path, []byte(`{"rules": [{"permanentRate": 2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"summary", "-faultprofile", path})
+	if err == nil || !strings.Contains(err.Error(), "permanentRate") {
+		t.Errorf("invalid fault profile error = %v, want the offending field named", err)
 	}
 }
 

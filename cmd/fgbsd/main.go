@@ -24,6 +24,12 @@
 //	-jobworkers N    concurrently running experiment jobs submitted
 //	                 via POST /v1/jobs (default GOMAXPROCS)
 //	-jobretention d  how long finished jobs stay pollable (default 15m)
+//	-faultprofile p  JSON fault-injection profile applied to every
+//	                 measurement, with the robust retry/outlier-rejection
+//	                 protocol mounted on top (chaos testing; see the
+//	                 README's "Chaos testing" section). Validated before
+//	                 the daemon starts; injector and retry counters show
+//	                 up in /metricz.
 //
 // Long experiments run asynchronously through the /v1/jobs API (see
 // internal/server); completed job results are persisted under
@@ -46,6 +52,8 @@ import (
 	"syscall"
 	"time"
 
+	"fgbs/internal/fault"
+	"fgbs/internal/measure"
 	"fgbs/internal/server"
 	"fgbs/internal/suites"
 )
@@ -75,6 +83,10 @@ type daemonConfig struct {
 	workers      int
 	jobWorkers   int
 	jobRetention time.Duration
+	// faults is the validated -faultprofile content; nil when the flag
+	// is unset (the daemon then measures fault-free, byte-identical to
+	// earlier releases).
+	faults *fault.Profile
 }
 
 // parseFlags validates everything up front: a daemon that dies on its
@@ -93,6 +105,8 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "concurrent measurements per profiling run (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.jobWorkers, "jobworkers", 0, "concurrently running experiment jobs (0 = GOMAXPROCS)")
 	fs.DurationVar(&cfg.jobRetention, "jobretention", 0, "how long finished jobs stay pollable (0 = 15m)")
+	var faultPath string
+	fs.StringVar(&faultPath, "faultprofile", "", "JSON fault-injection profile (chaos testing)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -117,6 +131,11 @@ func parseFlags(args []string) (daemonConfig, error) {
 	}
 	if preloadList == "" {
 		cfg.preload = nil
+	}
+	if faultPath != "" {
+		if cfg.faults, err = fault.Load(faultPath); err != nil {
+			return cfg, fmt.Errorf("-faultprofile: %w", err)
+		}
 	}
 	return cfg, nil
 }
@@ -144,7 +163,7 @@ func splitSuites(list string, valid []string) ([]string, error) {
 
 // run serves until ctx is canceled, then drains and exits.
 func run(ctx context.Context, cfg daemonConfig) error {
-	s := server.New(server.Config{
+	scfg := server.Config{
 		Seed:            cfg.seed,
 		Workers:         cfg.workers,
 		ProfileDir:      cfg.dir,
@@ -152,8 +171,19 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		SuiteNames:      cfg.serve,
 		JobWorkers:      cfg.jobWorkers,
 		JobRetention:    cfg.jobRetention,
-	})
+	}
+	if cfg.faults != nil {
+		inj := fault.NewInjector(cfg.faults, nil)
+		rob := measure.New(inj, measure.Config{})
+		scfg.Measurer = rob
+		scfg.MeasureStats = func() measure.Stats { return rob.Stats() }
+		scfg.FaultStats = func() fault.Stats { return inj.Stats() }
+	}
+	s := server.New(scfg)
 	defer s.Close()
+	if cfg.faults != nil {
+		fmt.Printf("fgbsd: fault injection active (%d rules, seed %d)\n", len(cfg.faults.Rules), cfg.faults.Seed)
+	}
 
 	if len(cfg.preload) > 0 {
 		fmt.Printf("fgbsd: preloading %s\n", strings.Join(cfg.preload, ", "))

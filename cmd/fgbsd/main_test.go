@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -57,6 +59,52 @@ func TestParseFlagsRejectsBadInput(t *testing.T) {
 				t.Fatalf("parseFlags(%v) succeeded, want error", c.args)
 			}
 			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestParseFlagsFaultProfile validates -faultprofile up front: a
+// daemon that starts and then measures garbage (or dies on its first
+// build) because of a typo in the profile is strictly worse than one
+// that refuses to start.
+func TestParseFlagsFaultProfile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	good := write("good.json", `{"seed": 7, "rules": [{"machine": "Atom", "transientRate": 0.2}]}`)
+	cfg, err := parseFlags([]string{"-faultprofile", good})
+	if err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	if cfg.faults == nil || cfg.faults.Seed != 7 || len(cfg.faults.Rules) != 1 {
+		t.Errorf("faults = %+v, want the parsed profile", cfg.faults)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing file", []string{"-faultprofile", filepath.Join(dir, "nope.json")}, "-faultprofile"},
+		{"invalid JSON", []string{"-faultprofile", write("junk.json", "{not json")}, "invalid profile"},
+		{"unknown field", []string{"-faultprofile", write("field.json", `{"rules": [{"transientRtae": 0.2}]}`)}, "valid fields"},
+		{"rate out of range", []string{"-faultprofile", write("rate.json", `{"rules": [{"transientRate": 1.5}]}`)}, "transientRate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseFlags(c.args)
+			if err == nil {
+				t.Fatalf("parseFlags(%v) succeeded, want error", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
 				t.Errorf("error = %v, want substring %q", err, c.want)
 			}
 		})

@@ -54,7 +54,13 @@ func testCorpus(t *testing.T, check string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkWants(t, dir, diags)
+}
 
+// checkWants matches diagnostics against dir's golden assertions in
+// both directions.
+func checkWants(t *testing.T, dir string, diags []Diagnostic) {
+	t.Helper()
 	wants, err := collectWants(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -71,6 +77,23 @@ func testCorpus(t *testing.T, check string) {
 			}
 		}
 	}
+}
+
+// TestDeterminismWallClockExemption loads the faultpkg corpus under an
+// import path ending in internal/fault: the pacing calls are exempt
+// (fault injection delays on the wall clock by design), while time.Now
+// remains a finding even there.
+func TestDeterminismWallClockExemption(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "faultpkg")
+	pkg, err := LoadDir(dir, "corpus/internal/fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, Options{Checks: []string{"determinism"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, dir, diags)
 }
 
 var wantLineRe = regexp.MustCompile(`\bwant ("(?:[^"\\]|\\.)*")`)

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // determinismCheck guards the reproducibility contract PR 2's parallel
@@ -11,15 +12,30 @@ import (
 // seeded internal/rng stream and every timestamp comes from an
 // injected clock (the jobs.now hook pattern) — so any reference to
 // time.Now or to math/rand's functions is a finding, module-wide.
-// Infrastructure that legitimately reads the wall clock (HTTP metrics,
-// uptime) carries an //fgbs:allow determinism annotation; the
-// deterministic pipeline packages (internal/cluster, features, ga,
-// pipeline, predict, represent, sim, stats, ir, extract, compile)
-// must never need one.
+// Wall-clock pacing (time.Sleep, After, Tick, NewTimer, NewTicker) is
+// flagged too: a hard-coded sleep makes chaos schedules replay in real
+// time instead of instantly, so pacing must flow through an injectable
+// hook (the measure.Config.Sleep pattern). Packages whose import path
+// ends in internal/fault or internal/rng are exempt from the pacing
+// rule only — fault injection delays on the wall clock by design, and
+// rng is the sanctioned randomness source — but time.Now stays
+// forbidden even there. Infrastructure that legitimately reads the
+// wall clock (HTTP metrics, uptime) carries an //fgbs:allow
+// determinism annotation; the deterministic pipeline packages
+// (internal/cluster, features, ga, pipeline, predict, represent, sim,
+// stats, ir, extract, compile) must never need one.
 var determinismCheck = &Check{
 	Name: "determinism",
-	Doc:  "forbid time.Now and math/rand: use internal/rng streams and injected clocks",
+	Doc:  "forbid time.Now, wall-clock sleeps, and math/rand: use internal/rng streams, injected clocks, and sleep hooks",
 	run:  runDeterminism,
+}
+
+// wallClockExempt reports whether pkg may pace on the wall clock.
+// Matching by path suffix keeps the corpus loadable under synthetic
+// import paths while pinning the real tree's internal/fault and
+// internal/rng.
+func wallClockExempt(path string) bool {
+	return strings.HasSuffix(path, "internal/fault") || strings.HasSuffix(path, "internal/rng")
 }
 
 func runDeterminism(p *Pass) {
@@ -38,8 +54,13 @@ func runDeterminism(p *Pass) {
 			}
 			switch obj.Pkg().Path() {
 			case "time":
-				if obj.Name() == "Now" {
+				switch obj.Name() {
+				case "Now":
 					p.Reportf(sel.Pos(), "time.Now reads the wall clock; inject a clock (the jobs.now hook pattern) so runs stay reproducible")
+				case "Sleep", "After", "Tick", "NewTimer", "NewTicker":
+					if !wallClockExempt(p.Pkg.Path) {
+						p.Reportf(sel.Pos(), "time.%s paces on the wall clock; route delays through an injectable sleep hook (the measure.Config.Sleep pattern) so chaos schedules replay instantly", obj.Name())
+					}
 				}
 			case "math/rand", "math/rand/v2":
 				p.Reportf(sel.Pos(), "%s.%s bypasses internal/rng; all randomness must come from a seeded rng.RNG stream", obj.Pkg().Name(), obj.Name())

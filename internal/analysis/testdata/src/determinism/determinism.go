@@ -42,3 +42,25 @@ func suppressed() time.Time {
 func suppressedTrailing() int {
 	return rand.Intn(3) //fgbs:allow determinism corpus: jitter for backoff, not an experiment
 }
+
+func napping(d time.Duration) {
+	time.Sleep(d) // want "time.Sleep paces on the wall clock"
+}
+
+func eventually() <-chan time.Time {
+	return time.After(time.Second) // want "time.After paces on the wall clock"
+}
+
+func pacers() {
+	ticker := time.NewTicker(time.Second) // want "time.NewTicker paces on the wall clock"
+	defer ticker.Stop()
+	timer := time.NewTimer(time.Second) // want "time.NewTimer paces on the wall clock"
+	defer timer.Stop()
+	<-time.Tick(time.Minute) // want "time.Tick paces on the wall clock"
+}
+
+// suppressedSleep: pacing that never feeds a result may be justified
+// in place, same as any other finding.
+func suppressedSleep(d time.Duration) {
+	time.Sleep(d) //fgbs:allow determinism corpus: backoff pacing only, no result reads the clock
+}

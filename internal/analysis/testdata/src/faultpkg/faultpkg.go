@@ -1,0 +1,18 @@
+// Corpus for the determinism wall-clock exemption. The harness loads
+// this package under the import path corpus/internal/fault, so the
+// pacing calls below are sanctioned — fault injection delays on the
+// wall clock by design — while time.Now stays a finding even here.
+package faultpkg
+
+import "time"
+
+func delay(d time.Duration) {
+	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}

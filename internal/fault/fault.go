@@ -1,0 +1,419 @@
+// Package fault is the deterministic fault-injection layer under the
+// measurement path. The paper's Step D exists because real
+// measurements misbehave — representatives are re-measured with ≥10
+// invocations and a median, and ill-behaved ones are replaced — yet a
+// simulator is always instant, clean and available. This package
+// restores the misbehavior on demand: a seeded injector wraps any
+// Measurer and imposes multiplicative noise, wild outlier invocations,
+// transient errors, hangs (visible only through context deadlines),
+// latency, and machine-down episodes, all declared in a JSON fault
+// profile so chaos runs are configuration, not code.
+//
+// Everything is deterministic. Each injection decision is drawn from a
+// SplitMix64 stream seeded by the fault profile's seed and the
+// measurement's identity (machine, codelet, mode, attempt number), so
+// a chaos run replays exactly under a fixed seed regardless of how the
+// profiler schedules its goroutines — the same property internal/rng
+// gives the GA and the random-clustering baseline.
+package fault
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"fgbs/internal/ir"
+	"fgbs/internal/rng"
+	"fgbs/internal/sim"
+	"fgbs/internal/stats"
+)
+
+// Measurer is the measurement path: anything that can produce a
+// sim.Measurement for one codelet on one machine. The raw simulator,
+// the fault injector, and the robust retry protocol all implement it,
+// so the pipeline composes them freely.
+type Measurer interface {
+	Measure(ctx context.Context, p *ir.Program, c *ir.Codelet, opts sim.Options) (*sim.Measurement, error)
+}
+
+// Sim is the clean Measurer: the raw simulator with no faults. It is
+// the default bottom of every measurement stack.
+type Sim struct{}
+
+// Measure runs the simulator, honoring ctx between nothing — the
+// simulation itself is atomic and fast; cancellation is checked on
+// entry so a canceled profiling run stops scheduling new work.
+func (Sim) Measure(ctx context.Context, p *ir.Program, c *ir.Codelet, opts sim.Options) (*sim.Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sim.Measure(p, c, opts)
+}
+
+// TransientError marks a failure worth retrying: the fault is expected
+// to clear (a flaky target, a dropped connection, a machine-down
+// episode with an end). Permanent failures are every other error.
+type TransientError struct {
+	Err error
+}
+
+// Error describes the transient failure.
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is retryable: a TransientError
+// anywhere in its chain, or a context deadline (a hang that a
+// per-attempt timeout cut short — the next attempt may not hang).
+// Context cancellation is NOT transient: the caller gave up.
+func IsTransient(err error) bool {
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// Sentinel causes the injector wraps in TransientError or returns
+// bare (permanent).
+var (
+	// ErrMachineDown is a machine-down episode: the target is
+	// unreachable for a bounded number of attempts. Always transient.
+	ErrMachineDown = errors.New("fault: machine down")
+	// ErrInjected is a generic injected transient failure.
+	ErrInjected = errors.New("fault: injected transient failure")
+	// ErrBroken is an injected permanent failure: the measurement can
+	// never succeed (a codelet that crashes the target, say).
+	ErrBroken = errors.New("fault: measurement permanently broken")
+)
+
+// Rule is one fault clause of a profile. Machine and Codelet restrict
+// which measurements it applies to ("" or "*" match everything); the
+// first matching rule wins. All rates are probabilities in [0, 1],
+// evaluated independently per attempt from the deterministic stream.
+type Rule struct {
+	// Machine matches arch.Machine.Name ("" or "*" = every machine).
+	Machine string `json:"machine,omitempty"`
+	// Codelet matches ir.Codelet.Name ("" or "*" = every codelet).
+	Codelet string `json:"codelet,omitempty"`
+
+	// NoiseAmp adds multiplicative per-invocation noise: each
+	// invocation's time is scaled by 1 + NoiseAmp*u with u uniform in
+	// [-1, 1]. This stacks on top of the simulator's own probe noise.
+	NoiseAmp float64 `json:"noiseAmp,omitempty"`
+	// OutlierRate is the probability an invocation is a wild outlier
+	// (scaled by OutlierScale) — the misbehavior MAD rejection exists
+	// to absorb.
+	OutlierRate float64 `json:"outlierRate,omitempty"`
+	// OutlierScale is the outlier multiplier (default 10).
+	OutlierScale float64 `json:"outlierScale,omitempty"`
+	// TransientRate is the probability an attempt fails with an
+	// injected transient error.
+	TransientRate float64 `json:"transientRate,omitempty"`
+	// PermanentRate is the probability an attempt fails permanently
+	// (ErrBroken, not retryable).
+	PermanentRate float64 `json:"permanentRate,omitempty"`
+	// HangRate is the probability an attempt hangs until its context
+	// is canceled or times out — the failure mode only visible through
+	// per-attempt deadlines.
+	HangRate float64 `json:"hangRate,omitempty"`
+	// DownFor fails the first DownFor attempts of every matching
+	// measurement with ErrMachineDown: a deterministic machine-down
+	// episode that retries with backoff ride out.
+	DownFor int `json:"downFor,omitempty"`
+	// Delay imposes real latency per attempt (a Go duration string,
+	// e.g. "15ms"), bounded by the attempt's context.
+	Delay string `json:"delay,omitempty"`
+
+	delay time.Duration // parsed form of Delay
+}
+
+// ruleFields lists the valid JSON fields of a Rule, for the
+// flag-validation errors the CLIs print.
+const ruleFields = "machine, codelet, noiseAmp, outlierRate, outlierScale, transientRate, permanentRate, hangRate, downFor, delay"
+
+// Profile is a declarative fault profile: a seed and an ordered rule
+// list. The zero value injects nothing and is byte-transparent.
+type Profile struct {
+	// Seed drives every injection decision. Two chaos runs with the
+	// same profile and workload are identical.
+	Seed uint64 `json:"seed,omitempty"`
+	// Rules are matched first-to-last; the first match applies.
+	Rules []Rule `json:"rules,omitempty"`
+}
+
+// Validate checks every rule: rates in [0, 1], non-negative episode
+// lengths, parsable delays. It also parses Delay strings in place.
+func (p *Profile) Validate() error {
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"noiseAmp", r.NoiseAmp},
+			{"outlierRate", r.OutlierRate},
+			{"transientRate", r.TransientRate},
+			{"permanentRate", r.PermanentRate},
+			{"hangRate", r.HangRate},
+		} {
+			if f.v < 0 || f.v > 1 {
+				return fmt.Errorf("fault: rule %d: %s must be in [0,1], got %g", i, f.name, f.v)
+			}
+		}
+		if r.OutlierScale < 0 {
+			return fmt.Errorf("fault: rule %d: outlierScale must be >= 0, got %g", i, r.OutlierScale)
+		}
+		if r.DownFor < 0 {
+			return fmt.Errorf("fault: rule %d: downFor must be >= 0, got %d", i, r.DownFor)
+		}
+		if r.Delay != "" {
+			d, err := time.ParseDuration(r.Delay)
+			if err != nil || d < 0 {
+				return fmt.Errorf("fault: rule %d: delay %q is not a non-negative Go duration", i, r.Delay)
+			}
+			r.delay = d
+		}
+	}
+	return nil
+}
+
+// Parse decodes and validates a JSON fault profile. Unknown fields are
+// rejected with an error listing the valid ones, matching the
+// repository's flag-validation convention.
+func Parse(data []byte) (*Profile, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var p Profile
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("fault: invalid profile: %w (valid fields: seed, rules; rule fields: %s)", err, ruleFields)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads and validates a fault profile file.
+func Load(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// match returns the first rule applying to (machine, codelet), or nil.
+func (p *Profile) match(machine, codelet string) *Rule {
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if (r.Machine == "" || r.Machine == "*" || r.Machine == machine) &&
+			(r.Codelet == "" || r.Codelet == "*" || r.Codelet == codelet) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Stats are the injector's cumulative counters, for /metricz and chaos
+// assertions.
+type Stats struct {
+	Calls      int64 `json:"calls"`
+	Noisy      int64 `json:"noisy"`
+	Outliers   int64 `json:"outliers"`
+	Transients int64 `json:"transients"`
+	Permanents int64 `json:"permanents"`
+	Hangs      int64 `json:"hangs"`
+	Downs      int64 `json:"downs"`
+	Delays     int64 `json:"delays"`
+}
+
+// Injector is a Measurer that perturbs another Measurer according to a
+// Profile. Safe for concurrent use.
+type Injector struct {
+	profile *Profile
+	base    Measurer
+
+	mu       sync.Mutex
+	attempts map[string]int // per-measurement attempt counter, guarded by mu
+	stats    Stats          // guarded by mu
+}
+
+// NewInjector wraps base (nil = the raw simulator) with profile (nil =
+// inject nothing).
+func NewInjector(profile *Profile, base Measurer) *Injector {
+	if profile == nil {
+		profile = &Profile{}
+	}
+	if base == nil {
+		base = Sim{}
+	}
+	return &Injector{
+		profile:  profile,
+		base:     base,
+		attempts: make(map[string]int),
+	}
+}
+
+// Stats snapshots the injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// nextAttempt returns the 0-based attempt index for a measurement key.
+func (in *Injector) nextAttempt(key string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Calls++
+	n := in.attempts[key]
+	in.attempts[key] = n + 1
+	return n
+}
+
+func (in *Injector) count(f func(*Stats)) {
+	in.mu.Lock()
+	f(&in.stats)
+	in.mu.Unlock()
+}
+
+// stream derives the deterministic decision stream for one attempt of
+// one measurement. The hash covers the full identity, so concurrent
+// profiling schedules cannot reorder outcomes.
+func (in *Injector) stream(machine, codelet string, mode sim.Mode, attempt int) *rng.RNG {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d|%d", in.profile.Seed, machine, codelet, mode, attempt)
+	return rng.New(h.Sum64())
+}
+
+// Measure applies the first matching rule to one measurement attempt:
+// machine-down episodes and injected failures surface as errors,
+// delays and hangs consume real time (bounded by ctx), and noise and
+// outliers perturb the invocation times of an otherwise-successful
+// measurement, re-deriving the median exactly as the simulator does.
+func (in *Injector) Measure(ctx context.Context, p *ir.Program, c *ir.Codelet, opts sim.Options) (*sim.Measurement, error) {
+	machine := ""
+	if opts.Machine != nil {
+		machine = opts.Machine.Name
+	}
+	rule := in.profile.match(machine, c.Name)
+	if rule == nil {
+		return in.base.Measure(ctx, p, c, opts)
+	}
+	key := fmt.Sprintf("%s|%s|%d", machine, c.Name, opts.Mode)
+	attempt := in.nextAttempt(key)
+	r := in.stream(machine, c.Name, opts.Mode, attempt)
+
+	if rule.delay > 0 {
+		in.count(func(s *Stats) { s.Delays++ })
+		// The allowed wall-clock timer: latency injection is this
+		// package's purpose, and the delay is bounded by ctx.
+		t := time.NewTimer(rule.delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	if attempt < rule.DownFor {
+		in.count(func(s *Stats) { s.Downs++ })
+		return nil, Transient(fmt.Errorf("%w: %s (attempt %d of a %d-attempt episode)",
+			ErrMachineDown, machine, attempt+1, rule.DownFor))
+	}
+	if rule.HangRate > 0 && r.Bool(rule.HangRate) {
+		in.count(func(s *Stats) { s.Hangs++ })
+		// A hang is only observable through the caller's deadline: the
+		// attempt blocks until its context gives up, then reports the
+		// context's own error so the retry layer classifies it.
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if rule.PermanentRate > 0 && r.Bool(rule.PermanentRate) {
+		in.count(func(s *Stats) { s.Permanents++ })
+		return nil, fmt.Errorf("%w: %s on %s", ErrBroken, c.Name, machine)
+	}
+	if rule.TransientRate > 0 && r.Bool(rule.TransientRate) {
+		in.count(func(s *Stats) { s.Transients++ })
+		return nil, Transient(fmt.Errorf("%w: %s on %s (attempt %d)", ErrInjected, c.Name, machine, attempt+1))
+	}
+
+	meas, err := in.base.Measure(ctx, p, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	in.perturb(meas, rule, r)
+	return meas, nil
+}
+
+// perturb scales the measurement's invocation times by per-invocation
+// noise and outlier factors, then re-derives the median summary the
+// same way sim.Measure does.
+func (in *Injector) perturb(meas *sim.Measurement, rule *Rule, r *rng.RNG) {
+	if rule.NoiseAmp <= 0 && rule.OutlierRate <= 0 {
+		return
+	}
+	outlierScale := rule.OutlierScale
+	if outlierScale <= 0 {
+		outlierScale = 10
+	}
+	noisy, outliers := false, int64(0)
+	for i := range meas.Invocations {
+		factor := 1.0
+		if rule.NoiseAmp > 0 {
+			factor *= 1 + rule.NoiseAmp*(2*r.Float64()-1)
+			noisy = true
+		}
+		if rule.OutlierRate > 0 && r.Bool(rule.OutlierRate) {
+			factor *= outlierScale
+			outliers++
+		}
+		inv := &meas.Invocations[i]
+		inv.Seconds *= factor
+		inv.Counters.Seconds *= factor
+		inv.Counters.Cycles *= factor
+	}
+	if noisy {
+		in.count(func(s *Stats) { s.Noisy++ })
+	}
+	if outliers > 0 {
+		in.count(func(s *Stats) { s.Outliers += outliers })
+	}
+
+	times := make([]float64, len(meas.Invocations))
+	for i, inv := range meas.Invocations {
+		times[i] = inv.Seconds
+	}
+	meas.Seconds = stats.Median(times)
+	bestIdx, bestDiff := 0, -1.0
+	for i, inv := range meas.Invocations {
+		d := inv.Seconds - meas.Seconds
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			bestIdx, bestDiff = i, d
+		}
+	}
+	meas.Counters = meas.Invocations[bestIdx].Counters
+}

@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fgbs/internal/fault"
 )
 
 // State is a job's lifecycle phase.
@@ -86,6 +88,7 @@ type Job struct {
 	state    State              // guarded by mu
 	result   any                // guarded by mu
 	err      error              // guarded by mu
+	attempts int                // guarded by mu
 	created  time.Time          // guarded by mu
 	started  time.Time          // guarded by mu
 	finished time.Time          // guarded by mu
@@ -114,6 +117,9 @@ type Snapshot struct {
 	Started  time.Time
 	Finished time.Time
 	Err      string
+	// Attempts counts how many times the job has started running
+	// (greater than 1 after transient-failure retries).
+	Attempts int
 }
 
 // Snapshot captures the job's current observable state.
@@ -125,6 +131,7 @@ func (j *Job) Snapshot() Snapshot {
 		ID: j.id, Kind: j.kind, State: j.state,
 		Done: done, Total: total,
 		Created: j.created, Started: j.started, Finished: j.finished,
+		Attempts: j.attempts,
 	}
 	if j.err != nil {
 		s.Err = j.err.Error()
@@ -156,6 +163,13 @@ type Config struct {
 	// Dir, when set, persists each completed job's result as
 	// <Dir>/<id>.json (best-effort; GC removes the file with the job).
 	Dir string
+	// MaxAttempts bounds how many times a job runs before a retryable
+	// failure becomes terminal (default 1: no retries). Failed attempts
+	// requeue the job; it keeps its ID and progress counters.
+	MaxAttempts int
+	// Retryable classifies errors worth another attempt. nil uses
+	// fault.IsTransient, matching the measurement layer's taxonomy.
+	Retryable func(error) bool
 	// now is a test hook; nil means time.Now.
 	now func() time.Time
 }
@@ -172,6 +186,12 @@ func (c *Config) fill() {
 	}
 	if c.MaxRetained <= 0 {
 		c.MaxRetained = 128
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	if c.Retryable == nil {
+		c.Retryable = fault.IsTransient
 	}
 	if c.now == nil {
 		c.now = time.Now //fgbs:allow determinism the injection point itself: tests swap this hook for a fake clock
@@ -194,6 +214,8 @@ type Stats struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Canceled  int64 `json:"canceled"`
+	// Retried counts requeues after retryable failures (cumulative).
+	Retried int64 `json:"retried"`
 }
 
 // Manager executes jobs on a bounded worker pool. Create with
@@ -214,6 +236,7 @@ type Manager struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	canceled  atomic.Int64
+	retried   atomic.Int64
 }
 
 // NewManager starts the worker pool.
@@ -349,7 +372,15 @@ func (m *Manager) Stats() Stats {
 		Completed: m.completed.Load(),
 		Failed:    m.failed.Load(),
 		Canceled:  m.canceled.Load(),
+		Retried:   m.retried.Load(),
 	}
+}
+
+// Saturation reports the instantaneous queue fill against its
+// capacity, for health reporting: a full queue means Submit is
+// rejecting work.
+func (m *Manager) Saturation() (queued int64, depth int) {
+	return m.queued.Load(), m.cfg.QueueDepth
 }
 
 func (m *Manager) worker() {
@@ -387,6 +418,8 @@ func (m *Manager) run(j *Job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = m.cfg.now()
+	j.attempts++
+	attempt := j.attempts
 	j.mu.Unlock()
 	defer cancel()
 
@@ -402,6 +435,25 @@ func (m *Manager) run(j *Job) {
 		j.err = context.Canceled
 		m.canceled.Add(1)
 	case err != nil:
+		if attempt < m.cfg.MaxAttempts && m.cfg.Retryable(err) && m.ctx.Err() == nil {
+			// Transient failure with budget left: back to the queue.
+			// The job keeps its ID, attempt count, and progress; Done()
+			// stays open so waiters keep waiting.
+			j.state = StatePending
+			j.err = nil
+			j.cancel = nil
+			j.mu.Unlock()
+			select {
+			case m.queue <- j:
+				m.queued.Add(1)
+				m.retried.Add(1)
+				return
+			default:
+				// No queue slot for the retry; finalize as failed.
+			}
+			j.mu.Lock()
+			j.finished = m.cfg.now()
+		}
 		j.state = StateFailed
 		j.err = err
 		m.failed.Add(1)
@@ -411,11 +463,13 @@ func (m *Manager) run(j *Job) {
 		m.completed.Add(1)
 	}
 	done := j.state == StateDone
-	close(j.done)
 	j.mu.Unlock()
+	// Persist before releasing waiters: a poller woken by Done() must
+	// find the result file already durable on disk.
 	if done {
 		m.persist(j)
 	}
+	close(j.done)
 }
 
 // persistedJob is the on-disk form of a completed job.
@@ -447,12 +501,39 @@ func (m *Manager) persist(j *Job) {
 	}
 	path := filepath.Join(m.cfg.Dir, s.ID+".json")
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
 		return
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return
 	}
+	// The rename is only durable once the directory entry is; fsync the
+	// parent so a crash after persist cannot resurrect the tmp state.
+	if d, err := os.Open(m.cfg.Dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// writeFileSync writes data and fsyncs before closing, so the
+// subsequent rename never publishes a file whose bytes are still only
+// in the page cache.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // gcLocked drops terminal jobs past the retention window, then the

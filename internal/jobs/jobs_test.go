@@ -8,8 +8,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"fgbs/internal/fault"
 )
 
 // wait blocks until the job is terminal or the test deadline hits.
@@ -373,5 +376,98 @@ func TestConcurrentSubmitPoll(t *testing.T) {
 	}
 	if st := m.Stats(); st.Completed != n || st.Running != 0 || st.Queued != 0 {
 		t.Errorf("stats = %+v, want %d completed, idle", st, n)
+	}
+}
+
+func TestRetryTransientFailures(t *testing.T) {
+	m := NewManager(Config{Workers: 1, MaxAttempts: 3})
+	defer m.Close()
+	var calls atomic.Int64
+	j, err := m.Submit("flaky", func(ctx context.Context, pr *Progress) (any, error) {
+		if calls.Add(1) < 3 {
+			return nil, fault.Transient(errors.New("target rebooting"))
+		}
+		return "recovered", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wait(t, j)
+	if s.State != StateDone {
+		t.Fatalf("state = %s (err %s), want done after retries", s.State, s.Err)
+	}
+	if s.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", s.Attempts)
+	}
+	if got := m.Stats().Retried; got != 2 {
+		t.Errorf("retried = %d, want 2", got)
+	}
+	if res, ok := j.Result(); !ok || res.(string) != "recovered" {
+		t.Errorf("result = %v, %v", res, ok)
+	}
+}
+
+func TestRetryBudgetExhausts(t *testing.T) {
+	m := NewManager(Config{Workers: 1, MaxAttempts: 2})
+	defer m.Close()
+	var calls atomic.Int64
+	j, err := m.Submit("hopeless", func(ctx context.Context, pr *Progress) (any, error) {
+		calls.Add(1)
+		return nil, fault.Transient(errors.New("still down"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wait(t, j)
+	if s.State != StateFailed {
+		t.Fatalf("state = %s, want failed", s.State)
+	}
+	if s.Attempts != 2 || calls.Load() != 2 {
+		t.Errorf("attempts = %d, calls = %d, want 2/2", s.Attempts, calls.Load())
+	}
+}
+
+func TestPermanentFailureNotRetried(t *testing.T) {
+	m := NewManager(Config{Workers: 1, MaxAttempts: 5})
+	defer m.Close()
+	var calls atomic.Int64
+	j, err := m.Submit("broken", func(ctx context.Context, pr *Progress) (any, error) {
+		calls.Add(1)
+		return nil, errors.New("bad request")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wait(t, j)
+	if s.State != StateFailed || s.Attempts != 1 || calls.Load() != 1 {
+		t.Errorf("state=%s attempts=%d calls=%d, want failed/1/1", s.State, s.Attempts, calls.Load())
+	}
+	if m.Stats().Retried != 0 {
+		t.Errorf("retried = %d, want 0", m.Stats().Retried)
+	}
+}
+
+func TestCustomRetryablePredicate(t *testing.T) {
+	sentinel := errors.New("special")
+	m := NewManager(Config{Workers: 1, MaxAttempts: 2,
+		Retryable: func(err error) bool { return errors.Is(err, sentinel) }})
+	defer m.Close()
+	var calls atomic.Int64
+	j, _ := m.Submit("custom", func(ctx context.Context, pr *Progress) (any, error) {
+		if calls.Add(1) == 1 {
+			return nil, sentinel
+		}
+		return "ok", nil
+	})
+	if s := wait(t, j); s.State != StateDone || s.Attempts != 2 {
+		t.Errorf("state=%s attempts=%d, want done/2", s.State, s.Attempts)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	m := NewManager(Config{Workers: 1, QueueDepth: 7})
+	defer m.Close()
+	if q, d := m.Saturation(); q != 0 || d != 7 {
+		t.Errorf("saturation = %d/%d, want 0/7", q, d)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"fgbs/internal/arch"
 	"fgbs/internal/cluster"
 	"fgbs/internal/extract"
+	"fgbs/internal/fault"
 	"fgbs/internal/features"
 	"fgbs/internal/ir"
 	"fgbs/internal/maqao"
@@ -60,6 +61,13 @@ type Options struct {
 	Seed uint64
 	// Workers bounds concurrent measurements (0 = GOMAXPROCS).
 	Workers int
+	// Measurer replaces the raw simulator on the measurement path —
+	// typically a measure.Robust stacked over a fault.Injector. nil
+	// keeps the direct simulator call, byte-identical to earlier
+	// releases. With a non-nil Measurer, measurement failures no longer
+	// abort the profile: they escalate into the §3.4 screening
+	// machinery (see Profile.RefFailed / Profile.TargetFailed).
+	Measurer fault.Measurer
 }
 
 // Profile holds every measurement the experiments need: Step B's
@@ -88,6 +96,35 @@ type Profile struct {
 	// Per target t, per codelet i:
 	TargetInApp      [][]float64 // ground truth
 	TargetStandalone [][]float64 // microbenchmark on target
+
+	// Failure markers, set only when profiling ran under a fault-aware
+	// Measurer (Options.Measurer) and a measurement failed past its
+	// retry budget. Both stay nil on a clean build, keeping serialized
+	// profiles byte-identical to fault-unaware ones.
+	//
+	// RefFailed[i] means codelet i lost a reference measurement: it is
+	// also marked IllBehaved so represent.Select never picks it as a
+	// representative. TargetFailed[t][i] means codelet i has no
+	// trustworthy ground truth on target t; Evaluate excludes it from
+	// the error statistics instead of comparing against zeros.
+	RefFailed    []bool
+	TargetFailed [][]bool
+}
+
+// Degraded reports whether the profile carries failure markers — i.e.
+// it was built under fault escalation and at least one measurement
+// exhausted its retries. Servers use this to mark derived answers as
+// degraded rather than presenting them as clean results.
+func (p *Profile) Degraded() bool {
+	return p.RefFailed != nil || p.TargetFailed != nil
+}
+
+func (p *Profile) refFailedAt(i int) bool {
+	return p.RefFailed != nil && p.RefFailed[i]
+}
+
+func (p *Profile) targetFailedAt(t, i int) bool {
+	return p.TargetFailed != nil && p.TargetFailed[t][i]
 }
 
 // Detect flattens suite programs into aligned (program, codelet)
@@ -164,10 +201,26 @@ func NewProfileContext(ctx context.Context, progs []*ir.Program, opts Options) (
 	}
 
 	measure := func(i int, m *arch.Machine, mode sim.Mode) (*sim.Measurement, error) {
-		return sim.Measure(ps[i], cs[i], sim.Options{
+		o := sim.Options{
 			Machine: m, Mode: mode, Seed: opts.Seed,
 			Dataset: datasets[ps[i]], ProbeCycles: -1, NoiseAmp: -1,
-		})
+		}
+		if opts.Measurer != nil {
+			return opts.Measurer.Measure(ctx, ps[i], cs[i], o)
+		}
+		return sim.Measure(ps[i], cs[i], o)
+	}
+
+	// With a fault-aware Measurer, a measurement that exhausted its
+	// retries degrades the codelet instead of aborting the whole
+	// profile. Cancellation still aborts: a dying server is not a
+	// flaky target.
+	escalate := opts.Measurer != nil
+	if escalate {
+		pr.RefFailed = make([]bool, n)
+		for range opts.Targets {
+			pr.TargetFailed = append(pr.TargetFailed, make([]bool, n))
+		}
 	}
 
 	errs := make([]error, n)
@@ -184,35 +237,59 @@ func NewProfileContext(ctx context.Context, progs []*ir.Program, opts Options) (
 			}
 			refIn, err := measure(i, pr.Ref, sim.ModeInApp)
 			if err != nil {
-				errs[i] = err
-				return
-			}
-			refSa, err := measure(i, pr.Ref, sim.ModeStandalone)
-			if err != nil {
-				errs[i] = err
+				if escalate && ctx.Err() == nil {
+					// The reference in-app time anchors everything
+					// derived for this codelet (features, the model's
+					// matrix row, screening); without it the codelet
+					// is screened out entirely.
+					pr.RefFailed[i] = true
+					pr.IllBehaved[i] = true
+					pr.Discarded[i] = true
+					pr.Features[i] = make([]float64, features.NumFeatures)
+				} else {
+					errs[i] = err
+				}
 				return
 			}
 			pr.RefInApp[i] = refIn.Seconds
-			pr.RefStandalone[i] = refSa.Seconds
-			pr.IllBehaved[i] = extract.IllBehaved(refSa.Seconds, refIn.Seconds)
 			pr.Discarded[i] = refIn.Counters.Cycles < MinMeasurableCycles
 
 			st := maqao.Analyze(ps[i], cs[i], pr.Ref)
 			pr.Features[i] = features.Assemble(ps[i], cs[i], refIn, st)
 
+			refSa, err := measure(i, pr.Ref, sim.ModeStandalone)
+			if err != nil {
+				if escalate && ctx.Err() == nil {
+					// Standalone extraction failed: mark ill-behaved
+					// so represent.Select never picks this codelet,
+					// but keep the in-app anchor and features.
+					pr.RefFailed[i] = true
+					pr.IllBehaved[i] = true
+				} else {
+					errs[i] = err
+					return
+				}
+			} else {
+				pr.RefStandalone[i] = refSa.Seconds
+				pr.IllBehaved[i] = extract.IllBehaved(refSa.Seconds, refIn.Seconds)
+			}
+
 			for t, m := range pr.Targets {
 				tin, err := measure(i, m, sim.ModeInApp)
-				if err != nil {
-					errs[i] = err
-					return
+				if err == nil {
+					var tsa *sim.Measurement
+					if tsa, err = measure(i, m, sim.ModeStandalone); err == nil {
+						pr.TargetInApp[t][i] = tin.Seconds
+						pr.TargetStandalone[t][i] = tsa.Seconds
+						continue
+					}
 				}
-				tsa, err := measure(i, m, sim.ModeStandalone)
-				if err != nil {
-					errs[i] = err
-					return
+				if escalate && ctx.Err() == nil {
+					pr.TargetFailed[t][i] = true
+					continue
 				}
-				pr.TargetInApp[t][i] = tin.Seconds
-				pr.TargetStandalone[t][i] = tsa.Seconds
+				errs[i] = err
+				return
 			}
 		}(i)
 	}
@@ -225,7 +302,36 @@ func NewProfileContext(ctx context.Context, progs []*ir.Program, opts Options) (
 			return nil, e
 		}
 	}
+	pr.trimFailureMarkers()
 	return pr, nil
+}
+
+// trimFailureMarkers drops all-false failure slices so a clean build —
+// even one that ran under fault escalation — serializes identically to
+// a fault-unaware one.
+func (p *Profile) trimFailureMarkers() {
+	if !anyTrue(p.RefFailed) {
+		p.RefFailed = nil
+	}
+	any := false
+	for _, row := range p.TargetFailed {
+		if anyTrue(row) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		p.TargetFailed = nil
+	}
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
 }
 
 // N returns the codelet count.
@@ -396,11 +502,18 @@ func (p *Profile) Elbow(mask features.Mask) (int, error) {
 // Eval is the Step E outcome on one target architecture.
 type Eval struct {
 	Target *arch.Machine
-	// Per-codelet seconds.
+	// Per-codelet seconds. Errors[i] is -1 for excluded codelets (no
+	// trustworthy measurement; NaN would not survive JSON marshaling).
 	Predicted []float64
 	Actual    []float64
 	Errors    []float64
 	Summary   predict.ErrorSummary
+	// Excluded counts codelets left out of Summary because a
+	// measurement failed past its retry budget — either the codelet's
+	// own ground truth on this target, a reference measurement, or its
+	// cluster representative's standalone time (which poisons every
+	// prediction in that cluster).
+	Excluded int
 	// Reduction is the benchmarking-cost breakdown (Table 5).
 	Reduction predict.ReductionBreakdown
 	// Apps aggregates application-level results (Figure 5), aligned
@@ -411,13 +524,17 @@ type Eval struct {
 	GeoMeanPredictedSpeedup float64
 }
 
-// AppEval is one application's measured and predicted times.
+// AppEval is one application's measured and predicted times. Degraded
+// marks an application containing excluded codelets: its sums include
+// failed (zero) measurements, its ErrorFrac is -1, and it is left out
+// of the speedup geomeans.
 type AppEval struct {
 	Name      string
 	RefSec    float64
 	ActualSec float64
 	PredSec   float64
 	ErrorFrac float64
+	Degraded  bool
 }
 
 // Evaluate predicts every codelet's time on target t from the
@@ -437,12 +554,50 @@ func (p *Profile) Evaluate(sub *Subset, t int) (*Eval, error) {
 	actual := p.TargetInApp[t]
 	errs := predict.Errors(predicted, actual)
 
+	// Exclude codelets without trustworthy numbers on this target: a
+	// failed reference or ground-truth measurement, or a representative
+	// whose standalone time failed here — the model extrapolates the
+	// whole cluster from that one number, so its loss poisons every
+	// member's prediction.
+	excluded := make([]bool, p.N())
+	for i := range excluded {
+		excluded[i] = p.refFailedAt(i) || p.targetFailedAt(t, i)
+	}
+	for k, r := range sub.Selection.Reps {
+		if !p.refFailedAt(r) && !p.targetFailedAt(t, r) {
+			continue
+		}
+		for i, l := range sub.Selection.Labels {
+			if l == k {
+				excluded[i] = true
+			}
+		}
+	}
+	kept := make([]float64, 0, len(errs))
+	nExcluded := 0
+	for i := range errs {
+		if excluded[i] {
+			errs[i] = -1
+			nExcluded++
+			continue
+		}
+		kept = append(kept, errs[i])
+	}
+
+	// An all-excluded target leaves no errors to summarize; a zero
+	// summary with Excluded == N() says "no data" without smuggling
+	// NaNs into JSON encoders.
+	var summary predict.ErrorSummary
+	if len(kept) > 0 {
+		summary = predict.Summarize(kept)
+	}
 	ev := &Eval{
 		Target:    p.Targets[t],
 		Predicted: predicted,
 		Actual:    actual,
 		Errors:    errs,
-		Summary:   predict.Summarize(errs),
+		Summary:   summary,
+		Excluded:  nExcluded,
 	}
 	ev.Reduction = p.reduction(sub, t)
 
@@ -455,6 +610,19 @@ func (p *Profile) Evaluate(sub *Subset, t int) (*Eval, error) {
 			ActualSec: a.AppTimes(actual),
 			PredSec:   a.AppTimes(predicted),
 		}
+		for _, i := range a.Codelets {
+			if excluded[i] {
+				ae.Degraded = true
+				break
+			}
+		}
+		if ae.Degraded {
+			// Partial sums would masquerade as real application times;
+			// flag instead of reporting a number built on zeros.
+			ae.ErrorFrac = -1
+			ev.Apps = append(ev.Apps, ae)
+			continue
+		}
 		if ae.ActualSec > 0 {
 			ae.ErrorFrac = abs(ae.PredSec-ae.ActualSec) / ae.ActualSec
 		}
@@ -463,8 +631,12 @@ func (p *Profile) Evaluate(sub *Subset, t int) (*Eval, error) {
 		realApp = append(realApp, ae.ActualSec)
 		predApp = append(predApp, ae.PredSec)
 	}
-	ev.GeoMeanRealSpeedup = predict.GeoMeanSpeedup(refApp, realApp)
-	ev.GeoMeanPredictedSpeedup = predict.GeoMeanSpeedup(refApp, predApp)
+	// With every application degraded there is no speedup to report;
+	// zeros (plus Excluded) beat NaNs that JSON cannot carry.
+	if len(refApp) > 0 {
+		ev.GeoMeanRealSpeedup = predict.GeoMeanSpeedup(refApp, realApp)
+		ev.GeoMeanPredictedSpeedup = predict.GeoMeanSpeedup(refApp, predApp)
+	}
 	return ev, nil
 }
 
@@ -542,6 +714,9 @@ func (p *Profile) SubProfile(indices []int) *Profile {
 		sp.IllBehaved = append(sp.IllBehaved, p.IllBehaved[i])
 		sp.Discarded = append(sp.Discarded, p.Discarded[i])
 		sp.Features = append(sp.Features, p.Features[i])
+		if p.RefFailed != nil {
+			sp.RefFailed = append(sp.RefFailed, p.RefFailed[i])
+		}
 	}
 	for t := range p.Targets {
 		in := make([]float64, 0, len(indices))
@@ -552,7 +727,15 @@ func (p *Profile) SubProfile(indices []int) *Profile {
 		}
 		sp.TargetInApp = append(sp.TargetInApp, in)
 		sp.TargetStandalone = append(sp.TargetStandalone, sa)
+		if p.TargetFailed != nil {
+			fa := make([]bool, 0, len(indices))
+			for _, i := range indices {
+				fa = append(fa, p.TargetFailed[t][i])
+			}
+			sp.TargetFailed = append(sp.TargetFailed, fa)
+		}
 	}
+	sp.trimFailureMarkers()
 	return sp
 }
 

@@ -33,6 +33,11 @@ type profileJSON struct {
 	Features  [][]float64 `json:"features"`
 	TgtInApp  [][]float64 `json:"targetInApp"`
 	TgtSA     [][]float64 `json:"targetStandalone"`
+	// Failure markers from fault-escalated builds. omitempty keeps
+	// clean profiles byte-identical to fault-unaware serializations
+	// (the fields are nil unless a measurement actually failed).
+	RefFailed []bool   `json:"refFailed,omitempty"`
+	TgtFailed [][]bool `json:"targetFailed,omitempty"`
 }
 
 const profileVersion = 1
@@ -49,6 +54,8 @@ func (p *Profile) SaveJSON(w io.Writer) error {
 		Features:  p.Features,
 		TgtInApp:  p.TargetInApp,
 		TgtSA:     p.TargetStandalone,
+		RefFailed: p.RefFailed,
+		TgtFailed: p.TargetFailed,
 	}
 	for _, m := range p.Targets {
 		pj.Targets = append(pj.Targets, m.Name)
@@ -84,6 +91,19 @@ func ReadProfile(r io.Reader, progs []*ir.Program) (*Profile, error) {
 	for t := range pj.Targets {
 		if len(pj.TgtInApp[t]) != n || len(pj.TgtSA[t]) != n {
 			return nil, fmt.Errorf("pipeline: target %d measurement length mismatch", t)
+		}
+	}
+	if pj.RefFailed != nil && len(pj.RefFailed) != n {
+		return nil, fmt.Errorf("pipeline: refFailed length mismatch")
+	}
+	if pj.TgtFailed != nil {
+		if len(pj.TgtFailed) != len(pj.Targets) {
+			return nil, fmt.Errorf("pipeline: targetFailed target count mismatch")
+		}
+		for t := range pj.TgtFailed {
+			if len(pj.TgtFailed[t]) != n {
+				return nil, fmt.Errorf("pipeline: targetFailed length mismatch for target %d", t)
+			}
 		}
 	}
 
@@ -125,6 +145,8 @@ func ReadProfile(r io.Reader, progs []*ir.Program) (*Profile, error) {
 		Features:         pj.Features,
 		TargetInApp:      pj.TgtInApp,
 		TargetStandalone: pj.TgtSA,
+		RefFailed:        pj.RefFailed,
+		TargetFailed:     pj.TgtFailed,
 	}
 	for j := 0; j < n; j++ {
 		i, ok := index[key{pj.Apps[j], pj.Codelets[j]}]

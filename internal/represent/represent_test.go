@@ -1,6 +1,7 @@
 package represent
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -139,5 +140,55 @@ func TestSingletonIllBehavedDissolves(t *testing.T) {
 	// cluster 1).
 	if sel.Labels[5] != sel.Labels[4] {
 		t.Error("dissolved singleton joined the wrong cluster")
+	}
+}
+
+// TestEveryClusterDissolvedErrorIsLoud pins the failure mode down to
+// its message: when every cluster is ill-behaved there is nothing to
+// extract, and the caller (and its operator) should be told exactly
+// that — not handed a zero-cluster Selection that fails later in
+// prediction.
+func TestEveryClusterDissolvedErrorIsLoud(t *testing.T) {
+	points, labels := fixture()
+	ill := []bool{true, true, true, true, true, true}
+	sel, err := Select(points, labels, ill)
+	if err == nil {
+		t.Fatalf("fully ill-behaved suite accepted: %+v", sel)
+	}
+	if !strings.Contains(err.Error(), "every cluster is ill-behaved") {
+		t.Errorf("error = %v, want the every-cluster diagnosis", err)
+	}
+}
+
+// TestDissolutionTieBreaksToLowestIndex: a member of a destroyed
+// cluster exactly equidistant from two well-behaved neighbors must
+// land deterministically with the lowest-index one (NearestNeighbor's
+// strict < keeps the first minimum) — the property the byte-identity
+// guarantees of the chaos tests lean on.
+func TestDissolutionTieBreaksToLowestIndex(t *testing.T) {
+	// Point 2 at x=5 sits exactly 5 away from both surviving
+	// neighbors: point 0 (x=0, cluster 0) and point 1 (x=10,
+	// cluster 1). Its own cluster 2 dissolves.
+	points := [][]float64{{0}, {10}, {5}}
+	labels := []int{0, 1, 2}
+	ill := []bool{false, false, true}
+	var first *Selection
+	for trial := 0; trial < 20; trial++ {
+		sel, err := Select(points, labels, ill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Labels[2] != sel.Labels[0] {
+			t.Fatalf("trial %d: tied codelet joined cluster of point 1, want lowest-index point 0", trial)
+		}
+		if first == nil {
+			first = sel
+			continue
+		}
+		for i := range sel.Labels {
+			if sel.Labels[i] != first.Labels[i] {
+				t.Fatalf("trial %d: labels differ from first run: %v vs %v", trial, sel.Labels, first.Labels)
+			}
+		}
 	}
 }

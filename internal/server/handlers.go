@@ -2,8 +2,10 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,16 +31,36 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // writeRaw replays pre-encoded JSON, tagging whether it came from the
 // result cache (the header the cache-hit tests and curious operators
-// read).
-func writeRaw(w http.ResponseWriter, body []byte, cached bool) {
+// read) and whether it was computed from degraded or last-good data.
+func writeRaw(w http.ResponseWriter, body []byte, cached, stale bool) {
 	w.Header().Set("Content-Type", "application/json")
 	if cached {
 		w.Header().Set("X-Cache", "hit")
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
+	if stale {
+		w.Header().Set("X-Stale", "true")
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+}
+
+// markStale decorates a JSON object body with "stale": true — the
+// in-band signal (alongside the X-Stale header) that the answer was
+// computed from a degraded or retained last-good profile. A body that
+// is not a JSON object passes through unchanged.
+func markStale(body []byte) []byte {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return body
+	}
+	m["stale"] = true
+	out, err := json.Marshal(m)
+	if err != nil {
+		return body
+	}
+	return out
 }
 
 // parseFeatureMask resolves the request's "features" field: a named
@@ -104,16 +126,31 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (queryReque
 
 // answer serves the query from the result cache or computes, caches
 // and serves it. compute returns the response value to encode.
+//
+// Graceful degradation: when the registry hands back a stale profile
+// (degraded build, or last-good data behind an open circuit), the
+// response is decorated with "stale": true plus an X-Stale header and
+// deliberately NOT cached — a recovered rebuild must become visible on
+// the next request, not hide behind a stale LRU entry. When the
+// circuit is open and there is nothing to degrade onto, requests fail
+// fast with 503 and a Retry-After hint instead of hammering a build
+// that keeps failing.
 func (s *Server) answer(w http.ResponseWriter, r *http.Request, key string, compute func(*pipeline.Profile) (any, error), suite string) {
 	if body, ok := s.results.Get(key); ok {
-		writeRaw(w, body, true)
+		writeRaw(w, body, true, false)
 		return
 	}
-	prof, err := s.registry.Profile(r.Context(), suite)
+	prof, stale, err := s.registry.Profile(r.Context(), suite)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The client is gone; the status is for the access log.
 			writeError(w, http.StatusServiceUnavailable, "request canceled: %v", err)
+			return
+		}
+		var open *circuitOpenError
+		if errors.As(err, &open) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(open.retryIn.Seconds())+1))
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "profiling %s: %v", suite, err)
@@ -129,8 +166,12 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, key string, comp
 		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
 	}
+	if stale {
+		writeRaw(w, markStale(body), false, true)
+		return
+	}
 	s.results.Put(key, body)
-	writeRaw(w, body, false)
+	writeRaw(w, body, false, false)
 }
 
 func (s *Server) handleSubset(w http.ResponseWriter, r *http.Request) {
@@ -232,6 +273,9 @@ type suiteInfo struct {
 	Loaded   bool     `json:"loaded"`
 	Codelets int      `json:"codelets,omitempty"`
 	Targets  []string `json:"targets,omitempty"`
+	// Degraded reports whether the resident profile carries failure
+	// markers (measurements lost to permanent faults).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
@@ -249,6 +293,7 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 		if prof, ok := loaded[name]; ok {
 			info.Loaded = true
 			info.Codelets = prof.N()
+			info.Degraded = prof.Degraded()
 			for _, m := range prof.Targets {
 				info.Targets = append(info.Targets, m.Name)
 			}
@@ -258,17 +303,50 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz reports liveness plus degradation: every non-closed
+// circuit breaker and the experiment-job queue's saturation. The
+// status code doubles as a load-balancer signal — 503 while any
+// breaker is open or the job queue is saturated, 200 otherwise.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":            true,
+	infos, _ := s.breakers.snapshot()
+	anyOpen := false
+	for _, bi := range infos {
+		if bi.State != "closed" {
+			anyOpen = true
+		}
+	}
+	queued, depth := s.jobs.Saturation()
+	saturated := queued >= int64(depth)
+	status := "ok"
+	code := http.StatusOK
+	if anyOpen || saturated {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":        status,
+		"ok":            status == "ok",
 		"uptimeSeconds": time.Since(s.started).Seconds(),
+		"breakers":      infos,
+		"jobQueue": map[string]any{
+			"queued":    queued,
+			"depth":     depth,
+			"saturated": saturated,
+		},
 	})
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	endpoints, inFlight := s.metrics.snapshot()
 	hits, misses, size := s.results.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	infos, trips := s.breakers.snapshot()
+	open := 0
+	for _, bi := range infos {
+		if bi.State != "closed" {
+			open++
+		}
+	}
+	body := map[string]any{
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 		"inFlight":      inFlight,
 		"endpoints":     endpoints,
@@ -283,7 +361,20 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 			"coalesced":      s.registry.coalesced.Load(),
 			"diskLoads":      s.registry.diskLoads.Load(),
 			"inFlightBuilds": s.registry.building.Load(),
+			"staleServes":    s.registry.staleHits.Load(),
+		},
+		"breakers": map[string]any{
+			"open":   open,
+			"trips":  trips,
+			"states": infos,
 		},
 		"jobs": s.jobs.Stats(),
-	})
+	}
+	if s.cfg.MeasureStats != nil {
+		body["measure"] = s.cfg.MeasureStats()
+	}
+	if s.cfg.FaultStats != nil {
+		body["faults"] = s.cfg.FaultStats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

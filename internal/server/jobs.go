@@ -172,7 +172,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) sweepJob(req jobRequest, mask features.Mask) jobs.Fn {
 	return func(ctx context.Context, pr *jobs.Progress) (any, error) {
-		prof, err := s.registry.Profile(ctx, req.Suite)
+		prof, _, err := s.registry.Profile(ctx, req.Suite)
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +193,7 @@ func (s *Server) sweepJob(req jobRequest, mask features.Mask) jobs.Fn {
 
 func (s *Server) randBaselineJob(req jobRequest, mask features.Mask) jobs.Fn {
 	return func(ctx context.Context, pr *jobs.Progress) (any, error) {
-		prof, err := s.registry.Profile(ctx, req.Suite)
+		prof, _, err := s.registry.Profile(ctx, req.Suite)
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +226,7 @@ func (s *Server) randBaselineJob(req jobRequest, mask features.Mask) jobs.Fn {
 
 func (s *Server) gaJob(req jobRequest) jobs.Fn {
 	return func(ctx context.Context, pr *jobs.Progress) (any, error) {
-		prof, err := s.registry.Profile(ctx, req.Suite)
+		prof, _, err := s.registry.Profile(ctx, req.Suite)
 		if err != nil {
 			return nil, err
 		}

@@ -7,7 +7,9 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"fgbs/internal/fault"
 	"fgbs/internal/ir"
 	"fgbs/internal/pipeline"
 	"fgbs/internal/suites"
@@ -24,11 +26,21 @@ import (
 // previously saved profile (pipeline.ReadProfile), and fresh builds
 // are saved back — the daemon's restart-survival analogue of the CLI's
 // -cache flag.
+//
+// Resilience: every build outcome feeds the suite's circuit breaker.
+// Repeated build failures open it, after which requests fail fast (or
+// serve the last good profile, marked stale) until a cooldown admits
+// one half-open rebuild probe. A build that succeeds but carries
+// failure markers (measurements lost to permanent faults) is kept and
+// served — degraded data beats no data — but trips the suite breaker
+// so a later probe can rebuild once the faults clear.
 type registry struct {
 	programs func(string) ([]*ir.Program, error)
 	seed     uint64
 	workers  int
 	cacheDir string
+	measurer fault.Measurer
+	breakers *breakerSet
 
 	// ctx is the registry's lifetime: builds run detached from any
 	// single request (a canceled requester must not kill the build the
@@ -36,24 +48,38 @@ type registry struct {
 	ctx  context.Context
 	stop context.CancelFunc
 
-	mu      sync.Mutex
-	entries map[string]*regEntry // guarded by mu
+	mu       sync.Mutex
+	entries  map[string]*regEntry         // guarded by mu
+	lastGood map[string]*pipeline.Profile // guarded by mu; newest served profile per suite
 
 	builds    atomic.Int64 // profiling runs started
 	coalesced atomic.Int64 // requests that joined an in-flight build
 	diskLoads atomic.Int64 // builds satisfied from the cache directory
 	building  atomic.Int64 // builds currently in flight
+	staleHits atomic.Int64 // requests answered from a degraded or last-good profile
 }
 
 // regEntry is one suite's build slot. ready is closed when prof/err
 // are final.
 type regEntry struct {
-	ready chan struct{}
-	prof  *pipeline.Profile
-	err   error
+	ready    chan struct{}
+	prof     *pipeline.Profile
+	err      error
+	degraded bool
 }
 
-func newRegistry(cfg Config) *registry {
+// circuitOpenError is returned while a suite's breaker is open and no
+// last-good profile exists to degrade onto.
+type circuitOpenError struct {
+	suite   string
+	retryIn time.Duration
+}
+
+func (e *circuitOpenError) Error() string {
+	return fmt.Sprintf("server: suite %s unavailable after repeated build failures; next probe in %.1fs", e.suite, e.retryIn.Seconds())
+}
+
+func newRegistry(cfg Config, breakers *breakerSet) *registry {
 	programs := cfg.Programs
 	if programs == nil {
 		programs = suites.Programs
@@ -64,9 +90,12 @@ func newRegistry(cfg Config) *registry {
 		seed:     cfg.Seed,
 		workers:  cfg.Workers,
 		cacheDir: cfg.ProfileDir,
+		measurer: cfg.Measurer,
+		breakers: breakers,
 		ctx:      ctx,
 		stop:     stop,
 		entries:  make(map[string]*regEntry),
+		lastGood: make(map[string]*pipeline.Profile),
 	}
 }
 
@@ -74,12 +103,27 @@ func newRegistry(cfg Config) *registry {
 // error.
 func (r *registry) Close() { r.stop() }
 
+func suiteKey(suite string) string { return "suite:" + suite }
+
 // Profile returns the suite's shared profile, building it at most
-// once. ctx bounds this caller's wait, not the build itself.
-func (r *registry) Profile(ctx context.Context, suite string) (*pipeline.Profile, error) {
+// once, plus a stale flag: true when the returned data is degraded
+// (built under permanent faults) or is a retained last-good profile
+// served because the current build is failing. ctx bounds this
+// caller's wait, not the build itself.
+func (r *registry) Profile(ctx context.Context, suite string) (*pipeline.Profile, bool, error) {
+	key := suiteKey(suite)
 	r.mu.Lock()
 	e, ok := r.entries[suite]
 	if !ok {
+		if !r.breakers.allow(key) {
+			lg := r.lastGood[suite]
+			r.mu.Unlock()
+			if lg != nil {
+				r.staleHits.Add(1)
+				return lg, true, nil
+			}
+			return nil, false, &circuitOpenError{suite: suite, retryIn: r.breakers.retryIn(key)}
+		}
 		e = &regEntry{ready: make(chan struct{})}
 		r.entries[suite] = e
 		r.mu.Unlock()
@@ -87,36 +131,135 @@ func (r *registry) Profile(ctx context.Context, suite string) (*pipeline.Profile
 		// because coalesced waiters share its outcome.
 		go r.build(suite, e)
 	} else {
+		lg := r.lastGood[suite]
 		r.mu.Unlock()
 		select {
 		case <-e.ready:
 		default:
 			r.coalesced.Add(1)
+			// A rebuild probe is in flight behind an open breaker:
+			// answer from the last good profile instead of making every
+			// request pay the rebuild's latency.
+			if lg != nil && r.breakers.isOpen(key) {
+				r.staleHits.Add(1)
+				return lg, true, nil
+			}
 		}
 	}
 	select {
 	case <-e.ready:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, false, ctx.Err()
 	}
-	return e.prof, e.err
+	if e.err != nil {
+		r.mu.Lock()
+		lg := r.lastGood[suite]
+		r.mu.Unlock()
+		if lg != nil {
+			r.staleHits.Add(1)
+			return lg, true, nil
+		}
+		return nil, false, e.err
+	}
+	if e.degraded {
+		// Half-open: past the cooldown one request probes a rebuild,
+		// hoping the faults behind the markers were transient.
+		if r.breakers.allow(key) {
+			if ne := r.swapEntry(suite, e); ne != nil {
+				go r.build(suite, ne)
+				select {
+				case <-ne.ready:
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				}
+				if ne.err == nil {
+					if ne.degraded {
+						r.staleHits.Add(1)
+					}
+					return ne.prof, ne.degraded, nil
+				}
+			}
+		}
+		r.staleHits.Add(1)
+		return e.prof, true, nil
+	}
+	return e.prof, false, nil
 }
 
-// build runs (or loads) the profile and publishes the outcome. On
-// failure the entry is removed so a later request can retry — a
-// transient error (say, an unwritable cache file) must not wedge the
-// suite forever.
+// swapEntry atomically replaces e with a fresh build slot, or returns
+// nil if another probe already replaced it.
+func (r *registry) swapEntry(suite string, e *regEntry) *regEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries[suite] != e {
+		return nil
+	}
+	ne := &regEntry{ready: make(chan struct{})}
+	r.entries[suite] = ne
+	return ne
+}
+
+// build runs (or loads) the profile, publishes the outcome, and drives
+// the suite's breaker. On failure the entry is removed so a later
+// request can retry — a transient error (say, an unwritable cache
+// file) must not wedge the suite forever.
 func (r *registry) build(suite string, e *regEntry) {
 	r.builds.Add(1)
 	r.building.Add(1)
 	defer r.building.Add(-1)
 	e.prof, e.err = r.buildProfile(suite)
-	if e.err != nil {
+	key := suiteKey(suite)
+	switch {
+	case e.err != nil:
+		r.breakers.fail(key)
 		r.mu.Lock()
 		delete(r.entries, suite)
 		r.mu.Unlock()
+	case e.prof.Degraded():
+		e.degraded = true
+		r.breakers.trip(key)
+		r.tripDataBreakers(suite, e.prof)
+		r.setLastGood(suite, e.prof)
+	default:
+		r.breakers.succeed(key)
+		r.breakers.succeed("ref:" + suite)
+		r.breakers.clearPrefix("target:" + suite + "/")
+		r.setLastGood(suite, e.prof)
 	}
 	close(e.ready)
+}
+
+func (r *registry) setLastGood(suite string, prof *pipeline.Profile) {
+	r.mu.Lock()
+	// A degraded profile never displaces a clean one: the retained
+	// profile is what open-circuit requests fall back on.
+	if cur := r.lastGood[suite]; cur == nil || cur.Degraded() || !prof.Degraded() {
+		r.lastGood[suite] = prof
+	}
+	r.mu.Unlock()
+}
+
+// tripDataBreakers opens the fine-grained breakers behind a degraded
+// profile: one for the reference machine if any ground-truth
+// measurement was lost, one per target with lost measurements.
+func (r *registry) tripDataBreakers(suite string, prof *pipeline.Profile) {
+	if anyMarked(prof.RefFailed) {
+		r.breakers.trip("ref:" + suite)
+	}
+	for t, m := range prof.Targets {
+		if t < len(prof.TargetFailed) && anyMarked(prof.TargetFailed[t]) {
+			r.breakers.trip("target:" + suite + "/" + m.Name)
+		}
+	}
+}
+
+func anyMarked(row []bool) bool {
+	for _, v := range row {
+		if v {
+			return true
+		}
+	}
+	return false
 }
 
 func (r *registry) buildProfile(suite string) (*pipeline.Profile, error) {
@@ -128,7 +271,7 @@ func (r *registry) buildProfile(suite string) (*pipeline.Profile, error) {
 		return prof, nil
 	}
 	prof, err := pipeline.NewProfileContext(r.ctx, progs, pipeline.Options{
-		Seed: r.seed, Workers: r.workers,
+		Seed: r.seed, Workers: r.workers, Measurer: r.measurer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: profiling %s: %w", suite, err)
@@ -164,8 +307,10 @@ func (r *registry) loadCached(suite string, progs []*ir.Program) *pipeline.Profi
 
 // saveCached persists a freshly built profile; failures are ignored
 // (the profile is already in memory, the disk copy is an optimization).
+// Degraded profiles are not persisted: a restart should retry the
+// measurements, not resurrect the outage.
 func (r *registry) saveCached(suite string, prof *pipeline.Profile) {
-	if r.cacheDir == "" {
+	if r.cacheDir == "" || prof.Degraded() {
 		return
 	}
 	if err := os.MkdirAll(r.cacheDir, 0o755); err != nil {

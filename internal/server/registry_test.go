@@ -11,14 +11,14 @@ import (
 )
 
 func newTestRegistry(dir string) *registry {
-	return newRegistry(Config{Seed: 1, ProfileDir: dir, Programs: testPrograms})
+	return newRegistry(Config{Seed: 1, ProfileDir: dir, Programs: testPrograms}, newBreakerSet(0, 0, nil))
 }
 
 func TestRegistryPersistsProfiles(t *testing.T) {
 	dir := t.TempDir()
 	r := newTestRegistry(dir)
 	defer r.Close()
-	prof, err := r.Profile(context.Background(), "tiny")
+	prof, _, err := r.Profile(context.Background(), "tiny")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestRegistryPersistsProfiles(t *testing.T) {
 	// rebuilding, and the loaded profile matches.
 	r2 := newTestRegistry(dir)
 	defer r2.Close()
-	prof2, err := r2.Profile(context.Background(), "tiny")
+	prof2, _, err := r2.Profile(context.Background(), "tiny")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestRegistryRebuildsOnCorruptCache(t *testing.T) {
 	}
 	r := newTestRegistry(dir)
 	defer r.Close()
-	prof, err := r.Profile(context.Background(), "tiny")
+	prof, _, err := r.Profile(context.Background(), "tiny")
 	if err != nil {
 		t.Fatalf("corrupt cache should trigger a rebuild, got %v", err)
 	}
@@ -71,14 +71,14 @@ func TestRegistryRetriesAfterError(t *testing.T) {
 			return nil, fmt.Errorf("transient failure")
 		}
 		return testPrograms("tiny")
-	}})
+	}}, newBreakerSet(0, 0, nil))
 	defer r.Close()
-	if _, err := r.Profile(context.Background(), "tiny"); err == nil {
+	if _, _, err := r.Profile(context.Background(), "tiny"); err == nil {
 		t.Fatal("first call should fail")
 	}
 	// The failed entry must not wedge the suite: the next request
 	// retries and succeeds.
-	prof, err := r.Profile(context.Background(), "tiny")
+	prof, _, err := r.Profile(context.Background(), "tiny")
 	if err != nil {
 		t.Fatalf("retry failed: %v", err)
 	}
@@ -95,7 +95,7 @@ func TestRegistryWaiterHonorsContext(t *testing.T) {
 	r := newRegistry(Config{Seed: 1, Programs: func(name string) ([]*ir.Program, error) {
 		<-block
 		return testPrograms("tiny")
-	}})
+	}}, newBreakerSet(0, 0, nil))
 	defer r.Close()
 	defer close(block)
 
@@ -106,7 +106,7 @@ func TestRegistryWaiterHonorsContext(t *testing.T) {
 	// build for everyone else.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := r.Profile(ctx, "tiny"); err != context.Canceled {
+	if _, _, err := r.Profile(ctx, "tiny"); err != context.Canceled {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
@@ -117,7 +117,7 @@ func TestRegistryLoaded(t *testing.T) {
 	if got := r.Loaded(); len(got) != 0 {
 		t.Fatalf("fresh registry reports %d loaded suites", len(got))
 	}
-	if _, err := r.Profile(context.Background(), "tiny"); err != nil {
+	if _, _, err := r.Profile(context.Background(), "tiny"); err != nil {
 		t.Fatal(err)
 	}
 	got := r.Loaded()

@@ -12,8 +12,8 @@
 //	POST /v1/evaluate  per-target prediction errors + reduction factor
 //	POST /v1/select    rank all targets, return the best system
 //	GET  /v1/suites    known suites and their load state
-//	GET  /healthz      liveness
-//	GET  /metricz      request/cache/registry/jobs counters, latency quantiles
+//	GET  /healthz      liveness, breaker state, job-queue saturation (503 when degraded)
+//	GET  /metricz      request/cache/registry/breaker/jobs counters, latency quantiles
 //
 // Long experiments (the Figure 3 sweep, the Figure 7 random baseline,
 // the §4.2 GA) run asynchronously on a bounded worker pool:
@@ -30,8 +30,10 @@ import (
 	"path/filepath"
 	"time"
 
+	"fgbs/internal/fault"
 	"fgbs/internal/ir"
 	"fgbs/internal/jobs"
+	"fgbs/internal/measure"
 	"fgbs/internal/suites"
 )
 
@@ -66,6 +68,23 @@ type Config struct {
 	// JobRetention is how long terminal jobs stay pollable
 	// (default 15m).
 	JobRetention time.Duration
+	// Measurer, when set, replaces the raw simulator for profile
+	// builds — the hook fgbsd uses to mount the fault-injection +
+	// robust-measurement stack behind -faultprofile. nil keeps the
+	// fault-unaware pipeline byte-identical.
+	Measurer fault.Measurer
+	// MeasureStats, when set, surfaces the robust measurement layer's
+	// retry/outlier counters in /metricz.
+	MeasureStats func() measure.Stats
+	// FaultStats, when set, surfaces the fault injector's counters in
+	// /metricz.
+	FaultStats func() fault.Stats
+	// BreakerThreshold is how many consecutive build failures open a
+	// suite's circuit (default DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before one
+	// half-open probe (default DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
 }
 
 // Server answers system-selection queries over shared, cached
@@ -73,6 +92,7 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	suiteSet []string
+	breakers *breakerSet
 	registry *registry
 	results  *resultCache
 	metrics  *httpMetrics
@@ -93,10 +113,12 @@ func New(cfg Config) *Server {
 	if cfg.ProfileDir != "" {
 		jobDir = filepath.Join(cfg.ProfileDir, "jobs")
 	}
+	breakers := newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, nil)
 	s := &Server{
 		cfg:      cfg,
 		suiteSet: cfg.SuiteNames,
-		registry: newRegistry(cfg),
+		breakers: breakers,
+		registry: newRegistry(cfg, breakers),
 		results:  newResultCache(cfg.ResultCacheSize),
 		metrics:  newHTTPMetrics(),
 		jobs: jobs.NewManager(jobs.Config{
@@ -151,7 +173,7 @@ func (s *Server) validSuite(name string) bool {
 // returning the first error. The daemon calls this for -preload.
 func (s *Server) Warm(suiteNames []string) error {
 	for _, name := range suiteNames {
-		if _, err := s.registry.Profile(s.registry.ctx, name); err != nil {
+		if _, _, err := s.registry.Profile(s.registry.ctx, name); err != nil {
 			return err
 		}
 	}

@@ -131,11 +131,20 @@ func TestHealthz(t *testing.T) {
 	defer ts.Close()
 	var body struct {
 		OK            bool    `json:"ok"`
+		Status        string  `json:"status"`
 		UptimeSeconds float64 `json:"uptimeSeconds"`
+		JobQueue      struct {
+			Queued    int64 `json:"queued"`
+			Depth     int   `json:"depth"`
+			Saturated bool  `json:"saturated"`
+		} `json:"jobQueue"`
 	}
 	resp := get(t, ts, "/healthz", &body)
-	if resp.StatusCode != http.StatusOK || !body.OK {
-		t.Errorf("healthz = %d, ok=%v", resp.StatusCode, body.OK)
+	if resp.StatusCode != http.StatusOK || !body.OK || body.Status != "ok" {
+		t.Errorf("healthz = %d, ok=%v status=%q", resp.StatusCode, body.OK, body.Status)
+	}
+	if body.JobQueue.Depth <= 0 || body.JobQueue.Saturated {
+		t.Errorf("jobQueue = %+v, want positive depth, unsaturated", body.JobQueue)
 	}
 }
 

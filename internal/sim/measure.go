@@ -161,9 +161,15 @@ func Measure(p *ir.Program, c *ir.Codelet, opts Options) (*Measurement, error) {
 
 	if opts.Mode == ModeStandalone {
 		// The wrapper loads the memory dump before the first run,
-		// warming the hierarchy exactly as CF's replay does.
-		for name := range referencedArrays(c) {
-			h.Preload(ds.Base(name), ds.SizeBytes(name))
+		// warming the hierarchy exactly as CF's replay does. Preload
+		// order decides which lines survive eviction when the dump
+		// exceeds the hierarchy, so it must not follow Go's randomized
+		// map iteration: dump arrays in declaration (address) order.
+		refd := referencedArrays(c)
+		for _, a := range p.Arrays() {
+			if refd[a.Name] {
+				h.Preload(ds.Base(a.Name), ds.SizeBytes(a.Name))
+			}
 		}
 	}
 

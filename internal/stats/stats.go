@@ -51,6 +51,56 @@ func Quantile(xs []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// MAD returns the median absolute deviation of xs: the median of
+// |x - median(xs)|. It is the robust dispersion estimate behind the
+// measurement layer's outlier rejection — unlike the standard
+// deviation, a single wild invocation cannot inflate it. Returns NaN
+// for an empty slice.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return Median(devs)
+}
+
+// MADConsistency rescales a MAD to estimate the standard deviation of
+// normal data (the 1/Φ⁻¹(3/4) constant).
+const MADConsistency = 1.4826
+
+// MADKeep returns the indices of xs within k consistent MADs of the
+// median — the outlier-rejection rule of the robust measurement
+// protocol. With a (near-)zero MAD (at least half the samples
+// identical) every sample is kept: there is no dispersion to reject
+// against. k <= 0 keeps everything.
+func MADKeep(xs []float64, k float64) []int {
+	keep := make([]int, 0, len(xs))
+	if k <= 0 {
+		for i := range xs {
+			keep = append(keep, i)
+		}
+		return keep
+	}
+	med := Median(xs)
+	spread := MAD(xs) * MADConsistency
+	if spread < 1e-300 {
+		for i := range xs {
+			keep = append(keep, i)
+		}
+		return keep
+	}
+	for i, x := range xs {
+		if math.Abs(x-med) <= k*spread {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
 // GeoMean returns the geometric mean of xs. All values must be positive;
 // it returns NaN for an empty slice or any non-positive value.
 func GeoMean(xs []float64) float64 {

@@ -95,6 +95,46 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
+func TestMAD(t *testing.T) {
+	// median = 3, deviations = {2,1,0,1,2}, MAD = 1.
+	if got := MAD([]float64{1, 2, 3, 4, 5}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("MAD(1..5) = %g, want 1", got)
+	}
+	// A single wild value cannot inflate the MAD.
+	if got := MAD([]float64{1, 2, 3, 4, 1e9}); got > 2 {
+		t.Errorf("MAD with outlier = %g, want robust (<= 2)", got)
+	}
+	if got := MAD([]float64{7, 7, 7}); got != 0 {
+		t.Errorf("MAD of constants = %g, want 0", got)
+	}
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("MAD(nil) should be NaN")
+	}
+}
+
+func TestMADKeep(t *testing.T) {
+	xs := []float64{10, 10.1, 9.9, 10.05, 500}
+	keep := MADKeep(xs, 3.5)
+	if len(keep) != 4 {
+		t.Fatalf("MADKeep kept %v, want the 4 inliers", keep)
+	}
+	for _, i := range keep {
+		if i == 4 {
+			t.Errorf("outlier index survived: %v", keep)
+		}
+	}
+	// Zero-dispersion and disabled-k cases keep everything.
+	if keep := MADKeep([]float64{5, 5, 5, 5}, 3.5); len(keep) != 4 {
+		t.Errorf("constant samples: kept %v, want all", keep)
+	}
+	if keep := MADKeep(xs, 0); len(keep) != len(xs) {
+		t.Errorf("k=0 should keep all, kept %v", keep)
+	}
+	if keep := MADKeep(nil, 3.5); len(keep) != 0 {
+		t.Errorf("MADKeep(nil) = %v, want empty", keep)
+	}
+}
+
 func TestVariance(t *testing.T) {
 	if got := Variance([]float64{2, 4}); !almostEqual(got, 1, 1e-12) {
 		t.Errorf("Variance(2,4) = %g, want 1 (population)", got)
