@@ -49,4 +49,11 @@ go test -race -timeout 25m ./...
 echo "== bench smoke =="
 go test -run='^$' -bench='^BenchmarkTable1Architectures$|^BenchmarkFigure7RandomClusteringBaselineParallel$' -benchtime=1x .
 
+# The stage-cache gate proves the incremental pipeline actually skips
+# work: BenchmarkSweepKWarm self-asserts (b.Fatalf) that a warm K sweep
+# serves shared stages from the store (>1 hit) and runs strictly fewer
+# simulator invocations than a cold run.
+echo "== stage cache smoke =="
+go test -run='^$' -bench='^BenchmarkSweepKWarm$' -benchtime=1x ./internal/pipeline
+
 echo "ci.sh: all checks passed"

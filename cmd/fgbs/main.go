@@ -49,6 +49,15 @@
 //	-j N            parallel workers for the f3/f7 sweeps and the
 //	                sweep export (0 = GOMAXPROCS, 1 = serial); the
 //	                output is identical at every worker count
+//	-stagecache N   in-memory stage artifact cache size (entries,
+//	                default 256). Experiments resolve the pipeline
+//	                through a content-addressed stage graph, so
+//	                repeated work within one run (a K sweep's shared
+//	                clustering, say) is computed once.
+//	-stagedir path  also persist stage artifacts (the profile) under
+//	                this directory and load them back on later runs —
+//	                the directory-shaped analogue of -cache, sharing
+//	                its <suite>.json layout with fgbsd's -profiledir
 //	-faultprofile p JSON fault-injection profile applied to every
 //	                measurement, with the robust retry/outlier-rejection
 //	                protocol mounted on top (chaos testing; see the
@@ -77,6 +86,7 @@ import (
 	"fgbs/internal/measure"
 	"fgbs/internal/pipeline"
 	"fgbs/internal/report"
+	"fgbs/internal/stage"
 	"fgbs/internal/suites"
 )
 
@@ -90,22 +100,38 @@ func main() {
 }
 
 type config struct {
-	suite     string
-	target    string
-	k         int
-	seed      uint64
-	trials    int
-	full      bool
-	paperSet  bool
-	cache     string
-	codelet   string
-	what      string
-	jobs      int
-	faultPath string
+	suite      string
+	target     string
+	k          int
+	seed       uint64
+	trials     int
+	full       bool
+	paperSet   bool
+	cache      string
+	codelet    string
+	what       string
+	jobs       int
+	faultPath  string
+	stageCache int
+	stageDir   string
 	// measurer is the fault-injection + robust-measurement stack built
 	// from -faultprofile; nil keeps the pipeline fault-unaware (and
-	// byte-identical to earlier releases).
-	measurer fault.Measurer
+	// byte-identical to earlier releases). measurerKey is its stage-key
+	// identity (the fault profile's fingerprint).
+	measurer    fault.Measurer
+	measurerKey string
+	// engine resolves experiments through the content-addressed stage
+	// graph; built in run() once flags are validated.
+	engine *pipeline.Engine
+}
+
+// stageOpts assembles the engine inputs for one suite.
+func (c config) stageOpts(suite string) pipeline.StageOptions {
+	return pipeline.StageOptions{
+		Options:     pipeline.Options{Seed: c.seed, Measurer: c.measurer},
+		MeasurerKey: c.measurerKey,
+		DiskName:    suite + ".json",
+	}
 }
 
 // workers resolves the -j flag (0 = GOMAXPROCS).
@@ -135,6 +161,8 @@ func run(ctx context.Context, args []string) error {
 	fs.StringVar(&cfg.what, "what", "eval", "export kind: eval, sweep, features, evaljson, subsetjson or select")
 	fs.IntVar(&cfg.jobs, "j", 0, "parallel workers for f3/f7 and the sweep export (0 = GOMAXPROCS)")
 	fs.StringVar(&cfg.faultPath, "faultprofile", "", "JSON fault-injection profile (chaos testing)")
+	fs.IntVar(&cfg.stageCache, "stagecache", 256, "in-memory stage artifact cache size (entries)")
+	fs.StringVar(&cfg.stageDir, "stagedir", "", "directory for persisted stage artifacts (optional)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -147,7 +175,9 @@ func run(ctx context.Context, args []string) error {
 			return fmt.Errorf("-faultprofile: %w", err)
 		}
 		cfg.measurer = measure.New(fault.NewInjector(fp, nil), measure.Config{})
+		cfg.measurerKey = fp.Fingerprint()
 	}
+	cfg.engine = pipeline.NewEngine(stage.NewStore(cfg.stageCache, cfg.stageDir))
 
 	if exp == "t1" {
 		return report.Table1(os.Stdout, arch.All())
@@ -162,19 +192,16 @@ func run(ctx context.Context, args []string) error {
 	case "t2":
 		return cmdGA(ctx, cfg)
 	case "t3", "f2":
-		prof, err := profile(ctx, cfg, "nr")
+		st, err := profile(ctx, cfg, "nr")
 		if err != nil {
 			return err
 		}
-		sub, err := prof.Subset(mask, pick(cfg.k, 14))
-		if err != nil {
-			return err
-		}
+		prof := st.Profile()
 		ti, err := prof.TargetIndex(pickS(cfg.target, "Atom"))
 		if err != nil {
 			return err
 		}
-		ev, err := prof.Evaluate(sub, ti)
+		sub, ev, err := st.Evaluate(ctx, mask, pick(cfg.k, 14), ti)
 		if err != nil {
 			return err
 		}
@@ -183,31 +210,33 @@ func run(ctx context.Context, args []string) error {
 		}
 		return report.Figure2(os.Stdout, prof, sub, ev, []int{0, 1})
 	case "t4":
-		prof, err := profile(ctx, cfg, "nr")
+		st, err := profile(ctx, cfg, "nr")
 		if err != nil {
 			return err
 		}
+		prof := st.Profile()
 		elbow, err := prof.Elbow(mask)
 		if err != nil {
 			return err
 		}
 		return report.Table4(os.Stdout, prof, mask, []int{14, elbow}, []string{"Atom", "Sandy Bridge"})
 	case "t5":
-		prof, err := profile(ctx, cfg, "nas")
+		st, err := profile(ctx, cfg, "nas")
 		if err != nil {
 			return err
 		}
-		sub, err := prof.Subset(mask, cfg.k)
+		sub, err := st.Subset(ctx, mask, cfg.k)
 		if err != nil {
 			return err
 		}
-		return report.Table5(os.Stdout, prof, sub)
+		return report.Table5(os.Stdout, st.Profile(), sub)
 	case "f3":
-		prof, err := profile(ctx, cfg, "nas")
+		st, err := profile(ctx, cfg, "nas")
 		if err != nil {
 			return err
 		}
-		pts, err := prof.SweepKParallel(ctx, mask, 2, 24, cfg.workers(), nil)
+		prof := st.Profile()
+		pts, err := st.SweepKParallel(ctx, mask, 2, 24, cfg.workers(), nil)
 		if err != nil {
 			return err
 		}
@@ -217,35 +246,33 @@ func run(ctx context.Context, args []string) error {
 		}
 		return report.Figure3(os.Stdout, prof, pts, elbow)
 	case "f4":
-		prof, err := profile(ctx, cfg, "nas")
+		st, err := profile(ctx, cfg, "nas")
 		if err != nil {
 			return err
 		}
-		sub, err := prof.Subset(mask, cfg.k)
-		if err != nil {
-			return err
-		}
+		prof := st.Profile()
 		ti, err := prof.TargetIndex(pickS(cfg.target, "Sandy Bridge"))
 		if err != nil {
 			return err
 		}
-		ev, err := prof.Evaluate(sub, ti)
+		_, ev, err := st.Evaluate(ctx, mask, cfg.k, ti)
 		if err != nil {
 			return err
 		}
 		return report.Figure4(os.Stdout, prof, ev)
 	case "f5", "f6", "summary":
-		prof, err := profile(ctx, cfg, cfg.suite)
+		st, err := profile(ctx, cfg, cfg.suite)
 		if err != nil {
 			return err
 		}
-		sub, err := prof.Subset(mask, cfg.k)
+		prof := st.Profile()
+		sub, err := st.Subset(ctx, mask, cfg.k)
 		if err != nil {
 			return err
 		}
 		var evals []*pipeline.Eval
 		for t := range prof.Targets {
-			ev, err := prof.Evaluate(sub, t)
+			_, ev, err := st.Evaluate(ctx, mask, cfg.k, t)
 			if err != nil {
 				return err
 			}
@@ -260,28 +287,29 @@ func run(ctx context.Context, args []string) error {
 			return summary(prof, sub, evals)
 		}
 	case "f7":
-		prof, err := profile(ctx, cfg, "nas")
+		st, err := profile(ctx, cfg, "nas")
 		if err != nil {
 			return err
 		}
-		ti, err := prof.TargetIndex(pickS(cfg.target, "Atom"))
+		ti, err := st.Profile().TargetIndex(pickS(cfg.target, "Atom"))
 		if err != nil {
 			return err
 		}
 		var rows []pipeline.RandomClusteringStats
 		for _, k := range []int{4, 8, 12, 16, 20, 24} {
-			st, err := prof.RandomClusteringsParallel(ctx, mask, k, cfg.trials, ti, cfg.seed, cfg.workers(), nil)
+			rcs, err := st.RandomClusteringsParallel(ctx, mask, k, cfg.trials, ti, cfg.seed, cfg.workers(), nil)
 			if err != nil {
 				return err
 			}
-			rows = append(rows, st)
+			rows = append(rows, rcs)
 		}
 		return report.Figure7(os.Stdout, pickS(cfg.target, "Atom"), rows)
 	case "f8":
-		prof, err := profile(ctx, cfg, "nas")
+		st, err := profile(ctx, cfg, "nas")
 		if err != nil {
 			return err
 		}
+		prof := st.Profile()
 		var cross, per []pipeline.PerAppPoint
 		for _, reps := range []int{1, 2, 3, 4, 6, 8, 10, 12} {
 			pp, err := prof.PerAppSubsettingContext(ctx, mask, reps)
@@ -317,21 +345,18 @@ func run(ctx context.Context, args []string) error {
 	case "show":
 		return cmdShow(cfg)
 	case "export":
-		prof, err := profile(ctx, cfg, cfg.suite)
+		st, err := profile(ctx, cfg, cfg.suite)
 		if err != nil {
 			return err
 		}
+		prof := st.Profile()
 		switch cfg.what {
 		case "eval", "evaljson":
-			sub, err := prof.Subset(mask, cfg.k)
-			if err != nil {
-				return err
-			}
 			ti, err := prof.TargetIndex(pickS(cfg.target, "Atom"))
 			if err != nil {
 				return err
 			}
-			ev, err := prof.Evaluate(sub, ti)
+			_, ev, err := st.Evaluate(ctx, mask, cfg.k, ti)
 			if err != nil {
 				return err
 			}
@@ -340,7 +365,7 @@ func run(ctx context.Context, args []string) error {
 			}
 			return report.EvalCSV(os.Stdout, prof, ev)
 		case "subsetjson":
-			sub, err := prof.Subset(mask, cfg.k)
+			sub, err := st.Subset(ctx, mask, cfg.k)
 			if err != nil {
 				return err
 			}
@@ -348,13 +373,13 @@ func run(ctx context.Context, args []string) error {
 			sj.Suite = cfg.suite
 			return report.WriteJSON(os.Stdout, sj)
 		case "select":
-			sub, err := prof.Subset(mask, cfg.k)
+			sub, err := st.Subset(ctx, mask, cfg.k)
 			if err != nil {
 				return err
 			}
 			var evals []*pipeline.Eval
 			for t := range prof.Targets {
-				ev, err := prof.Evaluate(sub, t)
+				_, ev, err := st.Evaluate(ctx, mask, cfg.k, t)
 				if err != nil {
 					return err
 				}
@@ -364,7 +389,7 @@ func run(ctx context.Context, args []string) error {
 			sj.Suite = cfg.suite
 			return report.WriteJSON(os.Stdout, sj)
 		case "sweep":
-			pts, err := prof.SweepKParallel(ctx, mask, 2, 24, cfg.workers(), nil)
+			pts, err := st.SweepKParallel(ctx, mask, 2, 24, cfg.workers(), nil)
 			if err != nil {
 				return err
 			}
@@ -375,25 +400,25 @@ func run(ctx context.Context, args []string) error {
 			return fmt.Errorf("unknown export kind %q", cfg.what)
 		}
 	case "dendro":
-		prof, err := profile(ctx, cfg, cfg.suite)
+		st, err := profile(ctx, cfg, cfg.suite)
 		if err != nil {
 			return err
 		}
-		sub, err := prof.Subset(mask, cfg.k)
+		sub, err := st.Subset(ctx, mask, cfg.k)
 		if err != nil {
 			return err
 		}
-		return report.DendrogramTree(os.Stdout, prof, sub)
+		return report.DendrogramTree(os.Stdout, st.Profile(), sub)
 	case "clusters":
-		prof, err := profile(ctx, cfg, cfg.suite)
+		st, err := profile(ctx, cfg, cfg.suite)
 		if err != nil {
 			return err
 		}
-		sub, err := prof.Subset(mask, cfg.k)
+		sub, err := st.Subset(ctx, mask, cfg.k)
 		if err != nil {
 			return err
 		}
-		return printClusters(prof, sub)
+		return printClusters(st.Profile(), sub)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -447,7 +472,10 @@ func validate(cfg config) error {
 	return nil
 }
 
-func profile(ctx context.Context, cfg config, suite string) (*pipeline.Profile, error) {
+// profile resolves the suite through the stage graph: a -cache file is
+// adopted as the profile artifact, anything else resolves via the
+// engine (in-memory, then -stagedir, then a fresh build).
+func profile(ctx context.Context, cfg config, suite string) (*pipeline.Staged, error) {
 	progs, err := suites.Programs(suite)
 	if err != nil {
 		return nil, err
@@ -459,10 +487,11 @@ func profile(ctx context.Context, cfg config, suite string) (*pipeline.Profile, 
 			if err != nil {
 				return nil, fmt.Errorf("loading %s: %w (re-create with 'save')", cfg.cache, err)
 			}
-			return prof, nil
+			return cfg.engine.Adopt(progs, cfg.stageOpts(suite), prof), nil
 		}
 	}
-	return pipeline.NewProfileContext(ctx, progs, pipeline.Options{Seed: cfg.seed, Measurer: cfg.measurer})
+	st, _, err := cfg.engine.Profile(ctx, progs, cfg.stageOpts(suite))
+	return st, err
 }
 
 func cmdShow(cfg config) error {
@@ -505,11 +534,11 @@ func pickS(v, def string) string {
 }
 
 func cmdGA(ctx context.Context, cfg config) error {
-	prof, err := profile(ctx, cfg, "nr")
+	st, err := profile(ctx, cfg, "nr")
 	if err != nil {
 		return err
 	}
-	fitness, err := prof.FeatureFitnessContext(ctx, "Atom", "Sandy Bridge")
+	fitness, err := st.Profile().FeatureFitnessContext(ctx, "Atom", "Sandy Bridge")
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,12 @@
 //	-profiledir dir  persist built profiles as <dir>/<suite>.json and
 //	                 reload them on restart
 //	-cachesize N     LRU result-cache capacity in entries (default 256)
+//	-stagecache N    in-memory stage artifact store capacity in entries
+//	                 (default 512); every pipeline stage — profiles,
+//	                 per-K subsets, per-target evaluations — resolves
+//	                 through it, so queries and jobs share work
+//	-stagedir dir    where the stage store persists disk artifacts
+//	                 (default: the -profiledir value)
 //	-seed N          profiling seed (default 1)
 //	-workers N       concurrent measurements per profiling run
 //	                 (default GOMAXPROCS)
@@ -79,6 +85,8 @@ type daemonConfig struct {
 	preload      []string
 	dir          string
 	cacheN       int
+	stageCacheN  int
+	stageDir     string
 	seed         uint64
 	workers      int
 	jobWorkers   int
@@ -101,6 +109,8 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.StringVar(&preloadList, "preload", "", "comma-separated suites to profile at startup")
 	fs.StringVar(&cfg.dir, "profiledir", "", "directory for persisted profiles")
 	fs.IntVar(&cfg.cacheN, "cachesize", 256, "LRU result-cache capacity")
+	fs.IntVar(&cfg.stageCacheN, "stagecache", 512, "in-memory stage artifact store capacity")
+	fs.StringVar(&cfg.stageDir, "stagedir", "", "directory for persisted stage artifacts (default: -profiledir)")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "profiling seed")
 	fs.IntVar(&cfg.workers, "workers", 0, "concurrent measurements per profiling run (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.jobWorkers, "jobworkers", 0, "concurrently running experiment jobs (0 = GOMAXPROCS)")
@@ -115,6 +125,9 @@ func parseFlags(args []string) (daemonConfig, error) {
 	}
 	if cfg.cacheN <= 0 {
 		return cfg, fmt.Errorf("-cachesize must be positive, got %d", cfg.cacheN)
+	}
+	if cfg.stageCacheN <= 0 {
+		return cfg, fmt.Errorf("-stagecache must be positive, got %d", cfg.stageCacheN)
 	}
 	if cfg.jobWorkers < 0 {
 		return cfg, fmt.Errorf("-jobworkers must be >= 0, got %d", cfg.jobWorkers)
@@ -168,6 +181,8 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		Workers:         cfg.workers,
 		ProfileDir:      cfg.dir,
 		ResultCacheSize: cfg.cacheN,
+		StageCacheSize:  cfg.stageCacheN,
+		StageDir:        cfg.stageDir,
 		SuiteNames:      cfg.serve,
 		JobWorkers:      cfg.jobWorkers,
 		JobRetention:    cfg.jobRetention,
@@ -176,6 +191,7 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		inj := fault.NewInjector(cfg.faults, nil)
 		rob := measure.New(inj, measure.Config{})
 		scfg.Measurer = rob
+		scfg.MeasurerKey = cfg.faults.Fingerprint()
 		scfg.MeasureStats = func() measure.Stats { return rob.Stats() }
 		scfg.FaultStats = func() fault.Stats { return inj.Stats() }
 	}

@@ -29,6 +29,13 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+
+	// noSuppress marks findings that no //fgbs:allow directive can
+	// silence — used where the suppression itself is the defect (e.g.
+	// an allow-determinism inside internal/stage, whose key hashing
+	// must stay observably pure). Without it such a finding would be
+	// swallowed by the very directive it reports.
+	noSuppress bool
 }
 
 // String renders the diagnostic in the standard file:line:col form
@@ -84,10 +91,21 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportAt(p.Fset.Position(pos), false, format, args...)
+}
+
+// ReportfNoSuppress records a finding that no //fgbs:allow can
+// silence.
+func (p *Pass) ReportfNoSuppress(pos token.Pos, format string, args ...any) {
+	p.reportAt(p.Fset.Position(pos), true, format, args...)
+}
+
+func (p *Pass) reportAt(pos token.Position, noSuppress bool, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
-		Pos:     p.Fset.Position(pos),
-		Check:   p.check.Name,
-		Message: fmt.Sprintf(format, args...),
+		Pos:        pos,
+		Check:      p.check.Name,
+		Message:    fmt.Sprintf(format, args...),
+		noSuppress: noSuppress,
 	})
 }
 
@@ -217,7 +235,7 @@ func filterSuppressed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if allowed(allows, d) {
+		if !d.noSuppress && allowed(allows, d) {
 			continue
 		}
 		kept = append(kept, d)

@@ -96,6 +96,46 @@ func TestDeterminismWallClockExemption(t *testing.T) {
 	checkWants(t, dir, diags)
 }
 
+// TestDeterminismStagePurity loads the stagepkg corpus under an import
+// path ending in internal/stage, where determinism findings are
+// unsuppressable: each //fgbs:allow determinism directive is itself a
+// finding and the finding it tried to silence survives.
+func TestDeterminismStagePurity(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "stagepkg")
+	pkg, err := LoadDir(dir, "corpus/internal/stage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, Options{Checks: []string{"determinism"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, dir, diags)
+}
+
+// TestDeterminismAllowWorksOutsideStage is the control for the purity
+// rule: the same suppressed time.Now that is a double finding inside
+// internal/stage stays silent in an ordinary package.
+func TestDeterminismAllowWorksOutsideStage(t *testing.T) {
+	src := `package snippet
+
+import "time"
+
+func stamp() time.Time {
+	//fgbs:allow determinism display timestamp only
+	return time.Now()
+}
+`
+	pkg := loadSnippet(t, src)
+	diags, err := Run([]*Package{pkg}, Options{Checks: []string{"determinism"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("suppressed finding leaked outside internal/stage: %v", diags)
+	}
+}
+
 var wantLineRe = regexp.MustCompile(`\bwant ("(?:[^"\\]|\\.)*")`)
 var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -24,6 +25,12 @@ import (
 // determinism annotation; the deterministic pipeline packages
 // (internal/cluster, features, ga, pipeline, predict, represent, sim,
 // stats, ir, extract, compile) must never need one.
+//
+// internal/stage is held to a stricter standard still: its key
+// hashing is the foundation every cached artifact's identity rests
+// on, so the package must stay observably pure. There, determinism
+// findings cannot be suppressed at all — an //fgbs:allow determinism
+// directive inside internal/stage is itself reported as a finding.
 var determinismCheck = &Check{
 	Name: "determinism",
 	Doc:  "forbid time.Now, wall-clock sleeps, and math/rand: use internal/rng streams, injected clocks, and sleep hooks",
@@ -38,7 +45,29 @@ func wallClockExempt(path string) bool {
 	return strings.HasSuffix(path, "internal/fault") || strings.HasSuffix(path, "internal/rng")
 }
 
+// stagePure reports whether pkg is the content-addressing engine,
+// where determinism findings are unsuppressable (equal inputs must
+// hash to equal keys, so nothing impure can be justified away).
+func stagePure(path string) bool {
+	return strings.HasSuffix(path, "internal/stage")
+}
+
 func runDeterminism(p *Pass) {
+	pure := stagePure(p.Pkg.Path)
+	report := p.Reportf
+	if pure {
+		report = p.ReportfNoSuppress
+		// The suppression itself is the defect here: a cache key
+		// justified into impurity silently stops matching across runs.
+		for key, dirs := range p.Pkg.allows {
+			for _, a := range dirs {
+				if a.check == "determinism" {
+					p.reportAt(token.Position{Filename: key.file, Line: key.line}, true,
+						"internal/stage key hashing must stay pure: this //fgbs:allow determinism suppression is itself a finding (reason given: %q)", a.reason)
+				}
+			}
+		}
+	}
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -56,14 +85,14 @@ func runDeterminism(p *Pass) {
 			case "time":
 				switch obj.Name() {
 				case "Now":
-					p.Reportf(sel.Pos(), "time.Now reads the wall clock; inject a clock (the jobs.now hook pattern) so runs stay reproducible")
+					report(sel.Pos(), "time.Now reads the wall clock; inject a clock (the jobs.now hook pattern) so runs stay reproducible")
 				case "Sleep", "After", "Tick", "NewTimer", "NewTicker":
 					if !wallClockExempt(p.Pkg.Path) {
-						p.Reportf(sel.Pos(), "time.%s paces on the wall clock; route delays through an injectable sleep hook (the measure.Config.Sleep pattern) so chaos schedules replay instantly", obj.Name())
+						report(sel.Pos(), "time.%s paces on the wall clock; route delays through an injectable sleep hook (the measure.Config.Sleep pattern) so chaos schedules replay instantly", obj.Name())
 					}
 				}
 			case "math/rand", "math/rand/v2":
-				p.Reportf(sel.Pos(), "%s.%s bypasses internal/rng; all randomness must come from a seeded rng.RNG stream", obj.Pkg().Name(), obj.Name())
+				report(sel.Pos(), "%s.%s bypasses internal/rng; all randomness must come from a seeded rng.RNG stream", obj.Pkg().Name(), obj.Name())
 			}
 			return true
 		})

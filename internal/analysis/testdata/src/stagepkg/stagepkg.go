@@ -1,0 +1,29 @@
+// Corpus for the internal/stage purity rule. The harness loads this
+// package under the import path corpus/internal/stage, where
+// determinism findings cannot be suppressed: the //fgbs:allow
+// directives below do not silence their findings, and each directive
+// is itself reported.
+package stagepkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamped shows a suppression that would work anywhere else being
+// rejected here: the finding survives AND the directive is flagged.
+func stamped() int64 {
+	//fgbs:allow determinism cache freshness needs a timestamp // want "suppression is itself a finding"
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// salted draws randomness into a key, which would make equal inputs
+// hash unequal across runs.
+func salted() int64 {
+	return rand.Int63() // want "bypasses internal/rng"
+}
+
+// pure is what the package is supposed to look like: no findings.
+func pure(a, b int) int {
+	return a + b
+}

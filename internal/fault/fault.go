@@ -19,6 +19,8 @@ package fault
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -155,6 +157,23 @@ type Profile struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Rules are matched first-to-last; the first match applies.
 	Rules []Rule `json:"rules,omitempty"`
+}
+
+// Fingerprint returns a stable content hash of the profile — the hex
+// SHA-256 of its canonical JSON encoding. It identifies the injected
+// fault configuration in pipeline stage keys (StageOptions.
+// MeasurerKey): runs under the same profile share measurement
+// artifacts, runs under different ones never collide.
+func (p *Profile) Fingerprint() string {
+	b, err := json.Marshal(p)
+	if err != nil {
+		// Profiles are plain data; Marshal cannot fail on one. Keep a
+		// distinct constant anyway rather than panicking in a path that
+		// only derives cache identity.
+		return "fault:unencodable"
+	}
+	sum := sha256.Sum256(b)
+	return "fault:" + hex.EncodeToString(sum[:])
 }
 
 // Validate checks every rule: rates in [0, 1], non-negative episode

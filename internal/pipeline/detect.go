@@ -1,0 +1,27 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"fgbs/internal/ir"
+)
+
+// Detect flattens suite programs into aligned (program, codelet)
+// slices, validating each program — Step A against our IR suites.
+func Detect(progs []*ir.Program) ([]*ir.Program, []*ir.Codelet, error) {
+	var ps []*ir.Program
+	var cs []*ir.Codelet
+	for _, p := range progs {
+		if err := p.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("pipeline: %w", err)
+		}
+		if len(p.Codelets) == 0 {
+			return nil, nil, fmt.Errorf("pipeline: program %q has no codelets", p.Name)
+		}
+		for _, c := range p.Codelets {
+			ps = append(ps, p)
+			cs = append(cs, c)
+		}
+	}
+	return ps, cs, nil
+}

@@ -1,49 +1,49 @@
 // Package pipeline orchestrates the five steps of the benchmark
-// reduction method (Figure 1):
+// reduction method (Figure 1), one file per step:
 //
-//	Step A  codelet detection        — the suites provide programs
-//	                                   already decomposed into codelets;
-//	                                   Detect validates and flattens them.
-//	Step B  profiling                — Profile measures every codelet
-//	                                   in-application on the reference
-//	                                   machine, runs the MAQAO-style
-//	                                   static analysis, and assembles the
-//	                                   76-entry feature vectors. It also
-//	                                   collects the standalone and
-//	                                   ground-truth target measurements
-//	                                   the evaluation needs.
-//	Step C  clustering               — Subset normalizes the masked
-//	                                   features and applies Ward
-//	                                   hierarchical clustering with a
-//	                                   manual K or the elbow rule.
-//	Step D  representative selection — extraction screening (10% rule)
-//	                                   plus the §3.4 reselection loop
-//	                                   via internal/represent.
-//	Step E  prediction               — Evaluate builds the matrix model
-//	                                   and compares predictions against
-//	                                   the measured ground truth,
-//	                                   computing error statistics and
-//	                                   the benchmarking-reduction
-//	                                   breakdown.
+//	Step A  codelet detection        — detect.go: the suites provide
+//	                                   programs already decomposed into
+//	                                   codelets; Detect validates and
+//	                                   flattens them.
+//	Step B  profiling                — profile.go: Profile measures
+//	                                   every codelet in-application on
+//	                                   the reference machine, runs the
+//	                                   MAQAO-style static analysis, and
+//	                                   assembles the 76-entry feature
+//	                                   vectors. It also collects the
+//	                                   standalone and ground-truth
+//	                                   target measurements the
+//	                                   evaluation needs.
+//	Step C  clustering               — cluster.go: Subset normalizes
+//	                                   the masked features (§3.3) and
+//	                                   applies Ward hierarchical
+//	                                   clustering with a manual K or the
+//	                                   elbow rule.
+//	Step D  representative selection — represent.go: extraction
+//	                                   screening (10% rule) plus the
+//	                                   §3.4 reselection loop via
+//	                                   internal/represent.
+//	Step E  prediction               — predict.go: Evaluate builds the
+//	                                   matrix model and compares
+//	                                   predictions against the measured
+//	                                   ground truth, computing error
+//	                                   statistics and the
+//	                                   benchmarking-reduction breakdown.
+//
+// The monolithic entry points (NewProfile, Profile.Subset,
+// Profile.Evaluate) run the steps directly and remain the reference
+// semantics. stages.go layers the content-addressed internal/stage
+// engine on top of the same step functions: Engine.Profile resolves
+// Detect→Profile through a stage.Store, and the returned Staged view
+// resolves Normalize→Cluster→Represent→Predict per (mask, K, target) —
+// byte-identical outputs, but a parameter change recomputes only its
+// downstream stages. experiments.go and parallel.go hold the
+// experiment drivers, profileio.go the profile serialization.
 package pipeline
 
 import (
-	"context"
-	"fmt"
-	"math"
-	"runtime"
-	"sync"
-
 	"fgbs/internal/arch"
-	"fgbs/internal/cluster"
-	"fgbs/internal/extract"
 	"fgbs/internal/fault"
-	"fgbs/internal/features"
-	"fgbs/internal/ir"
-	"fgbs/internal/maqao"
-	"fgbs/internal/predict"
-	"fgbs/internal/represent"
-	"fgbs/internal/sim"
 )
 
 // MinMeasurableCycles is the profiling floor: codelets below it are
@@ -68,682 +68,4 @@ type Options struct {
 	// abort the profile: they escalate into the §3.4 screening
 	// machinery (see Profile.RefFailed / Profile.TargetFailed).
 	Measurer fault.Measurer
-}
-
-// Profile holds every measurement the experiments need: Step B's
-// reference profile and features, the standalone (microbenchmark)
-// times, and the full-suite ground truth on each target.
-//
-// A Profile is immutable after NewProfile/ReadProfile returns: Subset,
-// Evaluate, NormalizedPoints and the experiment helpers only read it
-// (NormalizedPoints copies rows before normalizing), so one Profile
-// may be shared by any number of concurrent goroutines — the property
-// internal/server relies on to answer queries against a single shared
-// profile per suite.
-type Profile struct {
-	Progs    []*ir.Program
-	Codelets []*ir.Codelet
-	Ref      *arch.Machine
-	Targets  []*arch.Machine
-
-	// Per codelet i:
-	RefInApp      []float64 // t_ref: in-app median seconds on reference
-	RefStandalone []float64 // extracted microbenchmark on reference
-	IllBehaved    []bool    // §3.4 screening outcome on reference
-	Discarded     []bool    // below the measurement floor
-	Features      [][]float64
-
-	// Per target t, per codelet i:
-	TargetInApp      [][]float64 // ground truth
-	TargetStandalone [][]float64 // microbenchmark on target
-
-	// Failure markers, set only when profiling ran under a fault-aware
-	// Measurer (Options.Measurer) and a measurement failed past its
-	// retry budget. Both stay nil on a clean build, keeping serialized
-	// profiles byte-identical to fault-unaware ones.
-	//
-	// RefFailed[i] means codelet i lost a reference measurement: it is
-	// also marked IllBehaved so represent.Select never picks it as a
-	// representative. TargetFailed[t][i] means codelet i has no
-	// trustworthy ground truth on target t; Evaluate excludes it from
-	// the error statistics instead of comparing against zeros.
-	RefFailed    []bool
-	TargetFailed [][]bool
-}
-
-// Degraded reports whether the profile carries failure markers — i.e.
-// it was built under fault escalation and at least one measurement
-// exhausted its retries. Servers use this to mark derived answers as
-// degraded rather than presenting them as clean results.
-func (p *Profile) Degraded() bool {
-	return p.RefFailed != nil || p.TargetFailed != nil
-}
-
-func (p *Profile) refFailedAt(i int) bool {
-	return p.RefFailed != nil && p.RefFailed[i]
-}
-
-func (p *Profile) targetFailedAt(t, i int) bool {
-	return p.TargetFailed != nil && p.TargetFailed[t][i]
-}
-
-// Detect flattens suite programs into aligned (program, codelet)
-// slices, validating each program — Step A against our IR suites.
-func Detect(progs []*ir.Program) ([]*ir.Program, []*ir.Codelet, error) {
-	var ps []*ir.Program
-	var cs []*ir.Codelet
-	for _, p := range progs {
-		if err := p.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("pipeline: %w", err)
-		}
-		if len(p.Codelets) == 0 {
-			return nil, nil, fmt.Errorf("pipeline: program %q has no codelets", p.Name)
-		}
-		for _, c := range p.Codelets {
-			ps = append(ps, p)
-			cs = append(cs, c)
-		}
-	}
-	return ps, cs, nil
-}
-
-// NewProfile runs Steps A and B over the given suite programs and
-// gathers all measurements used downstream. Measurements run in
-// parallel; results are deterministic.
-func NewProfile(progs []*ir.Program, opts Options) (*Profile, error) {
-	return NewProfileContext(context.Background(), progs, opts)
-}
-
-// NewProfileContext is NewProfile with cancellation: profiling is the
-// expensive step (every codelet is simulated on every machine), and a
-// server shutting down mid-build must not leave goroutines simulating
-// into the void. Cancellation is checked between per-codelet
-// measurement jobs; on cancellation the context's error is returned
-// and the partial profile is discarded.
-func NewProfileContext(ctx context.Context, progs []*ir.Program, opts Options) (*Profile, error) {
-	if opts.Reference == nil {
-		opts.Reference = arch.Reference()
-	}
-	if opts.Targets == nil {
-		opts.Targets = arch.Targets()
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
-
-	ps, cs, err := Detect(progs)
-	if err != nil {
-		return nil, err
-	}
-	n := len(cs)
-	pr := &Profile{
-		Progs: ps, Codelets: cs,
-		Ref: opts.Reference, Targets: opts.Targets,
-		RefInApp:      make([]float64, n),
-		RefStandalone: make([]float64, n),
-		IllBehaved:    make([]bool, n),
-		Discarded:     make([]bool, n),
-		Features:      make([][]float64, n),
-	}
-	for range opts.Targets {
-		pr.TargetInApp = append(pr.TargetInApp, make([]float64, n))
-		pr.TargetStandalone = append(pr.TargetStandalone, make([]float64, n))
-	}
-
-	// Shared datasets, one per distinct program.
-	datasets := make(map[*ir.Program]*sim.Dataset)
-	for _, p := range progs {
-		ds, err := sim.BuildDataset(p, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		datasets[p] = ds
-	}
-
-	measure := func(i int, m *arch.Machine, mode sim.Mode) (*sim.Measurement, error) {
-		o := sim.Options{
-			Machine: m, Mode: mode, Seed: opts.Seed,
-			Dataset: datasets[ps[i]], ProbeCycles: -1, NoiseAmp: -1,
-		}
-		if opts.Measurer != nil {
-			return opts.Measurer.Measure(ctx, ps[i], cs[i], o)
-		}
-		return sim.Measure(ps[i], cs[i], o)
-	}
-
-	// With a fault-aware Measurer, a measurement that exhausted its
-	// retries degrades the codelet instead of aborting the whole
-	// profile. Cancellation still aborts: a dying server is not a
-	// flaky target.
-	escalate := opts.Measurer != nil
-	if escalate {
-		pr.RefFailed = make([]bool, n)
-		for range opts.Targets {
-			pr.TargetFailed = append(pr.TargetFailed, make([]bool, n))
-		}
-	}
-
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for i := 0; i < n && ctx.Err() == nil; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if ctx.Err() != nil {
-				return
-			}
-			refIn, err := measure(i, pr.Ref, sim.ModeInApp)
-			if err != nil {
-				if escalate && ctx.Err() == nil {
-					// The reference in-app time anchors everything
-					// derived for this codelet (features, the model's
-					// matrix row, screening); without it the codelet
-					// is screened out entirely.
-					pr.RefFailed[i] = true
-					pr.IllBehaved[i] = true
-					pr.Discarded[i] = true
-					pr.Features[i] = make([]float64, features.NumFeatures)
-				} else {
-					errs[i] = err
-				}
-				return
-			}
-			pr.RefInApp[i] = refIn.Seconds
-			pr.Discarded[i] = refIn.Counters.Cycles < MinMeasurableCycles
-
-			st := maqao.Analyze(ps[i], cs[i], pr.Ref)
-			pr.Features[i] = features.Assemble(ps[i], cs[i], refIn, st)
-
-			refSa, err := measure(i, pr.Ref, sim.ModeStandalone)
-			if err != nil {
-				if escalate && ctx.Err() == nil {
-					// Standalone extraction failed: mark ill-behaved
-					// so represent.Select never picks this codelet,
-					// but keep the in-app anchor and features.
-					pr.RefFailed[i] = true
-					pr.IllBehaved[i] = true
-				} else {
-					errs[i] = err
-					return
-				}
-			} else {
-				pr.RefStandalone[i] = refSa.Seconds
-				pr.IllBehaved[i] = extract.IllBehaved(refSa.Seconds, refIn.Seconds)
-			}
-
-			for t, m := range pr.Targets {
-				tin, err := measure(i, m, sim.ModeInApp)
-				if err == nil {
-					var tsa *sim.Measurement
-					if tsa, err = measure(i, m, sim.ModeStandalone); err == nil {
-						pr.TargetInApp[t][i] = tin.Seconds
-						pr.TargetStandalone[t][i] = tsa.Seconds
-						continue
-					}
-				}
-				if escalate && ctx.Err() == nil {
-					pr.TargetFailed[t][i] = true
-					continue
-				}
-				errs[i] = err
-				return
-			}
-		}(i)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for _, e := range errs {
-		if e != nil {
-			return nil, e
-		}
-	}
-	pr.trimFailureMarkers()
-	return pr, nil
-}
-
-// trimFailureMarkers drops all-false failure slices so a clean build —
-// even one that ran under fault escalation — serializes identically to
-// a fault-unaware one.
-func (p *Profile) trimFailureMarkers() {
-	if !anyTrue(p.RefFailed) {
-		p.RefFailed = nil
-	}
-	any := false
-	for _, row := range p.TargetFailed {
-		if anyTrue(row) {
-			any = true
-			break
-		}
-	}
-	if !any {
-		p.TargetFailed = nil
-	}
-}
-
-func anyTrue(bs []bool) bool {
-	for _, b := range bs {
-		if b {
-			return true
-		}
-	}
-	return false
-}
-
-// N returns the codelet count.
-func (p *Profile) N() int { return len(p.Codelets) }
-
-// TargetIndex finds a target machine by name.
-func (p *Profile) TargetIndex(name string) (int, error) {
-	for t, m := range p.Targets {
-		if m.Name == name {
-			return t, nil
-		}
-	}
-	return 0, fmt.Errorf("pipeline: unknown target %q", name)
-}
-
-// NormalizedPoints applies the mask and z-score normalization (§3.3)
-// to the profile's feature matrix.
-func (p *Profile) NormalizedPoints(mask features.Mask) [][]float64 {
-	pts := mask.ApplyMatrix(p.Features)
-	// Copy before normalizing: the profile's features stay raw.
-	out := make([][]float64, len(pts))
-	for i, row := range pts {
-		out[i] = append([]float64(nil), row...)
-	}
-	features.NormalizeMatrix(out)
-	return out
-}
-
-// Subset is the outcome of Steps C and D for one feature mask and one
-// cluster count.
-type Subset struct {
-	Mask features.Mask
-	// RequestedK is the dendrogram cut (0 means the elbow rule chose).
-	RequestedK int
-	Dendro     *cluster.Dendrogram
-	Points     [][]float64
-	Selection  *represent.Selection
-	Model      *predict.Model
-}
-
-// K returns the final cluster count after ill-behaved dissolutions.
-func (s *Subset) K() int { return s.Selection.K }
-
-// RepStrategy selects how a cluster's representative is chosen
-// (ablation A3; the paper uses the centroid-closest member).
-type RepStrategy uint8
-
-const (
-	// RepCentroid picks the member closest to the cluster centroid.
-	RepCentroid RepStrategy = iota
-	// RepFirst picks the lowest-indexed eligible member (an arbitrary
-	// but deterministic choice).
-	RepFirst
-)
-
-// SubsetConfig tunes Steps C and D for the ablation studies. The zero
-// value is the paper's configuration.
-type SubsetConfig struct {
-	Linkage cluster.Linkage
-	// NoNormalize skips the z-score normalization of §3.3 (A2).
-	NoNormalize bool
-	// RepStrategy overrides the representative choice (A3).
-	RepStrategy RepStrategy
-	// IgnoreScreening treats every codelet as well-behaved (A5).
-	IgnoreScreening bool
-}
-
-// Subset runs clustering (Ward) and representative selection. Pass
-// k <= 0 to let the elbow rule choose the cut.
-func (p *Profile) Subset(mask features.Mask, k int) (*Subset, error) {
-	return p.SubsetWith(mask, k, SubsetConfig{})
-}
-
-// SubsetWith is Subset with explicit Step C/D configuration.
-func (p *Profile) SubsetWith(mask features.Mask, k int, cfg SubsetConfig) (*Subset, error) {
-	pts := p.points(mask, cfg)
-	d, err := cluster.Build(pts, cfg.Linkage)
-	if err != nil {
-		return nil, err
-	}
-	if k <= 0 {
-		k = d.Elbow(pts, p.maxElbowK(), 0)
-	}
-	labels := d.Cut(k)
-	return p.finishSubset(mask, k, d, pts, labels, cfg)
-}
-
-// SubsetFromLabels applies Steps D and E to an externally provided
-// partition (the random-clustering baseline of Figure 7).
-func (p *Profile) SubsetFromLabels(mask features.Mask, labels []int) (*Subset, error) {
-	cfg := SubsetConfig{}
-	pts := p.points(mask, cfg)
-	return p.finishSubset(mask, 0, nil, pts, labels, cfg)
-}
-
-func (p *Profile) points(mask features.Mask, cfg SubsetConfig) [][]float64 {
-	if cfg.NoNormalize {
-		return mask.ApplyMatrix(p.Features)
-	}
-	return p.NormalizedPoints(mask)
-}
-
-func (p *Profile) finishSubset(mask features.Mask, k int, d *cluster.Dendrogram, pts [][]float64, labels []int, cfg SubsetConfig) (*Subset, error) {
-	ill := p.IllBehaved
-	if cfg.IgnoreScreening {
-		ill = make([]bool, p.N())
-	}
-	if cfg.RepStrategy == RepFirst {
-		return p.firstMemberSubset(mask, k, d, pts, labels, ill)
-	}
-	sel, err := represent.Select(pts, labels, ill)
-	if err != nil {
-		return nil, err
-	}
-	model, err := predict.NewModel(p.RefInApp, sel.Labels, sel.Reps)
-	if err != nil {
-		return nil, err
-	}
-	return &Subset{
-		Mask: mask, RequestedK: k, Dendro: d, Points: pts,
-		Selection: sel, Model: model,
-	}, nil
-}
-
-// firstMemberSubset implements RepFirst: the lowest-indexed eligible
-// member of each cluster, with the same dissolution semantics.
-func (p *Profile) firstMemberSubset(mask features.Mask, k int, d *cluster.Dendrogram, pts [][]float64, labels []int, ill []bool) (*Subset, error) {
-	sel, err := represent.Select(pts, labels, ill)
-	if err != nil {
-		return nil, err
-	}
-	for c := range sel.Reps {
-		for i, l := range sel.Labels {
-			if l == c && !ill[i] {
-				sel.Reps[c] = i
-				break
-			}
-		}
-	}
-	model, err := predict.NewModel(p.RefInApp, sel.Labels, sel.Reps)
-	if err != nil {
-		return nil, err
-	}
-	return &Subset{
-		Mask: mask, RequestedK: k, Dendro: d, Points: pts,
-		Selection: sel, Model: model,
-	}, nil
-}
-
-// maxElbowK mirrors the paper's sweep ranges: up to 24 clusters.
-func (p *Profile) maxElbowK() int {
-	if p.N() < 24 {
-		return p.N()
-	}
-	return 24
-}
-
-// Elbow returns the elbow-selected cluster count for a mask.
-func (p *Profile) Elbow(mask features.Mask) (int, error) {
-	pts := p.NormalizedPoints(mask)
-	d, err := cluster.Build(pts, cluster.Ward)
-	if err != nil {
-		return 0, err
-	}
-	return d.Elbow(pts, p.maxElbowK(), 0), nil
-}
-
-// Eval is the Step E outcome on one target architecture.
-type Eval struct {
-	Target *arch.Machine
-	// Per-codelet seconds. Errors[i] is -1 for excluded codelets (no
-	// trustworthy measurement; NaN would not survive JSON marshaling).
-	Predicted []float64
-	Actual    []float64
-	Errors    []float64
-	Summary   predict.ErrorSummary
-	// Excluded counts codelets left out of Summary because a
-	// measurement failed past its retry budget — either the codelet's
-	// own ground truth on this target, a reference measurement, or its
-	// cluster representative's standalone time (which poisons every
-	// prediction in that cluster).
-	Excluded int
-	// Reduction is the benchmarking-cost breakdown (Table 5).
-	Reduction predict.ReductionBreakdown
-	// Apps aggregates application-level results (Figure 5), aligned
-	// with Profile.Apps().
-	Apps []AppEval
-	// GeoMeanRealSpeedup / GeoMeanPredictedSpeedup summarize Figure 6.
-	GeoMeanRealSpeedup      float64
-	GeoMeanPredictedSpeedup float64
-}
-
-// AppEval is one application's measured and predicted times. Degraded
-// marks an application containing excluded codelets: its sums include
-// failed (zero) measurements, its ErrorFrac is -1, and it is left out
-// of the speedup geomeans.
-type AppEval struct {
-	Name      string
-	RefSec    float64
-	ActualSec float64
-	PredSec   float64
-	ErrorFrac float64
-	Degraded  bool
-}
-
-// Evaluate predicts every codelet's time on target t from the
-// subset's representatives and compares with ground truth.
-func (p *Profile) Evaluate(sub *Subset, t int) (*Eval, error) {
-	if t < 0 || t >= len(p.Targets) {
-		return nil, fmt.Errorf("pipeline: target index %d out of range", t)
-	}
-	repTimes := make([]float64, sub.Selection.K)
-	for k, r := range sub.Selection.Reps {
-		repTimes[k] = p.TargetStandalone[t][r]
-	}
-	predicted, err := sub.Model.Predict(repTimes)
-	if err != nil {
-		return nil, err
-	}
-	actual := p.TargetInApp[t]
-	errs := predict.Errors(predicted, actual)
-
-	// Exclude codelets without trustworthy numbers on this target: a
-	// failed reference or ground-truth measurement, or a representative
-	// whose standalone time failed here — the model extrapolates the
-	// whole cluster from that one number, so its loss poisons every
-	// member's prediction.
-	excluded := make([]bool, p.N())
-	for i := range excluded {
-		excluded[i] = p.refFailedAt(i) || p.targetFailedAt(t, i)
-	}
-	for k, r := range sub.Selection.Reps {
-		if !p.refFailedAt(r) && !p.targetFailedAt(t, r) {
-			continue
-		}
-		for i, l := range sub.Selection.Labels {
-			if l == k {
-				excluded[i] = true
-			}
-		}
-	}
-	kept := make([]float64, 0, len(errs))
-	nExcluded := 0
-	for i := range errs {
-		if excluded[i] {
-			errs[i] = -1
-			nExcluded++
-			continue
-		}
-		kept = append(kept, errs[i])
-	}
-
-	// An all-excluded target leaves no errors to summarize; a zero
-	// summary with Excluded == N() says "no data" without smuggling
-	// NaNs into JSON encoders.
-	var summary predict.ErrorSummary
-	if len(kept) > 0 {
-		summary = predict.Summarize(kept)
-	}
-	ev := &Eval{
-		Target:    p.Targets[t],
-		Predicted: predicted,
-		Actual:    actual,
-		Errors:    errs,
-		Summary:   summary,
-		Excluded:  nExcluded,
-	}
-	ev.Reduction = p.reduction(sub, t)
-
-	apps := p.Apps()
-	var refApp, realApp, predApp []float64
-	for _, a := range apps {
-		ae := AppEval{
-			Name:      a.Name,
-			RefSec:    a.AppTimes(p.RefInApp),
-			ActualSec: a.AppTimes(actual),
-			PredSec:   a.AppTimes(predicted),
-		}
-		for _, i := range a.Codelets {
-			if excluded[i] {
-				ae.Degraded = true
-				break
-			}
-		}
-		if ae.Degraded {
-			// Partial sums would masquerade as real application times;
-			// flag instead of reporting a number built on zeros.
-			ae.ErrorFrac = -1
-			ev.Apps = append(ev.Apps, ae)
-			continue
-		}
-		if ae.ActualSec > 0 {
-			ae.ErrorFrac = abs(ae.PredSec-ae.ActualSec) / ae.ActualSec
-		}
-		ev.Apps = append(ev.Apps, ae)
-		refApp = append(refApp, ae.RefSec)
-		realApp = append(realApp, ae.ActualSec)
-		predApp = append(predApp, ae.PredSec)
-	}
-	// With every application degraded there is no speedup to report;
-	// zeros (plus Excluded) beat NaNs that JSON cannot carry.
-	if len(refApp) > 0 {
-		ev.GeoMeanRealSpeedup = predict.GeoMeanSpeedup(refApp, realApp)
-		ev.GeoMeanPredictedSpeedup = predict.GeoMeanSpeedup(refApp, predApp)
-	}
-	return ev, nil
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
-}
-
-// reduction computes the Table 5 accounting for one subset and target.
-func (p *Profile) reduction(sub *Subset, t int) predict.ReductionBreakdown {
-	return p.ReductionWithRule(sub, t, extract.MinBenchSeconds, extract.MinInvocations)
-}
-
-// ReductionWithRule computes the Table 5 accounting under an explicit
-// invocation-reduction rule (ablation A4 varies the 1 ms / 10
-// invocation thresholds).
-func (p *Profile) ReductionWithRule(sub *Subset, t int, minBenchSeconds float64, minInvocations int) predict.ReductionBreakdown {
-	rule := func(sa float64) float64 {
-		if sa <= 0 {
-			return float64(minInvocations)
-		}
-		n := math.Ceil(minBenchSeconds / sa)
-		if n < float64(minInvocations) {
-			n = float64(minInvocations)
-		}
-		return n
-	}
-	full := 0.0
-	for _, a := range p.Apps() {
-		full += a.AppTimes(p.TargetInApp[t])
-	}
-	reducedAll := 0.0
-	for i := range p.Codelets {
-		sa := p.TargetStandalone[t][i]
-		reducedAll += rule(sa) * sa
-	}
-	reps := 0.0
-	for _, r := range sub.Selection.Reps {
-		sa := p.TargetStandalone[t][r]
-		reps += rule(sa) * sa
-	}
-	return predict.Reduction(full, reducedAll, reps)
-}
-
-// Apps derives the predict.App descriptors from the profile's
-// programs (indices into the flattened codelet arrays).
-func (p *Profile) Apps() []*predict.App {
-	var apps []*predict.App
-	index := map[*ir.Program]*predict.App{}
-	for i, prog := range p.Progs {
-		a, ok := index[prog]
-		if !ok {
-			a = &predict.App{Name: prog.Name, UncoveredFraction: prog.UncoveredFraction}
-			index[prog] = a
-			apps = append(apps, a)
-		}
-		a.Codelets = append(a.Codelets, i)
-		a.Invocations = append(a.Invocations, p.Codelets[i].Invocations)
-	}
-	return apps
-}
-
-// SubProfile restricts the profile to the given codelet indices (used
-// by the per-application subsetting experiment of Figure 8). The
-// returned profile shares the underlying measurements.
-func (p *Profile) SubProfile(indices []int) *Profile {
-	sp := &Profile{Ref: p.Ref, Targets: p.Targets}
-	for _, i := range indices {
-		sp.Progs = append(sp.Progs, p.Progs[i])
-		sp.Codelets = append(sp.Codelets, p.Codelets[i])
-		sp.RefInApp = append(sp.RefInApp, p.RefInApp[i])
-		sp.RefStandalone = append(sp.RefStandalone, p.RefStandalone[i])
-		sp.IllBehaved = append(sp.IllBehaved, p.IllBehaved[i])
-		sp.Discarded = append(sp.Discarded, p.Discarded[i])
-		sp.Features = append(sp.Features, p.Features[i])
-		if p.RefFailed != nil {
-			sp.RefFailed = append(sp.RefFailed, p.RefFailed[i])
-		}
-	}
-	for t := range p.Targets {
-		in := make([]float64, 0, len(indices))
-		sa := make([]float64, 0, len(indices))
-		for _, i := range indices {
-			in = append(in, p.TargetInApp[t][i])
-			sa = append(sa, p.TargetStandalone[t][i])
-		}
-		sp.TargetInApp = append(sp.TargetInApp, in)
-		sp.TargetStandalone = append(sp.TargetStandalone, sa)
-		if p.TargetFailed != nil {
-			fa := make([]bool, 0, len(indices))
-			for _, i := range indices {
-				fa = append(fa, p.TargetFailed[t][i])
-			}
-			sp.TargetFailed = append(sp.TargetFailed, fa)
-		}
-	}
-	sp.trimFailureMarkers()
-	return sp
-}
-
-// AppIndices groups codelet indices by application name.
-func (p *Profile) AppIndices() map[string][]int {
-	out := map[string][]int{}
-	for i, prog := range p.Progs {
-		out[prog.Name] = append(out[prog.Name], i)
-	}
-	return out
 }

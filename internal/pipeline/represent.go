@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"fgbs/internal/cluster"
+	"fgbs/internal/features"
+	"fgbs/internal/predict"
+	"fgbs/internal/represent"
+)
+
+// Step D: representative selection over a cut — extraction screening
+// (the 10% rule, carried in Profile.IllBehaved) plus the §3.4
+// dissolution/reselection loop via internal/represent, finished with
+// the prediction model the representatives anchor.
+
+func (p *Profile) finishSubset(mask features.Mask, k int, d *cluster.Dendrogram, pts [][]float64, labels []int, cfg SubsetConfig) (*Subset, error) {
+	ill := p.IllBehaved
+	if cfg.IgnoreScreening {
+		ill = make([]bool, p.N())
+	}
+	if cfg.RepStrategy == RepFirst {
+		return p.firstMemberSubset(mask, k, d, pts, labels, ill)
+	}
+	sel, err := represent.Select(pts, labels, ill)
+	if err != nil {
+		return nil, err
+	}
+	model, err := predict.NewModel(p.RefInApp, sel.Labels, sel.Reps)
+	if err != nil {
+		return nil, err
+	}
+	return &Subset{
+		Mask: mask, RequestedK: k, Dendro: d, Points: pts,
+		Selection: sel, Model: model,
+	}, nil
+}
+
+// firstMemberSubset implements RepFirst: the lowest-indexed eligible
+// member of each cluster, with the same dissolution semantics.
+func (p *Profile) firstMemberSubset(mask features.Mask, k int, d *cluster.Dendrogram, pts [][]float64, labels []int, ill []bool) (*Subset, error) {
+	sel, err := represent.Select(pts, labels, ill)
+	if err != nil {
+		return nil, err
+	}
+	for c := range sel.Reps {
+		for i, l := range sel.Labels {
+			if l == c && !ill[i] {
+				sel.Reps[c] = i
+				break
+			}
+		}
+	}
+	model, err := predict.NewModel(p.RefInApp, sel.Labels, sel.Reps)
+	if err != nil {
+		return nil, err
+	}
+	return &Subset{
+		Mask: mask, RequestedK: k, Dendro: d, Points: pts,
+		Selection: sel, Model: model,
+	}, nil
+}

@@ -1,0 +1,437 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"fgbs/internal/arch"
+	"fgbs/internal/cluster"
+	"fgbs/internal/fault"
+	"fgbs/internal/features"
+	"fgbs/internal/ir"
+	"fgbs/internal/stage"
+)
+
+// stages.go wires the per-step files into internal/stage's
+// content-addressed graph. Engine.Profile resolves the expensive roots
+// (Detect, Profile) through a stage.Store; the returned Staged view
+// resolves the cheap derived stages (Normalize, Cluster, Represent,
+// Predict) per request. Every staged method calls the same step
+// functions as the monolithic Profile methods — points, cluster.Build,
+// finishSubset, Evaluate — so outputs are byte-identical; the only
+// difference is that an artifact whose key already resolved is reused
+// instead of recomputed. A K sweep therefore normalizes and clusters
+// once and re-runs only the cut, selection and prediction per K.
+
+// Stage versions, folded into every key (and, through upstream
+// chaining, into every downstream key). Bump one when its stage's
+// computation changes meaning: old artifacts become unreachable
+// instead of silently wrong.
+const (
+	detectStageVersion    = 1
+	profileStageVersion   = 1
+	normalizeStageVersion = 1
+	clusterStageVersion   = 1
+	representStageVersion = 1
+	predictStageVersion   = 1
+)
+
+// detectKey fingerprints Step A's input: each program's name, its
+// uncovered fraction (not part of the pseudo-source) and its
+// deterministic pseudo-source rendering.
+func detectKey(progs []*ir.Program) stage.Key {
+	b := stage.NewKey("detect", detectStageVersion)
+	for _, p := range progs {
+		b.Str(p.Name).Float(p.UncoveredFraction).Str(p.Source())
+	}
+	return b.Key()
+}
+
+// profileKey fingerprints Step B: the detected input plus everything
+// that shapes measurements — seed, machines, and the measurer's
+// identity. Workers is deliberately excluded: it changes scheduling,
+// never results (the property parallel.go pins).
+func profileKey(dk stage.Key, opts Options, measurerKey string) stage.Key {
+	ref := opts.Reference
+	if ref == nil {
+		ref = arch.Reference()
+	}
+	targets := opts.Targets
+	if targets == nil {
+		targets = arch.Targets()
+	}
+	names := make([]string, len(targets))
+	for i, m := range targets {
+		names[i] = m.Name
+	}
+	return stage.NewKey("profile", profileStageVersion).
+		Upstream(dk).
+		Uint64(opts.Seed).
+		Str(ref.Name).
+		Strs(names).
+		Str(measurerKey).
+		Key()
+}
+
+// normalizeKey fingerprints Step C's first half: the profile plus the
+// feature mask and the A2 normalization switch.
+func normalizeKey(pk stage.Key, mask features.Mask, cfg SubsetConfig) stage.Key {
+	return stage.NewKey("normalize", normalizeStageVersion).
+		Upstream(pk).
+		Str(mask.String()).
+		Bool(cfg.NoNormalize).
+		Key()
+}
+
+// clusterKey fingerprints the dendrogram build: normalized points plus
+// the linkage. K is not an input — the dendrogram covers every cut.
+func clusterKey(nk stage.Key, cfg SubsetConfig) stage.Key {
+	return stage.NewKey("cluster", clusterStageVersion).
+		Upstream(nk).
+		Int(int(cfg.Linkage)).
+		Key()
+}
+
+// representKey fingerprints Step D: the dendrogram plus the requested
+// cut and the A3/A5 ablation switches.
+func representKey(ck stage.Key, k int, cfg SubsetConfig) stage.Key {
+	return stage.NewKey("represent", representStageVersion).
+		Upstream(ck).
+		Int(k).
+		Int(int(cfg.RepStrategy)).
+		Bool(cfg.IgnoreScreening).
+		Key()
+}
+
+// predictKey fingerprints Step E: the subset plus the target index.
+func predictKey(rk stage.Key, t int) stage.Key {
+	return stage.NewKey("predict", predictStageVersion).
+		Upstream(rk).
+		Int(t).
+		Key()
+}
+
+// StageOptions extends Options with the stage-graph inputs that plain
+// profiling does not need.
+type StageOptions struct {
+	Options
+
+	// MeasurerKey identifies the Measurer's configuration in the
+	// profile key (e.g. fault.Profile.Fingerprint()). Leave empty with
+	// a nil Measurer. With a non-nil Measurer and an empty key, the
+	// engine falls back to a per-Measurer-instance token, so distinct
+	// anonymous measurers never collide with each other or with the
+	// clean simulator — at the cost of no artifact sharing across
+	// engine restarts.
+	MeasurerKey string
+
+	// DiskName, when non-empty and the engine's store has a disk
+	// directory, persists the profile stage under this file name — the
+	// same <suite>.json layout the server's registry wrote before the
+	// stage graph existed, readable in both directions. Note the file
+	// is named, not content-addressed: a disk probe under a new key
+	// can return a profile measured under different options, exactly
+	// as the registry's old cache-trusting behavior did.
+	DiskName string
+}
+
+// Engine runs the pipeline through a stage.Store.
+type Engine struct {
+	store *stage.Store
+
+	mu sync.Mutex
+	// anon assigns per-instance tokens to measurers without a
+	// MeasurerKey; guarded by mu. Keyed by the Measurer itself — every
+	// implementation in this codebase is a pointer or empty struct, so
+	// interface comparison is safe.
+	anon  map[fault.Measurer]string // guarded by mu
+	anonN int                       // guarded by mu
+}
+
+// NewEngine wraps a store. Engines are cheap; everything lives in the
+// store, so any number of engines may share one.
+func NewEngine(store *stage.Store) *Engine {
+	return &Engine{store: store, anon: make(map[fault.Measurer]string)}
+}
+
+// Store exposes the backing store (for stats and tests).
+func (e *Engine) Store() *stage.Store { return e.store }
+
+// measurerKey resolves StageOptions' measurer identity for key
+// derivation.
+func (e *Engine) measurerKey(opts StageOptions) string {
+	if opts.MeasurerKey != "" || opts.Measurer == nil {
+		return opts.MeasurerKey
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k, ok := e.anon[opts.Measurer]
+	if !ok {
+		e.anonN++
+		k = fmt.Sprintf("anon-measurer-%d", e.anonN)
+		e.anon[opts.Measurer] = k
+	}
+	return k
+}
+
+// detected is the detect stage's artifact.
+type detected struct {
+	ps []*ir.Program
+	cs []*ir.Codelet
+}
+
+// profileCodec persists the profile stage as the raw SaveJSON layout,
+// so a store directory and a pre-stage registry cache directory are
+// the same thing.
+type profileCodec struct {
+	name  string
+	progs []*ir.Program
+}
+
+func (c profileCodec) Filename() string { return c.name }
+
+func (c profileCodec) Encode(w io.Writer, v any) error {
+	return v.(*Profile).SaveJSON(w)
+}
+
+func (c profileCodec) Decode(r io.Reader) (any, error) {
+	return ReadProfile(r, c.progs)
+}
+
+// Persist keeps degraded profiles off disk: a restart should retry the
+// failed measurements, not resurrect the outage.
+func (c profileCodec) Persist(v any) bool {
+	return !v.(*Profile).Degraded()
+}
+
+// Profile resolves the Detect and Profile stages for progs, computing
+// them only when no stored artifact matches. The Outcome reports how
+// the profile stage was satisfied (memory/coalesced/disk vs computed).
+func (e *Engine) Profile(ctx context.Context, progs []*ir.Program, opts StageOptions) (*Staged, stage.Outcome, error) {
+	dk := detectKey(progs)
+	_, _, err := e.store.Resolve(ctx, "detect", dk, nil, func(context.Context) (any, error) {
+		ps, cs, err := Detect(progs)
+		if err != nil {
+			return nil, err
+		}
+		return &detected{ps: ps, cs: cs}, nil
+	})
+	if err != nil {
+		return nil, stage.Outcome{}, err
+	}
+
+	pk := profileKey(dk, opts.Options, e.measurerKey(opts))
+	var codec stage.Codec
+	if opts.DiskName != "" {
+		codec = profileCodec{name: opts.DiskName, progs: progs}
+	}
+	v, out, err := e.store.Resolve(ctx, "profile", pk, codec, func(ctx context.Context) (any, error) {
+		return NewProfileContext(ctx, progs, opts.Options)
+	})
+	if err != nil {
+		return nil, out, err
+	}
+	prof := v.(*Profile)
+	if prof.Degraded() {
+		// A degraded profile is served but never memoized — the memory
+		// analogue of profileCodec.Persist: the next resolve (a
+		// half-open recovery probe, say) must retry the measurements,
+		// not resurrect the outage from the LRU.
+		e.store.Delete(pk)
+	}
+	return &Staged{eng: e, prof: prof, key: pk}, out, nil
+}
+
+// Adopt inserts an externally built profile (e.g. loaded from a legacy
+// -cache file) into the stage graph under the key Engine.Profile would
+// derive for the same inputs, replacing any stored artifact. The
+// adopted profile is trusted as-is, matching the CLI's historical
+// cache semantics.
+func (e *Engine) Adopt(progs []*ir.Program, opts StageOptions, prof *Profile) *Staged {
+	pk := profileKey(detectKey(progs), opts.Options, e.measurerKey(opts))
+	e.store.Put(pk, prof)
+	return &Staged{eng: e, prof: prof, key: pk}
+}
+
+// Staged is a Profile bound to its stage key: the handle through which
+// derived stages (Normalize → Cluster → Represent → Predict) resolve
+// incrementally. Staged is immutable and safe for concurrent use, like
+// the Profile it wraps.
+type Staged struct {
+	eng  *Engine
+	prof *Profile
+	key  stage.Key
+}
+
+// Profile returns the underlying profile.
+func (s *Staged) Profile() *Profile { return s.prof }
+
+// Key returns the profile stage's content address.
+func (s *Staged) Key() stage.Key { return s.key }
+
+// Subset is Profile.Subset through the stage graph.
+func (s *Staged) Subset(ctx context.Context, mask features.Mask, k int) (*Subset, error) {
+	sub, _, err := s.subsetWithKey(ctx, mask, k, SubsetConfig{})
+	return sub, err
+}
+
+// SubsetWith is Profile.SubsetWith through the stage graph.
+func (s *Staged) SubsetWith(ctx context.Context, mask features.Mask, k int, cfg SubsetConfig) (*Subset, error) {
+	sub, _, err := s.subsetWithKey(ctx, mask, k, cfg)
+	return sub, err
+}
+
+// subsetWithKey resolves Normalize, Cluster and Represent, returning
+// the subset and its represent-stage key (the upstream of Predict).
+// The bodies replicate Profile.SubsetWith stage by stage; cached
+// artifacts are shared, which is safe because points/dendrograms/
+// subsets are never mutated after construction.
+func (s *Staged) subsetWithKey(ctx context.Context, mask features.Mask, k int, cfg SubsetConfig) (*Subset, stage.Key, error) {
+	nk := normalizeKey(s.key, mask, cfg)
+	ptsV, _, err := s.eng.store.Resolve(ctx, "normalize", nk, nil, func(context.Context) (any, error) {
+		return s.prof.points(mask, cfg), nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	pts := ptsV.([][]float64)
+
+	ck := clusterKey(nk, cfg)
+	dV, _, err := s.eng.store.Resolve(ctx, "cluster", ck, nil, func(context.Context) (any, error) {
+		return cluster.Build(pts, cfg.Linkage)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	d := dV.(*cluster.Dendrogram)
+
+	rk := representKey(ck, k, cfg)
+	subV, _, err := s.eng.store.Resolve(ctx, "represent", rk, nil, func(context.Context) (any, error) {
+		kk := k
+		if kk <= 0 {
+			kk = d.Elbow(pts, s.prof.maxElbowK(), 0)
+		}
+		labels := d.Cut(kk)
+		return s.prof.finishSubset(mask, kk, d, pts, labels, cfg)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return subV.(*Subset), rk, nil
+}
+
+// Evaluate is Subset-then-Profile.Evaluate through the stage graph,
+// returning both the subset and the target's evaluation.
+func (s *Staged) Evaluate(ctx context.Context, mask features.Mask, k int, t int) (*Subset, *Eval, error) {
+	return s.evaluateWith(ctx, mask, k, SubsetConfig{}, t)
+}
+
+func (s *Staged) evaluateWith(ctx context.Context, mask features.Mask, k int, cfg SubsetConfig, t int) (*Subset, *Eval, error) {
+	sub, rk, err := s.subsetWithKey(ctx, mask, k, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	evV, _, err := s.eng.store.Resolve(ctx, "predict", predictKey(rk, t), nil, func(context.Context) (any, error) {
+		return s.prof.Evaluate(sub, t)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, evV.(*Eval), nil
+}
+
+// SweepK is Profile.SweepKContext through the stage graph: the
+// normalize and cluster stages resolve once, each K re-runs only the
+// cut, selection and prediction. Output is identical to the serial
+// monolithic sweep.
+func (s *Staged) SweepK(ctx context.Context, mask features.Mask, kMin, kMax int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for k := kMin; k <= kMax && k <= s.prof.N(); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pt, err := s.sweepPoint(ctx, mask, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// sweepPoint mirrors Profile.sweepPoint, staged.
+func (s *Staged) sweepPoint(ctx context.Context, mask features.Mask, k int) (SweepPoint, error) {
+	sub, rk, err := s.subsetWithKey(ctx, mask, k, SubsetConfig{})
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("pipeline: sweep k=%d: %w", k, err)
+	}
+	pt := SweepPoint{K: k, FinalK: sub.K()}
+	for t := range s.prof.Targets {
+		evV, _, err := s.eng.store.Resolve(ctx, "predict", predictKey(rk, t), nil, func(context.Context) (any, error) {
+			return s.prof.Evaluate(sub, t)
+		})
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		ev := evV.(*Eval)
+		pt.MedianError = append(pt.MedianError, ev.Summary.Median)
+		pt.Reduction = append(pt.Reduction, ev.Reduction.Total)
+	}
+	return pt, nil
+}
+
+// SweepKParallel is Profile.SweepKParallel through the stage graph:
+// same fan-out, same in-order merge, but shared stages resolve once
+// across workers (coalesced by the store).
+func (s *Staged) SweepKParallel(ctx context.Context, mask features.Mask, kMin, kMax, workers int, progress ProgressFunc) ([]SweepPoint, error) {
+	var ks []int
+	for k := kMin; k <= kMax && k <= s.prof.N(); k++ {
+		ks = append(ks, k)
+	}
+	out := make([]SweepPoint, len(ks))
+	err := runIndexed(ctx, len(ks), workers, progress, func(i int) error {
+		pt, err := s.sweepPoint(ctx, mask, ks[i])
+		if err != nil {
+			return err
+		}
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RandomClusteringsParallel is Profile.RandomClusteringsParallel with
+// the guided side staged. The random trials stay unstaged: each
+// partition is drawn from a per-trial seed and essentially never
+// recurs, so caching them would only churn the LRU.
+func (s *Staged) RandomClusteringsParallel(ctx context.Context, mask features.Mask, k, trials int, t int, seed uint64, workers int, progress ProgressFunc) (RandomClusteringStats, error) {
+	_, ev, err := s.Evaluate(ctx, mask, k, t)
+	if err != nil {
+		return RandomClusteringStats{}, err
+	}
+	res := RandomClusteringStats{K: k, Guided: ev.Summary.Median}
+	seeds := trialSeeds(seed, trials)
+	errs := make([]float64, trials)
+	runErr := runChunked(ctx, trials, workers, progress, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			e, err := s.prof.randomTrial(mask, seeds[i], k, t)
+			if err != nil {
+				return err
+			}
+			errs[i] = e
+		}
+		return nil
+	})
+	if runErr != nil {
+		return RandomClusteringStats{}, runErr
+	}
+	return finishRandomStats(res, errs), nil
+}

@@ -135,12 +135,12 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (queryReque
 // circuit is open and there is nothing to degrade onto, requests fail
 // fast with 503 and a Retry-After hint instead of hammering a build
 // that keeps failing.
-func (s *Server) answer(w http.ResponseWriter, r *http.Request, key string, compute func(*pipeline.Profile) (any, error), suite string) {
+func (s *Server) answer(w http.ResponseWriter, r *http.Request, key string, compute func(*pipeline.Staged) (any, error), suite string) {
 	if body, ok := s.results.Get(key); ok {
 		writeRaw(w, body, true, false)
 		return
 	}
-	prof, stale, err := s.registry.Profile(r.Context(), suite)
+	st, stale, err := s.registry.Staged(r.Context(), suite)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The client is gone; the status is for the access log.
@@ -156,7 +156,7 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, key string, comp
 		writeError(w, http.StatusInternalServerError, "profiling %s: %v", suite, err)
 		return
 	}
-	v, err := compute(prof)
+	v, err := compute(st)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -180,12 +180,12 @@ func (s *Server) handleSubset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := resultKey("subset", req.Suite, mask.String(), req.K, "*", s.cfg.Seed)
-	s.answer(w, r, key, func(prof *pipeline.Profile) (any, error) {
-		sub, err := prof.Subset(mask, req.K)
+	s.answer(w, r, key, func(st *pipeline.Staged) (any, error) {
+		sub, err := st.Subset(r.Context(), mask, req.K)
 		if err != nil {
 			return nil, err
 		}
-		sj := report.NewSubsetJSON(prof, sub)
+		sj := report.NewSubsetJSON(st.Profile(), sub)
 		sj.Suite = req.Suite
 		return sj, nil
 	}, req.Suite)
@@ -208,8 +208,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		target = "*"
 	}
 	key := resultKey("evaluate", req.Suite, mask.String(), req.K, target, s.cfg.Seed)
-	s.answer(w, r, key, func(prof *pipeline.Profile) (any, error) {
-		sub, err := prof.Subset(mask, req.K)
+	s.answer(w, r, key, func(st *pipeline.Staged) (any, error) {
+		prof := st.Profile()
+		sub, err := st.Subset(r.Context(), mask, req.K)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +232,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 		resp := &evaluateResponse{Suite: req.Suite, K: sub.K()}
 		for _, t := range targets {
-			ev, err := prof.Evaluate(sub, t)
+			_, ev, err := st.Evaluate(r.Context(), mask, req.K, t)
 			if err != nil {
 				return nil, err
 			}
@@ -247,14 +248,15 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := resultKey("select", req.Suite, mask.String(), req.K, "*", s.cfg.Seed)
-	s.answer(w, r, key, func(prof *pipeline.Profile) (any, error) {
-		sub, err := prof.Subset(mask, req.K)
+	s.answer(w, r, key, func(st *pipeline.Staged) (any, error) {
+		prof := st.Profile()
+		sub, err := st.Subset(r.Context(), mask, req.K)
 		if err != nil {
 			return nil, err
 		}
 		var evals []*pipeline.Eval
 		for t := range prof.Targets {
-			ev, err := prof.Evaluate(sub, t)
+			_, ev, err := st.Evaluate(r.Context(), mask, req.K, t)
 			if err != nil {
 				return nil, err
 			}
@@ -363,6 +365,7 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 			"inFlightBuilds": s.registry.building.Load(),
 			"staleServes":    s.registry.staleHits.Load(),
 		},
+		"stages": s.registry.store.Stats(),
 		"breakers": map[string]any{
 			"open":   open,
 			"trips":  trips,

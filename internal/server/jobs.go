@@ -172,12 +172,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) sweepJob(req jobRequest, mask features.Mask) jobs.Fn {
 	return func(ctx context.Context, pr *jobs.Progress) (any, error) {
-		prof, _, err := s.registry.Profile(ctx, req.Suite)
+		st, _, err := s.registry.Staged(ctx, req.Suite)
 		if err != nil {
 			return nil, err
 		}
+		prof := st.Profile()
 		pr.SetTotal(int64(req.KMax - req.KMin + 1))
-		pts, err := prof.SweepKParallel(ctx, mask, req.KMin, req.KMax, req.Parallelism, func(done, total int) {
+		pts, err := st.SweepKParallel(ctx, mask, req.KMin, req.KMax, req.Parallelism, func(done, total int) {
 			pr.Set(int64(done))
 		})
 		if err != nil {
@@ -193,10 +194,11 @@ func (s *Server) sweepJob(req jobRequest, mask features.Mask) jobs.Fn {
 
 func (s *Server) randBaselineJob(req jobRequest, mask features.Mask) jobs.Fn {
 	return func(ctx context.Context, pr *jobs.Progress) (any, error) {
-		prof, _, err := s.registry.Profile(ctx, req.Suite)
+		st, _, err := s.registry.Staged(ctx, req.Suite)
 		if err != nil {
 			return nil, err
 		}
+		prof := st.Profile()
 		target := req.Target
 		if target == "" {
 			target = prof.Targets[0].Name
@@ -209,13 +211,13 @@ func (s *Server) randBaselineJob(req jobRequest, mask features.Mask) jobs.Fn {
 		var all []pipeline.RandomClusteringStats
 		for i, k := range req.Ks {
 			base := int64(i * req.Trials)
-			st, err := prof.RandomClusteringsParallel(ctx, mask, k, req.Trials, t, *req.Seed, req.Parallelism, func(done, total int) {
+			rcs, err := st.RandomClusteringsParallel(ctx, mask, k, req.Trials, t, *req.Seed, req.Parallelism, func(done, total int) {
 				pr.Set(base + int64(done))
 			})
 			if err != nil {
 				return nil, err
 			}
-			all = append(all, st)
+			all = append(all, rcs)
 		}
 		rj := report.NewRandBaselineJSON(all)
 		rj.Suite, rj.Mask, rj.Target = req.Suite, mask.String(), target

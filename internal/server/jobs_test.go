@@ -21,9 +21,7 @@ func jobsTestServer(t *testing.T) *httptest.Server {
 		JobWorkers: 2,
 	})
 	t.Cleanup(s.Close)
-	e := &regEntry{ready: make(chan struct{}), prof: sharedProfile(t)}
-	close(e.ready)
-	s.registry.entries["tiny"] = e
+	seedSuite(t, s, "tiny", sharedProfile(t))
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts

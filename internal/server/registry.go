@@ -3,8 +3,6 @@ package server
 import (
 	"context"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,20 +10,24 @@ import (
 	"fgbs/internal/fault"
 	"fgbs/internal/ir"
 	"fgbs/internal/pipeline"
+	"fgbs/internal/stage"
 	"fgbs/internal/suites"
 )
 
-// registry owns one lazily-built Profile per suite. Profiling is the
-// expensive step — seconds of simulation per suite — so the registry
-// coalesces concurrent demand singleflight-style: the first request
-// for a suite starts exactly one build, every later request (while it
-// runs) waits on the same entry, and once built the profile is shared
-// read-only forever (see pipeline.Profile's immutability contract).
+// registry owns one lazily-built Staged profile per suite. Profiling
+// is the expensive step — seconds of simulation per suite — so the
+// registry coalesces concurrent demand singleflight-style: the first
+// request for a suite starts exactly one build, every later request
+// (while it runs) waits on the same entry, and once built the staged
+// profile is shared read-only forever (see pipeline.Profile's
+// immutability contract).
 //
-// With a cache directory configured, builds are bypassed by loading a
-// previously saved profile (pipeline.ReadProfile), and fresh builds
-// are saved back — the daemon's restart-survival analogue of the CLI's
-// -cache flag.
+// Persistence and memoization live in the pipeline's stage store: the
+// registry resolves builds through a pipeline.Engine, which loads a
+// previously saved profile from the store's disk directory (the same
+// <suite>.json files earlier releases wrote) and saves fresh builds
+// back. The registry itself keeps no disk logic — it is a thin
+// suite-name → stage-graph view, plus the failure policy below.
 //
 // Resilience: every build outcome feeds the suite's circuit breaker.
 // Repeated build failures open it, after which requests fail fast (or
@@ -35,12 +37,14 @@ import (
 // served — degraded data beats no data — but trips the suite breaker
 // so a later probe can rebuild once the faults clear.
 type registry struct {
-	programs func(string) ([]*ir.Program, error)
-	seed     uint64
-	workers  int
-	cacheDir string
-	measurer fault.Measurer
-	breakers *breakerSet
+	programs    func(string) ([]*ir.Program, error)
+	seed        uint64
+	workers     int
+	measurer    fault.Measurer
+	measurerKey string
+	store       *stage.Store
+	engine      *pipeline.Engine
+	breakers    *breakerSet
 
 	// ctx is the registry's lifetime: builds run detached from any
 	// single request (a canceled requester must not kill the build the
@@ -49,21 +53,21 @@ type registry struct {
 	stop context.CancelFunc
 
 	mu       sync.Mutex
-	entries  map[string]*regEntry         // guarded by mu
-	lastGood map[string]*pipeline.Profile // guarded by mu; newest served profile per suite
+	entries  map[string]*regEntry        // guarded by mu
+	lastGood map[string]*pipeline.Staged // guarded by mu; newest served profile per suite
 
 	builds    atomic.Int64 // profiling runs started
 	coalesced atomic.Int64 // requests that joined an in-flight build
-	diskLoads atomic.Int64 // builds satisfied from the cache directory
+	diskLoads atomic.Int64 // builds satisfied from the stage store's disk layer
 	building  atomic.Int64 // builds currently in flight
 	staleHits atomic.Int64 // requests answered from a degraded or last-good profile
 }
 
-// regEntry is one suite's build slot. ready is closed when prof/err
-// are final.
+// regEntry is one suite's build slot. ready is closed when st/err are
+// final.
 type regEntry struct {
 	ready    chan struct{}
-	prof     *pipeline.Profile
+	st       *pipeline.Staged
 	err      error
 	degraded bool
 }
@@ -84,18 +88,29 @@ func newRegistry(cfg Config, breakers *breakerSet) *registry {
 	if programs == nil {
 		programs = suites.Programs
 	}
+	stageDir := cfg.StageDir
+	if stageDir == "" {
+		stageDir = cfg.ProfileDir
+	}
+	size := cfg.StageCacheSize
+	if size <= 0 {
+		size = 512
+	}
+	store := stage.NewStore(size, stageDir)
 	ctx, stop := context.WithCancel(context.Background())
 	return &registry{
-		programs: programs,
-		seed:     cfg.Seed,
-		workers:  cfg.Workers,
-		cacheDir: cfg.ProfileDir,
-		measurer: cfg.Measurer,
-		breakers: breakers,
-		ctx:      ctx,
-		stop:     stop,
-		entries:  make(map[string]*regEntry),
-		lastGood: make(map[string]*pipeline.Profile),
+		programs:    programs,
+		seed:        cfg.Seed,
+		workers:     cfg.Workers,
+		measurer:    cfg.Measurer,
+		measurerKey: cfg.MeasurerKey,
+		store:       store,
+		engine:      pipeline.NewEngine(store),
+		breakers:    breakers,
+		ctx:         ctx,
+		stop:        stop,
+		entries:     make(map[string]*regEntry),
+		lastGood:    make(map[string]*pipeline.Staged),
 	}
 }
 
@@ -105,12 +120,33 @@ func (r *registry) Close() { r.stop() }
 
 func suiteKey(suite string) string { return "suite:" + suite }
 
-// Profile returns the suite's shared profile, building it at most
-// once, plus a stale flag: true when the returned data is degraded
-// (built under permanent faults) or is a retained last-good profile
-// served because the current build is failing. ctx bounds this
-// caller's wait, not the build itself.
+// stageOpts assembles the engine inputs for one suite. DiskName is the
+// <suite>.json layout earlier registries wrote, so old cache
+// directories keep working in both directions.
+func (r *registry) stageOpts(suite string) pipeline.StageOptions {
+	return pipeline.StageOptions{
+		Options:     pipeline.Options{Seed: r.seed, Workers: r.workers, Measurer: r.measurer},
+		MeasurerKey: r.measurerKey,
+		DiskName:    suite + ".json",
+	}
+}
+
+// Profile returns the suite's shared profile — Staged, unwrapped, for
+// callers that only need the measurements.
 func (r *registry) Profile(ctx context.Context, suite string) (*pipeline.Profile, bool, error) {
+	st, stale, err := r.Staged(ctx, suite)
+	if err != nil {
+		return nil, stale, err
+	}
+	return st.Profile(), stale, nil
+}
+
+// Staged returns the suite's staged profile, building it at most once,
+// plus a stale flag: true when the returned data is degraded (built
+// under permanent faults) or is a retained last-good profile served
+// because the current build is failing. ctx bounds this caller's wait,
+// not the build itself.
+func (r *registry) Staged(ctx context.Context, suite string) (*pipeline.Staged, bool, error) {
 	key := suiteKey(suite)
 	r.mu.Lock()
 	e, ok := r.entries[suite]
@@ -176,14 +212,14 @@ func (r *registry) Profile(ctx context.Context, suite string) (*pipeline.Profile
 					if ne.degraded {
 						r.staleHits.Add(1)
 					}
-					return ne.prof, ne.degraded, nil
+					return ne.st, ne.degraded, nil
 				}
 			}
 		}
 		r.staleHits.Add(1)
-		return e.prof, true, nil
+		return e.st, true, nil
 	}
-	return e.prof, false, nil
+	return e.st, false, nil
 }
 
 // swapEntry atomically replaces e with a fresh build slot, or returns
@@ -199,15 +235,15 @@ func (r *registry) swapEntry(suite string, e *regEntry) *regEntry {
 	return ne
 }
 
-// build runs (or loads) the profile, publishes the outcome, and drives
-// the suite's breaker. On failure the entry is removed so a later
-// request can retry — a transient error (say, an unwritable cache
-// file) must not wedge the suite forever.
+// build runs (or loads) the staged profile, publishes the outcome, and
+// drives the suite's breaker. On failure the entry is removed so a
+// later request can retry — a transient error (say, an unwritable
+// cache file) must not wedge the suite forever.
 func (r *registry) build(suite string, e *regEntry) {
 	r.builds.Add(1)
 	r.building.Add(1)
 	defer r.building.Add(-1)
-	e.prof, e.err = r.buildProfile(suite)
+	e.st, e.err = r.buildStaged(suite)
 	key := suiteKey(suite)
 	switch {
 	case e.err != nil:
@@ -215,26 +251,26 @@ func (r *registry) build(suite string, e *regEntry) {
 		r.mu.Lock()
 		delete(r.entries, suite)
 		r.mu.Unlock()
-	case e.prof.Degraded():
+	case e.st.Profile().Degraded():
 		e.degraded = true
 		r.breakers.trip(key)
-		r.tripDataBreakers(suite, e.prof)
-		r.setLastGood(suite, e.prof)
+		r.tripDataBreakers(suite, e.st.Profile())
+		r.setLastGood(suite, e.st)
 	default:
 		r.breakers.succeed(key)
 		r.breakers.succeed("ref:" + suite)
 		r.breakers.clearPrefix("target:" + suite + "/")
-		r.setLastGood(suite, e.prof)
+		r.setLastGood(suite, e.st)
 	}
 	close(e.ready)
 }
 
-func (r *registry) setLastGood(suite string, prof *pipeline.Profile) {
+func (r *registry) setLastGood(suite string, st *pipeline.Staged) {
 	r.mu.Lock()
 	// A degraded profile never displaces a clean one: the retained
 	// profile is what open-circuit requests fall back on.
-	if cur := r.lastGood[suite]; cur == nil || cur.Degraded() || !prof.Degraded() {
-		r.lastGood[suite] = prof
+	if cur := r.lastGood[suite]; cur == nil || cur.Profile().Degraded() || !st.Profile().Degraded() {
+		r.lastGood[suite] = st
 	}
 	r.mu.Unlock()
 }
@@ -262,75 +298,23 @@ func anyMarked(row []bool) bool {
 	return false
 }
 
-func (r *registry) buildProfile(suite string) (*pipeline.Profile, error) {
+// buildStaged resolves the suite through the stage graph. The engine
+// handles disk (load-or-build-then-save, with degraded profiles kept
+// off disk); the registry only translates the outcome into its
+// counters.
+func (r *registry) buildStaged(suite string) (*pipeline.Staged, error) {
 	progs, err := r.programs(suite)
 	if err != nil {
 		return nil, err
 	}
-	if prof := r.loadCached(suite, progs); prof != nil {
-		return prof, nil
-	}
-	prof, err := pipeline.NewProfileContext(r.ctx, progs, pipeline.Options{
-		Seed: r.seed, Workers: r.workers, Measurer: r.measurer,
-	})
+	st, out, err := r.engine.Profile(r.ctx, progs, r.stageOpts(suite))
 	if err != nil {
 		return nil, fmt.Errorf("server: profiling %s: %w", suite, err)
 	}
-	r.saveCached(suite, prof)
-	return prof, nil
-}
-
-func (r *registry) cachePath(suite string) string {
-	return filepath.Join(r.cacheDir, suite+".json")
-}
-
-// loadCached returns the saved profile, or nil to trigger a fresh
-// build (missing file, stale version, mismatched suite — all are
-// rebuilt rather than surfaced, since the simulator can always
-// regenerate them).
-func (r *registry) loadCached(suite string, progs []*ir.Program) *pipeline.Profile {
-	if r.cacheDir == "" {
-		return nil
+	if out.Disk {
+		r.diskLoads.Add(1)
 	}
-	f, err := os.Open(r.cachePath(suite))
-	if err != nil {
-		return nil
-	}
-	defer f.Close()
-	prof, err := pipeline.ReadProfile(f, progs)
-	if err != nil {
-		return nil
-	}
-	r.diskLoads.Add(1)
-	return prof
-}
-
-// saveCached persists a freshly built profile; failures are ignored
-// (the profile is already in memory, the disk copy is an optimization).
-// Degraded profiles are not persisted: a restart should retry the
-// measurements, not resurrect the outage.
-func (r *registry) saveCached(suite string, prof *pipeline.Profile) {
-	if r.cacheDir == "" || prof.Degraded() {
-		return
-	}
-	if err := os.MkdirAll(r.cacheDir, 0o755); err != nil {
-		return
-	}
-	tmp := r.cachePath(suite) + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return
-	}
-	if err := prof.SaveJSON(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return
-	}
-	os.Rename(tmp, r.cachePath(suite))
+	return st, nil
 }
 
 // Loaded lists the suites with a ready profile (for /v1/suites).
@@ -342,7 +326,7 @@ func (r *registry) Loaded() map[string]*pipeline.Profile {
 		select {
 		case <-e.ready:
 			if e.err == nil {
-				out[name] = e.prof
+				out[name] = e.st.Profile()
 			}
 		default:
 		}

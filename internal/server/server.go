@@ -13,7 +13,7 @@
 //	POST /v1/select    rank all targets, return the best system
 //	GET  /v1/suites    known suites and their load state
 //	GET  /healthz      liveness, breaker state, job-queue saturation (503 when degraded)
-//	GET  /metricz      request/cache/registry/breaker/jobs counters, latency quantiles
+//	GET  /metricz      request/cache/registry/stage/breaker/jobs counters, latency quantiles
 //
 // Long experiments (the Figure 3 sweep, the Figure 7 random baseline,
 // the §4.2 GA) run asynchronously on a bounded worker pool:
@@ -48,8 +48,22 @@ type Config struct {
 	// (0 = GOMAXPROCS).
 	Workers int
 	// ProfileDir, when set, persists built profiles as
-	// <dir>/<suite>.json and loads them back on restart.
+	// <dir>/<suite>.json and loads them back on restart (via the stage
+	// store's disk layer).
 	ProfileDir string
+	// StageCacheSize caps the in-memory stage artifact store shared by
+	// all suites (entries; default 512). Every pipeline stage — from
+	// whole profiles down to per-K subsets and per-target evaluations —
+	// resolves through it, so repeated and overlapping queries reuse
+	// upstream work instead of recomputing it.
+	StageCacheSize int
+	// StageDir overrides where the stage store persists disk-layer
+	// artifacts; defaults to ProfileDir.
+	StageDir string
+	// MeasurerKey identifies the Measurer's configuration in stage keys
+	// (fgbsd passes fault.Profile.Fingerprint()). See
+	// pipeline.StageOptions.MeasurerKey.
+	MeasurerKey string
 	// ResultCacheSize caps the LRU result cache (entries; default 256).
 	ResultCacheSize int
 	// SuiteNames lists the suites the server accepts; defaults to

@@ -74,6 +74,20 @@ func sharedProfile(t *testing.T) *pipeline.Profile {
 	return profVal
 }
 
+// seedSuite plants a prebuilt profile as the suite's ready registry
+// entry, adopted into the stage graph so staged queries resolve it.
+func seedSuite(t *testing.T, s *Server, suite string, prof *pipeline.Profile) {
+	t.Helper()
+	progs, err := s.registry.programs(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.registry.engine.Adopt(progs, s.registry.stageOpts(suite), prof)
+	e := &regEntry{ready: make(chan struct{}), st: st}
+	close(e.ready)
+	s.registry.entries[suite] = e
+}
+
 // newTestServer builds a server over the test suites with the "tiny"
 // profile pre-seeded, so endpoint tests skip the build path (the build
 // path has its own tests below and in registry_test.go).
@@ -85,9 +99,7 @@ func newTestServer(t *testing.T) *Server {
 		Programs:   testPrograms,
 	})
 	t.Cleanup(s.Close)
-	e := &regEntry{ready: make(chan struct{}), prof: sharedProfile(t)}
-	close(e.ready)
-	s.registry.entries["tiny"] = e
+	seedSuite(t, s, "tiny", sharedProfile(t))
 	return s
 }
 

@@ -1,0 +1,103 @@
+// Package stage is the content-addressed artifact engine under the
+// pipeline's DAG of steps (Detect → Profile → Normalize → Cluster →
+// Represent → Predict). Each step resolves its output through a Store
+// keyed by a Key: a SHA-256 digest over the step's encoded inputs, its
+// name and version, and the Keys of its upstream artifacts. Equal keys
+// mean equal inputs all the way up the graph, so a stored artifact can
+// be reused — from an in-memory LRU or, for expensive roots like the
+// profile, from an on-disk file — without recomputing anything that
+// did not change. A parameter change (seed, feature mask, cluster
+// count, target) therefore invalidates exactly its downstream stages:
+// every upstream key is unchanged and keeps hitting the cache.
+//
+// Key derivation is pure: hashing must never consult the wall clock,
+// randomness, or anything else outside the encoded inputs, or two runs
+// with identical inputs would stop sharing artifacts. fgbsvet's
+// determinism check enforces this package-wide — even an //fgbs:allow
+// determinism suppression inside this package is itself a finding.
+package stage
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Key is the content address of one stage artifact: the hex SHA-256
+// digest of the stage's identity and encoded inputs. Keys are plain
+// comparable strings so they index maps and serialize trivially.
+type Key string
+
+// KeyBuilder accumulates a stage's identity and inputs into a digest.
+// Every value is written with a type tag and, for variable-length
+// values, a length prefix, so adjacent fields can never collide by
+// concatenation ("ab"+"c" vs "a"+"bc").
+type KeyBuilder struct {
+	h hash.Hash
+}
+
+// NewKey starts a key for one stage. The stage name and version are
+// the first inputs: bumping the version after a semantic change
+// invalidates every stored artifact of that stage (and, through
+// upstream-key chaining, everything downstream of it).
+func NewKey(stage string, version int) *KeyBuilder {
+	b := &KeyBuilder{h: sha256.New()}
+	return b.Str(stage).Int(version)
+}
+
+func (b *KeyBuilder) tag(t byte, payload []byte) *KeyBuilder {
+	var n [9]byte
+	n[0] = t
+	binary.BigEndian.PutUint64(n[1:], uint64(len(payload)))
+	b.h.Write(n[:])
+	b.h.Write(payload)
+	return b
+}
+
+// Str mixes in a string.
+func (b *KeyBuilder) Str(s string) *KeyBuilder { return b.tag('s', []byte(s)) }
+
+// Strs mixes in a string slice, order-sensitively.
+func (b *KeyBuilder) Strs(ss []string) *KeyBuilder {
+	b.Int(len(ss))
+	for _, s := range ss {
+		b.Str(s)
+	}
+	return b
+}
+
+// Int mixes in an int.
+func (b *KeyBuilder) Int(v int) *KeyBuilder { return b.Uint64(uint64(int64(v))) }
+
+// Uint64 mixes in a uint64.
+func (b *KeyBuilder) Uint64(v uint64) *KeyBuilder {
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], v)
+	return b.tag('u', p[:])
+}
+
+// Float mixes in a float64 by its exact bit pattern.
+func (b *KeyBuilder) Float(v float64) *KeyBuilder {
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], math.Float64bits(v))
+	return b.tag('f', p[:])
+}
+
+// Bool mixes in a bool.
+func (b *KeyBuilder) Bool(v bool) *KeyBuilder {
+	if v {
+		return b.tag('b', []byte{1})
+	}
+	return b.tag('b', []byte{0})
+}
+
+// Upstream mixes in another stage's key, chaining the DAG: any change
+// upstream changes this key too.
+func (b *KeyBuilder) Upstream(k Key) *KeyBuilder { return b.tag('k', []byte(k)) }
+
+// Key finalizes the digest.
+func (b *KeyBuilder) Key() Key {
+	return Key(hex.EncodeToString(b.h.Sum(nil)))
+}

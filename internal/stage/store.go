@@ -1,0 +1,329 @@
+package stage
+
+import (
+	"container/list"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Codec serializes one stage's artifacts for the Store's disk layer.
+// Stages whose artifacts are not worth persisting (cheap to recompute,
+// or referencing in-memory structures) resolve with a nil Codec and
+// live only in the LRU.
+type Codec interface {
+	// Filename is the artifact's name inside the store directory. The
+	// profile stage returns the same <suite>.json the server's registry
+	// historically wrote, so stores and pre-stage registries can read
+	// each other's files in both directions.
+	Filename() string
+	// Encode writes the artifact.
+	Encode(w io.Writer, v any) error
+	// Decode reads it back. Any error means "rebuild", never "fail".
+	Decode(r io.Reader) (any, error)
+	// Persist reports whether v should be written at all — the hook
+	// that keeps degraded profiles off disk (a restart should retry the
+	// measurements, not resurrect the outage).
+	Persist(v any) bool
+}
+
+// Counters is one hit/miss row, either a per-stage breakdown entry or
+// the store-wide total.
+type Counters struct {
+	// Hits served from the in-memory LRU.
+	Hits int64 `json:"hits"`
+	// Joined resolves that coalesced onto another caller's in-flight
+	// computation of the same key.
+	Joined int64 `json:"joined"`
+	// Misses that entered fill (disk probe, then compute).
+	Misses int64 `json:"misses"`
+	// DiskHits are misses satisfied by decoding the on-disk artifact.
+	DiskHits int64 `json:"diskHits"`
+	// DiskWrites are computed artifacts persisted to disk.
+	DiskWrites int64 `json:"diskWrites"`
+}
+
+func (c *Counters) add(d Counters) {
+	c.Hits += d.Hits
+	c.Joined += d.Joined
+	c.Misses += d.Misses
+	c.DiskHits += d.DiskHits
+	c.DiskWrites += d.DiskWrites
+}
+
+// Stats is a Store snapshot for /metricz.
+type Stats struct {
+	Entries  int                 `json:"entries"`
+	Capacity int                 `json:"capacity"`
+	Total    Counters            `json:"total"`
+	Stages   map[string]Counters `json:"stages"`
+}
+
+// Outcome reports how one Resolve was satisfied.
+type Outcome struct {
+	// Cached means compute did not run: the value came from the LRU,
+	// from a coalesced in-flight computation, or from disk.
+	Cached bool
+	// Disk means the value was decoded from the on-disk artifact.
+	Disk bool
+}
+
+// Store memoizes stage artifacts: an in-memory LRU over content
+// addresses, with per-key singleflight coalescing (concurrent resolves
+// of the same key run compute once and share the outcome) and an
+// optional disk layer for stages with a Codec. Artifacts are treated
+// as immutable once stored — the same contract pipeline.Profile
+// already carries — so values are shared, never copied.
+type Store struct {
+	dir string
+	cap int
+
+	mu       sync.Mutex
+	ll       *list.List            // front = most recently used; guarded by mu
+	items    map[Key]*list.Element // guarded by mu
+	inflight map[Key]*flight       // guarded by mu
+	stages   map[string]*Counters  // guarded by mu
+}
+
+// entry is one LRU slot.
+type entry struct {
+	key Key
+	val any
+}
+
+// flight is one in-progress computation; done is closed when val/out/
+// err are final.
+type flight struct {
+	done chan struct{}
+	val  any
+	out  Outcome
+	err  error
+}
+
+// NewStore builds a store holding at most capacity artifacts in
+// memory, persisting Codec-bearing stages under dir ("" disables the
+// disk layer).
+func NewStore(capacity int, dir string) *Store {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Store{
+		dir:      dir,
+		cap:      capacity,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+		inflight: make(map[Key]*flight),
+		stages:   make(map[string]*Counters),
+	}
+}
+
+// Dir returns the store's disk directory ("" when disk is disabled).
+func (s *Store) Dir() string { return s.dir }
+
+// counterLocked returns stage's counter row, creating it on first use.
+func (s *Store) counterLocked(stage string) *Counters {
+	//fgbs:allow guardedby the *Locked naming contract: every caller holds s.mu
+	c := s.stages[stage]
+	if c == nil {
+		c = &Counters{}
+		//fgbs:allow guardedby the *Locked naming contract: every caller holds s.mu
+		s.stages[stage] = c
+	}
+	return c
+}
+
+// Resolve returns the artifact stored under key, computing and storing
+// it on a miss. Exactly one caller runs compute per key at a time;
+// concurrent resolves of the same key wait for that caller's outcome.
+// A failed compute is not stored — the flight is dropped so a later
+// Resolve retries. ctx bounds this caller's wait and is the context
+// compute runs under; a caller whose ctx expires while coalesced gives
+// up alone, without aborting the computing caller.
+func (s *Store) Resolve(ctx context.Context, stage string, key Key, codec Codec, compute func(context.Context) (any, error)) (any, Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Outcome{}, err
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.counterLocked(stage).Hits++
+		v := el.Value.(*entry).val
+		s.mu.Unlock()
+		return v, Outcome{Cached: true}, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.counterLocked(stage).Joined++
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, Outcome{}, ctx.Err()
+		}
+		if f.err != nil {
+			return nil, Outcome{}, f.err
+		}
+		return f.val, Outcome{Cached: true, Disk: f.out.Disk}, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.counterLocked(stage).Misses++
+	s.mu.Unlock()
+
+	f.val, f.out, f.err = s.fill(ctx, stage, key, codec, compute)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil {
+		if el, ok := s.items[key]; ok {
+			el.Value.(*entry).val = f.val
+			s.ll.MoveToFront(el)
+		} else {
+			s.items[key] = s.ll.PushFront(&entry{key: key, val: f.val})
+			for s.ll.Len() > s.cap {
+				last := s.ll.Back()
+				s.ll.Remove(last)
+				delete(s.items, last.Value.(*entry).key)
+			}
+		}
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, f.out, f.err
+}
+
+// fill satisfies a miss: disk first (when the stage has a Codec), then
+// compute, writing the fresh artifact back to disk.
+func (s *Store) fill(ctx context.Context, stage string, key Key, codec Codec, compute func(context.Context) (any, error)) (any, Outcome, error) {
+	if v, ok := s.loadDisk(stage, codec); ok {
+		return v, Outcome{Cached: true, Disk: true}, nil
+	}
+	v, err := compute(ctx)
+	if err != nil {
+		return nil, Outcome{}, err
+	}
+	s.saveDisk(stage, codec, v)
+	return v, Outcome{}, nil
+}
+
+// loadDisk decodes the stage's persisted artifact. Every failure mode
+// (no disk layer, missing file, stale or corrupt content) reports !ok
+// so the caller recomputes — the artifact can always be regenerated.
+func (s *Store) loadDisk(stage string, codec Codec) (any, bool) {
+	if s.dir == "" || codec == nil {
+		return nil, false
+	}
+	f, err := os.Open(filepath.Join(s.dir, codec.Filename()))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	v, err := codec.Decode(f)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.counterLocked(stage).DiskHits++
+	s.mu.Unlock()
+	return v, true
+}
+
+// saveDisk persists a computed artifact via tmp+rename; failures are
+// ignored (the artifact is already in memory, the disk copy is an
+// optimization).
+func (s *Store) saveDisk(stage string, codec Codec, v any) {
+	if s.dir == "" || codec == nil || !codec.Persist(v) {
+		return
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return
+	}
+	path := filepath.Join(s.dir, codec.Filename())
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	if err := codec.Encode(f, v); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	s.mu.Lock()
+	s.counterLocked(stage).DiskWrites++
+	s.mu.Unlock()
+}
+
+// Put stores an externally produced artifact under key, replacing any
+// existing value — the adoption path for artifacts loaded from legacy
+// cache files, which must win over whatever a rebuild would produce.
+func (s *Store) Put(key Key, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).val = v
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry{key: key, val: v})
+	for s.ll.Len() > s.cap {
+		last := s.ll.Back()
+		s.ll.Remove(last)
+		delete(s.items, last.Value.(*entry).key)
+	}
+}
+
+// Delete evicts key from the memory layer; disk artifacts, when any,
+// are left alone. Callers use it to serve an artifact once without
+// memoizing it — a later Resolve of the same key recomputes.
+func (s *Store) Delete(key Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.Remove(el)
+		delete(s.items, key)
+	}
+}
+
+// Get peeks at the LRU without counting a hit or touching recency.
+func (s *Store) Get(key Key) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*entry).val, true
+}
+
+// Len returns the current in-memory artifact count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Entries:  s.ll.Len(),
+		Capacity: s.cap,
+		Stages:   make(map[string]Counters, len(s.stages)),
+	}
+	for name, c := range s.stages {
+		st.Stages[name] = *c
+		st.Total.add(*c)
+	}
+	return st
+}
