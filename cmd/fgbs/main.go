@@ -57,7 +57,9 @@
 //	-stagedir path  also persist stage artifacts (the profile) under
 //	                this directory and load them back on later runs —
 //	                the directory-shaped analogue of -cache, sharing
-//	                its <suite>.json layout with fgbsd's -profiledir
+//	                its <suite>-<key>.json layout with fgbsd's
+//	                -profiledir (and reading the bare <suite>.json
+//	                files earlier releases wrote)
 //	-faultprofile p JSON fault-injection profile applied to every
 //	                measurement, with the robust retry/outlier-rejection
 //	                protocol mounted on top (chaos testing; see the

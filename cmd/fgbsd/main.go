@@ -15,8 +15,9 @@
 //	                 nas, nr, poly, joint)
 //	-preload list    comma-separated suites to profile at startup
 //	                 instead of on first request
-//	-profiledir dir  persist built profiles as <dir>/<suite>.json and
-//	                 reload them on restart
+//	-profiledir dir  persist built profiles as <dir>/<suite>-<key>.json
+//	                 and reload them on restart (bare <suite>.json files
+//	                 from earlier releases are still read)
 //	-cachesize N     LRU result-cache capacity in entries (default 256)
 //	-stagecache N    in-memory stage artifact store capacity in entries
 //	                 (default 512); every pipeline stage — profiles,

@@ -86,6 +86,19 @@ func NewProfile(progs []*ir.Program, opts Options) (*Profile, error) {
 // measurement jobs; on cancellation the context's error is returned
 // and the partial profile is discarded.
 func NewProfileContext(ctx context.Context, progs []*ir.Program, opts Options) (*Profile, error) {
+	ps, cs, err := Detect(progs)
+	if err != nil {
+		return nil, err
+	}
+	return newProfileDetected(ctx, ps, cs, opts)
+}
+
+// newProfileDetected is Step B alone: profiling over an already
+// detected codelet inventory. The stage engine calls it with the
+// memoized detect artifact, so Detect runs exactly once even on a
+// cold run; NewProfileContext detects inline for monolithic callers.
+// ps and cs are the aligned slices Detect returns and are only read.
+func newProfileDetected(ctx context.Context, ps []*ir.Program, cs []*ir.Codelet, opts Options) (*Profile, error) {
 	if opts.Reference == nil {
 		opts.Reference = arch.Reference()
 	}
@@ -94,11 +107,6 @@ func NewProfileContext(ctx context.Context, progs []*ir.Program, opts Options) (
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
-	}
-
-	ps, cs, err := Detect(progs)
-	if err != nil {
-		return nil, err
 	}
 	n := len(cs)
 	pr := &Profile{
@@ -115,9 +123,13 @@ func NewProfileContext(ctx context.Context, progs []*ir.Program, opts Options) (
 		pr.TargetStandalone = append(pr.TargetStandalone, make([]float64, n))
 	}
 
-	// Shared datasets, one per distinct program.
+	// Shared datasets, one per distinct program (ps repeats a program
+	// once per codelet).
 	datasets := make(map[*ir.Program]*sim.Dataset)
-	for _, p := range progs {
+	for _, p := range ps {
+		if _, ok := datasets[p]; ok {
+			continue
+		}
 		ds, err := sim.BuildDataset(p, opts.Seed)
 		if err != nil {
 			return nil, err

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"fgbs/internal/arch"
@@ -128,12 +130,16 @@ type StageOptions struct {
 	MeasurerKey string
 
 	// DiskName, when non-empty and the engine's store has a disk
-	// directory, persists the profile stage under this file name — the
-	// same <suite>.json layout the server's registry wrote before the
-	// stage graph existed, readable in both directions. Note the file
-	// is named, not content-addressed: a disk probe under a new key
-	// can return a profile measured under different options, exactly
-	// as the registry's old cache-trusting behavior did.
+	// directory, persists the profile stage on disk. The file is
+	// key-qualified — "nr.json" is written as "nr-<key prefix>.json" —
+	// so resolves under different profile keys (another seed, an
+	// injected fault profile) never share a disk artifact. For
+	// measurer-free resolves the engine additionally probes the bare
+	// name as a read-only fallback, adopting profiles a pre-stage
+	// registry persisted; that legacy file carries no provenance, so
+	// it is trusted across seeds exactly as the old registry trusted
+	// it. Fault-keyed resolves never touch the bare name in either
+	// direction.
 	DiskName string
 }
 
@@ -148,6 +154,10 @@ type Engine struct {
 	// interface comparison is safe.
 	anon  map[fault.Measurer]string // guarded by mu
 	anonN int                       // guarded by mu
+	// degradedN numbers degraded builds: each gets a unique Staged key
+	// so its derived stages can never be served to a clean rebuild (or
+	// to another degraded build) of the same profile key.
+	degradedN int // guarded by mu
 }
 
 // NewEngine wraps a store. Engines are cheap; everything lives in the
@@ -182,15 +192,18 @@ type detected struct {
 	cs []*ir.Codelet
 }
 
-// profileCodec persists the profile stage as the raw SaveJSON layout,
-// so a store directory and a pre-stage registry cache directory are
-// the same thing.
+// profileCodec persists the profile stage as the raw SaveJSON layout
+// under a key-qualified filename, with the bare pre-stage registry
+// name as an optional read-only fallback, so old cache directories
+// keep being adopted while differently-keyed runs stay separate.
 type profileCodec struct {
-	name  string
-	progs []*ir.Program
+	name   string // key-qualified filename (diskFilename)
+	legacy string // bare pre-stage name probed read-only; "" when none applies
+	progs  []*ir.Program
 }
 
-func (c profileCodec) Filename() string { return c.name }
+func (c profileCodec) Filename() string       { return c.name }
+func (c profileCodec) LegacyFilename() string { return c.legacy }
 
 func (c profileCodec) Encode(w io.Writer, v any) error {
 	return v.(*Profile).SaveJSON(w)
@@ -206,12 +219,37 @@ func (c profileCodec) Persist(v any) bool {
 	return !v.(*Profile).Degraded()
 }
 
+// diskFilename qualifies a profile stage filename with its key so
+// differently-keyed resolves (another seed, an injected fault profile)
+// never share a disk artifact: "nr.json" → "nr-<key prefix>.json".
+func diskFilename(name string, k stage.Key) string {
+	ext := filepath.Ext(name)
+	base := strings.TrimSuffix(name, ext)
+	h := string(k)
+	if len(h) > 12 {
+		h = h[:12]
+	}
+	return base + "-" + h + ext
+}
+
+// legacyDiskName returns the bare pre-stage filename to probe when the
+// keyed artifact is missing — only for measurer-free resolves, so an
+// injected run can never adopt a clean legacy profile (and, because
+// writes always use the keyed name, a clean run can never adopt an
+// injected one).
+func legacyDiskName(opts StageOptions) string {
+	if opts.Measurer != nil || opts.MeasurerKey != "" {
+		return ""
+	}
+	return opts.DiskName
+}
+
 // Profile resolves the Detect and Profile stages for progs, computing
 // them only when no stored artifact matches. The Outcome reports how
 // the profile stage was satisfied (memory/coalesced/disk vs computed).
 func (e *Engine) Profile(ctx context.Context, progs []*ir.Program, opts StageOptions) (*Staged, stage.Outcome, error) {
 	dk := detectKey(progs)
-	_, _, err := e.store.Resolve(ctx, "detect", dk, nil, func(context.Context) (any, error) {
+	dV, _, err := e.store.Resolve(ctx, "detect", dk, nil, func(context.Context) (any, error) {
 		ps, cs, err := Detect(progs)
 		if err != nil {
 			return nil, err
@@ -221,14 +259,18 @@ func (e *Engine) Profile(ctx context.Context, progs []*ir.Program, opts StageOpt
 	if err != nil {
 		return nil, stage.Outcome{}, err
 	}
+	det := dV.(*detected)
 
 	pk := profileKey(dk, opts.Options, e.measurerKey(opts))
 	var codec stage.Codec
 	if opts.DiskName != "" {
-		codec = profileCodec{name: opts.DiskName, progs: progs}
+		codec = profileCodec{name: diskFilename(opts.DiskName, pk), legacy: legacyDiskName(opts), progs: progs}
 	}
+	// The profile compute consumes the detect artifact instead of
+	// calling NewProfileContext, which would re-run Detect: Detect runs
+	// exactly once per detect key, cold or warm.
 	v, out, err := e.store.Resolve(ctx, "profile", pk, codec, func(ctx context.Context) (any, error) {
-		return NewProfileContext(ctx, progs, opts.Options)
+		return newProfileDetected(ctx, det.ps, det.cs, opts.Options)
 	})
 	if err != nil {
 		return nil, out, err
@@ -241,18 +283,39 @@ func (e *Engine) Profile(ctx context.Context, progs []*ir.Program, opts StageOpt
 		// not resurrect the outage from the LRU.
 		e.store.Delete(pk)
 	}
-	return &Staged{eng: e, prof: prof, key: pk}, out, nil
+	return &Staged{eng: e, prof: prof, key: e.stagedKey(pk, prof)}, out, nil
+}
+
+// stagedKey derives the key the Staged view memoizes its derived
+// stages under. A clean profile uses its profile key. A degraded
+// profile gets a unique per-build key: derived artifacts computed from
+// its zeroed features may be shared within the one Staged handle (a
+// sweep over a degraded profile still reuses its own clustering) but
+// must never be served to a later clean rebuild — or to a different
+// degraded build — resolving under the same profile key.
+func (e *Engine) stagedKey(pk stage.Key, prof *Profile) stage.Key {
+	if !prof.Degraded() {
+		return pk
+	}
+	e.mu.Lock()
+	e.degradedN++
+	n := e.degradedN
+	e.mu.Unlock()
+	return stage.NewKey("profile-degraded", profileStageVersion).Upstream(pk).Int(n).Key()
 }
 
 // Adopt inserts an externally built profile (e.g. loaded from a legacy
 // -cache file) into the stage graph under the key Engine.Profile would
 // derive for the same inputs, replacing any stored artifact. The
 // adopted profile is trusted as-is, matching the CLI's historical
-// cache semantics.
+// cache semantics — except a degraded profile, which (like a degraded
+// build) is served but never memoized, under an isolated key.
 func (e *Engine) Adopt(progs []*ir.Program, opts StageOptions, prof *Profile) *Staged {
 	pk := profileKey(detectKey(progs), opts.Options, e.measurerKey(opts))
-	e.store.Put(pk, prof)
-	return &Staged{eng: e, prof: prof, key: pk}
+	if !prof.Degraded() {
+		e.store.Put(pk, prof)
+	}
+	return &Staged{eng: e, prof: prof, key: e.stagedKey(pk, prof)}
 }
 
 // Staged is a Profile bound to its stage key: the handle through which

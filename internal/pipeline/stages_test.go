@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -290,6 +293,190 @@ func TestSweepKProfilesExactlyOnce(t *testing.T) {
 		if m := stats.Stages[s].Misses; m != 1 {
 			t.Errorf("stage %s ran %d times, want 1", s, m)
 		}
+	}
+}
+
+// TestEngineProfileMatchesMonolith pins that an engine-built profile —
+// which consumes the memoized detect artifact instead of re-detecting —
+// serializes byte-identically to the monolithic NewProfile.
+func TestEngineProfileMatchesMonolith(t *testing.T) {
+	mono := tinyProfile(t)
+	eng := NewEngine(stage.NewStore(16, ""))
+	st, _, err := eng.Profile(context.Background(), tinySuite(), StageOptions{Options: Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := mono.SaveJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Profile().SaveJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("engine-built profile diverges from monolithic NewProfile")
+	}
+}
+
+// flakyMeasurer breaks every measurement of one codelet until healed —
+// the smallest fixture that produces a degraded profile and then a
+// clean rebuild under identical stage options.
+type flakyMeasurer struct {
+	broken string
+	healed atomic.Bool
+}
+
+func (m *flakyMeasurer) Measure(ctx context.Context, p *ir.Program, c *ir.Codelet, opts sim.Options) (*sim.Measurement, error) {
+	if !m.healed.Load() && c.Name == m.broken {
+		return nil, errInjectedFault
+	}
+	return fault.Sim{}.Measure(ctx, p, c, opts)
+}
+
+var errInjectedFault = errors.New("injected permanent fault")
+
+// TestDegradedProfileDoesNotPoisonRebuild pins the recovery guarantee:
+// derived stages computed from a degraded profile (zeroed features,
+// screened codelets) must never be served to a clean rebuild resolving
+// under the same profile key.
+func TestDegradedProfileDoesNotPoisonRebuild(t *testing.T) {
+	fm := &flakyMeasurer{broken: "beta_gather"}
+	eng := NewEngine(stage.NewStore(256, ""))
+	opts := StageOptions{Options: Options{Seed: 1, Measurer: fm}, MeasurerKey: "flaky"}
+	ctx := context.Background()
+
+	bad, _, err := eng.Profile(ctx, tinySuite(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad.Profile().Degraded() {
+		t.Fatal("fixture did not produce a degraded profile")
+	}
+	// Warm every derived stage from the degraded profile, exactly what
+	// a server answering requests during the outage would do.
+	for tt := range bad.Profile().Targets {
+		if _, _, err := bad.Evaluate(ctx, tinyMask, 3, tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fm.healed.Store(true)
+	good, out, err := eng.Profile(ctx, tinySuite(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached {
+		t.Fatal("degraded profile was memoized: rebuild served from cache")
+	}
+	if good.Profile().Degraded() {
+		t.Fatal("healed rebuild still degraded")
+	}
+	if good.Key() == bad.Key() {
+		t.Error("degraded and clean Staged handles share a stage key")
+	}
+
+	// Every staged answer from the clean rebuild must match the clean
+	// monolith — not the degraded run's cached artifacts.
+	for tt := range good.Profile().Targets {
+		sub, gotEv, err := good.Evaluate(ctx, tinyMask, 3, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		monoSub, err := good.Profile().Subset(tinyMask, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(monoSub.Selection, sub.Selection) {
+			t.Errorf("target %d: clean rebuild served the degraded run's subset", tt)
+		}
+		wantEv, err := good.Profile().Evaluate(monoSub, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m, s := asJSON(t, wantEv), asJSON(t, gotEv); !bytes.Equal(m, s) {
+			t.Errorf("target %d: clean rebuild served a degraded evaluation\nwant: %s\ngot:  %s", tt, m, s)
+		}
+	}
+}
+
+// TestDiskArtifactsKeyedByOptions pins the disk-layer isolation
+// contract: profiles persist under key-qualified filenames, so
+// fault-injected and clean runs (or runs with different seeds) sharing
+// one directory never adopt each other's artifacts, while a bare
+// legacy <suite>.json is still adopted by measurer-free resolves only.
+func TestDiskArtifactsKeyedByOptions(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	cleanOpts := StageOptions{Options: Options{Seed: 1}, DiskName: "tiny.json"}
+
+	if _, _, err := NewEngine(stage.NewStore(8, dir)).Profile(ctx, tinySuite(), cleanOpts); err != nil {
+		t.Fatal(err)
+	}
+	keyed, err := filepath.Glob(filepath.Join(dir, "tiny-*.json"))
+	if err != nil || len(keyed) != 1 {
+		t.Fatalf("keyed files = %v (err %v), want exactly one", keyed, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tiny.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("bare legacy name was written (stat err %v)", err)
+	}
+
+	// Same options, fresh process: the keyed artifact satisfies the
+	// miss from disk.
+	if _, out, err := NewEngine(stage.NewStore(8, dir)).Profile(ctx, tinySuite(), cleanOpts); err != nil || !out.Disk {
+		t.Fatalf("warm clean resolve: out=%+v err=%v, want disk hit", out, err)
+	}
+
+	// A fault-keyed resolve over the same directory must re-measure,
+	// not adopt the clean artifact.
+	cm := &countingMeasurer{}
+	faultOpts := StageOptions{Options: Options{Seed: 1, Measurer: cm}, MeasurerKey: "fault:deadbeef", DiskName: "tiny.json"}
+	if _, out, err := NewEngine(stage.NewStore(8, dir)).Profile(ctx, tinySuite(), faultOpts); err != nil {
+		t.Fatal(err)
+	} else if out.Disk {
+		t.Error("fault-keyed resolve adopted a clean disk artifact")
+	}
+	if cm.n.Load() == 0 {
+		t.Error("fault-keyed resolve ran no measurements")
+	}
+
+	// A different seed must re-measure too.
+	if _, out, err := NewEngine(stage.NewStore(8, dir)).Profile(ctx, tinySuite(), StageOptions{Options: Options{Seed: 2}, DiskName: "tiny.json"}); err != nil {
+		t.Fatal(err)
+	} else if out.Disk {
+		t.Error("different-seed resolve adopted another seed's artifact")
+	}
+}
+
+// TestLegacyBareProfileAdoptedOnlyWhenMeasurerFree pins the read-only
+// legacy fallback: a pre-stage <suite>.json is adopted by a clean
+// resolve but never by a fault-keyed one.
+func TestLegacyBareProfileAdoptedOnlyWhenMeasurerFree(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	f, err := os.Create(filepath.Join(dir, "tiny.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tinyProfile(t).SaveJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, out, err := NewEngine(stage.NewStore(8, dir)).Profile(ctx, tinySuite(), StageOptions{Options: Options{Seed: 1}, DiskName: "tiny.json"})
+	if err != nil || !out.Disk {
+		t.Fatalf("clean resolve over legacy file: out=%+v err=%v, want adoption", out, err)
+	}
+	if st.Profile().N() != tinyProfile(t).N() {
+		t.Errorf("adopted profile has %d codelets, want %d", st.Profile().N(), tinyProfile(t).N())
+	}
+
+	cm := &countingMeasurer{}
+	if _, out, err := NewEngine(stage.NewStore(8, dir)).Profile(ctx, tinySuite(), StageOptions{Options: Options{Seed: 1, Measurer: cm}, MeasurerKey: "fault:deadbeef", DiskName: "tiny.json"}); err != nil {
+		t.Fatal(err)
+	} else if out.Disk || cm.n.Load() == 0 {
+		t.Errorf("fault-keyed resolve adopted the legacy clean profile (out=%+v, measured=%d)", out, cm.n.Load())
 	}
 }
 

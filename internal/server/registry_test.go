@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"fgbs/internal/ir"
+	"fgbs/internal/pipeline"
 )
 
 func newTestRegistry(dir string) *registry {
@@ -22,8 +23,14 @@ func TestRegistryPersistsProfiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "tiny.json")); err != nil {
-		t.Fatalf("profile not persisted: %v", err)
+	// Profiles persist under the key-qualified name; the bare legacy
+	// name is read-only and never written.
+	keyed, err := filepath.Glob(filepath.Join(dir, "tiny-*.json"))
+	if err != nil || len(keyed) != 1 {
+		t.Fatalf("keyed profile files = %v (err %v), want exactly one", keyed, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tiny.json")); !os.IsNotExist(err) {
+		t.Fatalf("bare legacy filename was written (stat err %v)", err)
 	}
 
 	// A second registry over the same directory loads instead of
@@ -44,6 +51,44 @@ func TestRegistryPersistsProfiles(t *testing.T) {
 		if prof2.RefInApp[i] != prof.RefInApp[i] {
 			t.Fatalf("loaded profile differs at codelet %d", i)
 		}
+	}
+}
+
+// TestRegistryAdoptsLegacyBareProfile pins backward compatibility: a
+// bare <suite>.json written by a pre-stage registry is still loaded
+// (read-only) by a measurer-free build.
+func TestRegistryAdoptsLegacyBareProfile(t *testing.T) {
+	dir := t.TempDir()
+	progs, err := testPrograms("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := pipeline.NewProfile(progs, pipeline.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "tiny.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.SaveJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := newTestRegistry(dir)
+	defer r.Close()
+	loaded, _, err := r.Profile(context.Background(), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.diskLoads.Load() != 1 {
+		t.Errorf("diskLoads = %d, want the legacy file adopted", r.diskLoads.Load())
+	}
+	if loaded.N() != prof.N() {
+		t.Errorf("adopted profile has %d codelets, want %d", loaded.N(), prof.N())
 	}
 }
 

@@ -48,8 +48,9 @@ type Config struct {
 	// (0 = GOMAXPROCS).
 	Workers int
 	// ProfileDir, when set, persists built profiles as
-	// <dir>/<suite>.json and loads them back on restart (via the stage
-	// store's disk layer).
+	// <dir>/<suite>-<key>.json and loads them back on restart (via the
+	// stage store's disk layer); bare <suite>.json files from earlier
+	// releases are still adopted for measurer-free builds.
 	ProfileDir string
 	// StageCacheSize caps the in-memory stage artifact store shared by
 	// all suites (entries; default 512). Every pipeline stage — from

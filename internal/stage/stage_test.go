@@ -7,9 +7,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestKeyDeterministic(t *testing.T) {
@@ -300,6 +302,58 @@ func TestStoreCoalescedWaiterHonorsOwnContext(t *testing.T) {
 	}
 }
 
+// TestStoreResolvePanicSafety pins that a panicking compute does not
+// wedge its key: the panic propagates to the computing caller, a
+// coalesced waiter receives an error instead of blocking forever, and
+// a later Resolve of the same key runs a fresh compute.
+func TestStoreResolvePanicSafety(t *testing.T) {
+	s := NewStore(4, "")
+	ctx := context.Background()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		s.Resolve(ctx, "test", testKey(1), nil, func(context.Context) (any, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-entered
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.Resolve(ctx, "test", testKey(1), nil, func(context.Context) (any, error) {
+			return "rogue", nil
+		})
+		waiterErr <- err
+	}()
+	// Wait until the second resolve has actually joined the flight, so
+	// it exercises the coalesced-waiter path, then let compute panic.
+	for s.Stats().Total.Joined == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if r := <-panicked; r == nil {
+		t.Fatal("compute panic did not propagate to the computing caller")
+	}
+	if err := <-waiterErr; err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("coalesced waiter err = %v, want a compute-panicked error", err)
+	}
+
+	// The key must not be wedged: a fresh Resolve computes normally.
+	retryCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	v, out, err := s.Resolve(retryCtx, "test", testKey(1), nil, func(context.Context) (any, error) {
+		return "recovered", nil
+	})
+	if err != nil || v != "recovered" || out.Cached {
+		t.Fatalf("resolve after panic: v=%v out=%+v err=%v, want fresh compute", v, out, err)
+	}
+}
+
 // testCodec persists string artifacts as plain text files.
 type testCodec struct {
 	name    string
@@ -381,6 +435,61 @@ func TestStoreCorruptDiskArtifactRebuilds(t *testing.T) {
 	// The rebuild overwrote the corrupt file, so a fresh store reads it.
 	if v, ok := NewStore(4, dir).loadDisk("test", codec); !ok || v != "rebuilt" {
 		t.Errorf("disk after rebuild = %v, %v; want rebuilt artifact", v, ok)
+	}
+}
+
+// legacyCodec is testCodec plus a legacy fallback name.
+type legacyCodec struct {
+	testCodec
+	legacy string
+}
+
+func (c legacyCodec) LegacyFilename() string { return c.legacy }
+
+// TestStoreLegacyFilenameFallback pins the compatibility contract: the
+// keyed name is probed first, a declared legacy name is read as a
+// fallback, and fresh artifacts are only ever written under the keyed
+// name.
+func TestStoreLegacyFilenameFallback(t *testing.T) {
+	dir := t.TempDir()
+	codec := legacyCodec{testCodec: testCodec{name: "art-keyed.txt", persist: true}, legacy: "art.txt"}
+	ctx := context.Background()
+
+	if err := os.WriteFile(filepath.Join(dir, "art.txt"), []byte("legacy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(4, dir)
+	v, out, err := s.Resolve(ctx, "test", testKey(1), codec, func(context.Context) (any, error) {
+		t.Error("compute ran despite a readable legacy artifact")
+		return nil, nil
+	})
+	if err != nil || v != "legacy" || !out.Disk {
+		t.Fatalf("legacy fallback: v=%v out=%+v err=%v, want disk hit", v, out, err)
+	}
+
+	// With a keyed artifact present, it wins over the legacy file.
+	if err := os.WriteFile(filepath.Join(dir, "art-keyed.txt"), []byte("keyed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, out, err = NewStore(4, dir).Resolve(ctx, "test", testKey(1), codec, func(context.Context) (any, error) {
+		return nil, errors.New("unreachable")
+	})
+	if err != nil || v != "keyed" || !out.Disk {
+		t.Fatalf("keyed probe: v=%v out=%+v err=%v, want keyed disk hit", v, out, err)
+	}
+
+	// A fresh compute writes only the keyed name, never the legacy one.
+	dir2 := t.TempDir()
+	if _, _, err := NewStore(4, dir2).Resolve(ctx, "test", testKey(1), codec, func(context.Context) (any, error) {
+		return "fresh", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir2, "art-keyed.txt")); err != nil {
+		t.Errorf("keyed artifact not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir2, "art.txt")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("fresh artifact written under the legacy name (stat err %v)", err)
 	}
 }
 

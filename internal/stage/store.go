@@ -3,6 +3,7 @@ package stage
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -14,10 +15,11 @@ import (
 // or referencing in-memory structures) resolve with a nil Codec and
 // live only in the LRU.
 type Codec interface {
-	// Filename is the artifact's name inside the store directory. The
-	// profile stage returns the same <suite>.json the server's registry
-	// historically wrote, so stores and pre-stage registries can read
-	// each other's files in both directions.
+	// Filename is the artifact's name inside the store directory.
+	// Names should be qualified by the artifact's key (the profile
+	// stage embeds a key prefix) so differently-keyed resolves never
+	// share a file; a Codec may additionally implement LegacyNamer to
+	// keep reading files written under an older, unqualified layout.
 	Filename() string
 	// Encode writes the artifact.
 	Encode(w io.Writer, v any) error
@@ -27,6 +29,17 @@ type Codec interface {
 	// that keeps degraded profiles off disk (a restart should retry the
 	// measurements, not resurrect the outage).
 	Persist(v any) bool
+}
+
+// LegacyNamer is an optional Codec extension: a second, read-only
+// filename probed when Filename misses on disk. It exists for
+// artifacts persisted before filenames were key-qualified (the
+// registry's bare <suite>.json profiles); fresh artifacts are always
+// written under Filename, never the legacy name.
+type LegacyNamer interface {
+	// LegacyFilename returns the fallback name, or "" when no legacy
+	// layout applies to this resolve.
+	LegacyFilename() string
 }
 
 // Counters is one hit/miss row, either a per-stage breakdown entry or
@@ -171,25 +184,44 @@ func (s *Store) Resolve(ctx context.Context, stage string, key Key, codec Codec,
 	s.counterLocked(stage).Misses++
 	s.mu.Unlock()
 
-	f.val, f.out, f.err = s.fill(ctx, stage, key, codec, compute)
-
-	s.mu.Lock()
-	delete(s.inflight, key)
-	if f.err == nil {
-		if el, ok := s.items[key]; ok {
-			el.Value.(*entry).val = f.val
-			s.ll.MoveToFront(el)
-		} else {
-			s.items[key] = s.ll.PushFront(&entry{key: key, val: f.val})
-			for s.ll.Len() > s.cap {
-				last := s.ll.Back()
-				s.ll.Remove(last)
-				delete(s.items, last.Value.(*entry).key)
+	// finish publishes the flight's outcome exactly once: drop the
+	// flight (so a failure can retry), store a success, wake waiters.
+	finish := func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if f.err == nil {
+			if el, ok := s.items[key]; ok {
+				el.Value.(*entry).val = f.val
+				s.ll.MoveToFront(el)
+			} else {
+				s.items[key] = s.ll.PushFront(&entry{key: key, val: f.val})
+				for s.ll.Len() > s.cap {
+					last := s.ll.Back()
+					s.ll.Remove(last)
+					delete(s.items, last.Value.(*entry).key)
+				}
 			}
 		}
+		s.mu.Unlock()
+		close(f.done)
 	}
-	s.mu.Unlock()
-	close(f.done)
+	// finish must run even when compute panics — otherwise the dead
+	// flight stays in s.inflight and every later Resolve of the key
+	// blocks on it until its own ctx expires, wedging the key for the
+	// process lifetime. The panic is re-propagated after waiters are
+	// handed an error, so they fail fast and can retry.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.val, f.out = nil, Outcome{}
+				f.err = fmt.Errorf("stage: %s compute panicked: %v", stage, r)
+				finish()
+				panic(r)
+			}
+			finish()
+		}()
+		f.val, f.out, f.err = s.fill(ctx, stage, key, codec, compute)
+	}()
 	return f.val, f.out, f.err
 }
 
@@ -207,14 +239,32 @@ func (s *Store) fill(ctx context.Context, stage string, key Key, codec Codec, co
 	return v, Outcome{}, nil
 }
 
-// loadDisk decodes the stage's persisted artifact. Every failure mode
-// (no disk layer, missing file, stale or corrupt content) reports !ok
-// so the caller recomputes — the artifact can always be regenerated.
+// loadDisk decodes the stage's persisted artifact, probing the keyed
+// name first and then the codec's legacy name, when it declares one.
+// Every failure mode (no disk layer, missing file, stale or corrupt
+// content) reports !ok so the caller recomputes — the artifact can
+// always be regenerated.
 func (s *Store) loadDisk(stage string, codec Codec) (any, bool) {
 	if s.dir == "" || codec == nil {
 		return nil, false
 	}
-	f, err := os.Open(filepath.Join(s.dir, codec.Filename()))
+	names := []string{codec.Filename()}
+	if ln, ok := codec.(LegacyNamer); ok {
+		if n := ln.LegacyFilename(); n != "" && n != names[0] {
+			names = append(names, n)
+		}
+	}
+	for _, name := range names {
+		if v, ok := s.decodeFile(stage, codec, name); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// decodeFile decodes one candidate artifact file.
+func (s *Store) decodeFile(stage string, codec Codec, name string) (any, bool) {
+	f, err := os.Open(filepath.Join(s.dir, name))
 	if err != nil {
 		return nil, false
 	}
@@ -240,11 +290,16 @@ func (s *Store) saveDisk(stage string, codec Codec, v any) {
 		return
 	}
 	path := filepath.Join(s.dir, codec.Filename())
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	// The tmp name must be unique per writer: the documented workflows
+	// share one directory between processes (fgbs -stagedir and fgbsd
+	// -profiledir), and a fixed tmp path would let two concurrent
+	// persists of the same filename interleave writes and rename a
+	// corrupt artifact.
+	f, err := os.CreateTemp(s.dir, codec.Filename()+".tmp*")
 	if err != nil {
 		return
 	}
+	tmp := f.Name()
 	if err := codec.Encode(f, v); err != nil {
 		f.Close()
 		os.Remove(tmp)
