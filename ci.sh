@@ -42,18 +42,23 @@ go test -race -timeout 20m -run '^TestChaos' ./internal/pipeline ./internal/serv
 echo "== go test -race =="
 go test -race -timeout 25m ./...
 
-# Benchmarks rot silently if nothing executes them: run the fastest one
-# once (no profiling fixture) so the whole bench file stays compilable
-# AND runnable, plus the Figure 7 parallel baseline so the fan-out
-# path (and its byte-identical-to-serial contract) stays exercised.
-echo "== bench smoke =="
+# The performance trajectory gate (see README "Performance
+# trajectory"): every internal/bench spec runs in quick mode and is
+# diffed against the committed BENCH_6.json baseline; a median or
+# allocation regression beyond the tolerance is a red build. The
+# tolerance is deliberately wide — CI boxes jitter badly — so only
+# order-of-magnitude mistakes (an accidental O(n²) in a hot path, a
+# new allocation per element) trip it; tightening the trajectory is
+# what fresh baselines are for. This gate also subsumes the old bench
+# and stage-cache smokes: every spec executes end to end, and
+# pipeline/ksweep-warm self-asserts in its Verify hook that a warm K
+# sweep is served by the stage store without extra simulator
+# invocations.
+echo "== bench trajectory =="
+go run ./cmd/fgbs bench -quick -compare BENCH_6.json -tolerance 200
+# The go-test benchmarks still rot silently if nothing executes them:
+# the Figure 7 parallel baseline carries its byte-identical-to-serial
+# assertion in the bench body, so it must actually run.
 go test -run='^$' -bench='^BenchmarkTable1Architectures$|^BenchmarkFigure7RandomClusteringBaselineParallel$' -benchtime=1x .
-
-# The stage-cache gate proves the incremental pipeline actually skips
-# work: BenchmarkSweepKWarm self-asserts (b.Fatalf) that a warm K sweep
-# serves shared stages from the store (>1 hit) and runs strictly fewer
-# simulator invocations than a cold run.
-echo "== stage cache smoke =="
-go test -run='^$' -bench='^BenchmarkSweepKWarm$' -benchtime=1x ./internal/pipeline
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+
+	"fgbs/internal/bench"
+)
+
+// cmdBench runs the internal/bench spec registry and reports or gates.
+// The order of operations makes a CI invocation atomic: measure, then
+// persist (-out), then compare (-compare) — so a failing gate still
+// leaves the fresh numbers on disk for inspection.
+func cmdBench(ctx context.Context, cfg config) error {
+	specs, err := bench.Match(cfg.benchSpec)
+	if err != nil {
+		return err
+	}
+	r := bench.NewRunner(bench.Config{
+		Reps:   cfg.benchReps,
+		Warmup: cfg.benchWarmup,
+		Quick:  cfg.benchQuick,
+	})
+	run, err := r.Run(ctx, specs)
+	if err != nil {
+		return err
+	}
+	if cfg.benchOut != "" {
+		if err := writeRunJSON(cfg.benchOut, run); err != nil {
+			return err
+		}
+	}
+	if cfg.benchCompare != "" {
+		return compareRun(cfg, run)
+	}
+	format := bench.Human
+	if cfg.benchJSON {
+		format = bench.JSON
+	}
+	return format(os.Stdout, run)
+}
+
+func writeRunJSON(path string, run *bench.Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.JSON(f, run); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// compareRun gates the fresh run against the committed baseline. When
+// -spec narrowed the run, the baseline is narrowed by the same pattern
+// first — otherwise every unselected spec would read as "missing from
+// this run".
+func compareRun(cfg config, run *bench.Run) error {
+	base, err := bench.LoadBaseline(cfg.benchCompare)
+	if err != nil {
+		return err
+	}
+	if cfg.benchSpec != "" {
+		re, err := regexp.Compile(cfg.benchSpec)
+		if err != nil {
+			return fmt.Errorf("bad -spec pattern %q: %w", cfg.benchSpec, err)
+		}
+		kept := base.Results[:0]
+		for _, res := range base.Results {
+			if re.MatchString(res.Name) {
+				kept = append(kept, res)
+			}
+		}
+		base.Results = kept
+	}
+	deltas := bench.Compare(base, run, cfg.tolerance)
+	if err := bench.WriteComparison(os.Stdout, deltas, cfg.tolerance); err != nil {
+		return err
+	}
+	if msgs := bench.Regressions(deltas); len(msgs) > 0 {
+		return fmt.Errorf("bench: %d regression(s) beyond %.0f%% vs %s:\n  %s",
+			len(msgs), cfg.tolerance, cfg.benchCompare, strings.Join(msgs, "\n  "))
+	}
+	return nil
+}

@@ -27,6 +27,12 @@
 //	export    data series: -what eval|sweep|features (CSV) or
 //	          evaljson|subsetjson|select (the JSON forms the fgbsd
 //	          service also returns)
+//	bench     run the internal/bench spec registry — the repository's
+//	          performance trajectory (see the README's "Performance
+//	          trajectory" section). Writes a human table by default,
+//	          machine JSON with -json, and with -compare diffs the run
+//	          against a committed BENCH_<n>.json baseline, exiting
+//	          nonzero on regressions beyond -tolerance
 //
 // Flags:
 //
@@ -65,6 +71,19 @@
 //	                protocol mounted on top (chaos testing; see the
 //	                README's "Chaos testing" section). Validated before
 //	                any profiling starts.
+//	-spec pattern   bench: run only specs matching this regexp
+//	-reps N         bench: timed repetitions per spec (0 = default)
+//	-warmup N       bench: untimed warmup repetitions per spec
+//	                (-1 = default, 0 = none)
+//	-quick          bench: CI-gate settings — fewer repetitions, same
+//	                workloads, so medians stay comparable to a full run
+//	-json           bench: write the machine-readable run to stdout
+//	-out path       bench: also write the JSON run to path (the form
+//	                committed as BENCH_<n>.json)
+//	-compare path   bench: diff this run against the baseline at path
+//	                and exit nonzero on regression
+//	-tolerance pct  bench: regression threshold in percent for -compare
+//	                (default 20)
 //
 // SIGINT/SIGTERM cancel the running experiment: long sweeps and GA
 // runs abort at the next unit of work instead of ignoring Ctrl-C.
@@ -116,6 +135,15 @@ type config struct {
 	faultPath  string
 	stageCache int
 	stageDir   string
+	// bench-only flags (the bench experiment shares the flag set).
+	benchSpec    string
+	benchReps    int
+	benchWarmup  int
+	benchQuick   bool
+	benchJSON    bool
+	benchOut     string
+	benchCompare string
+	tolerance    float64
 	// measurer is the fault-injection + robust-measurement stack built
 	// from -faultprofile; nil keeps the pipeline fault-unaware (and
 	// byte-identical to earlier releases). measurerKey is its stage-key
@@ -165,6 +193,14 @@ func run(ctx context.Context, args []string) error {
 	fs.StringVar(&cfg.faultPath, "faultprofile", "", "JSON fault-injection profile (chaos testing)")
 	fs.IntVar(&cfg.stageCache, "stagecache", 256, "in-memory stage artifact cache size (entries)")
 	fs.StringVar(&cfg.stageDir, "stagedir", "", "directory for persisted stage artifacts (optional)")
+	fs.StringVar(&cfg.benchSpec, "spec", "", "bench: run only specs matching this regexp")
+	fs.IntVar(&cfg.benchReps, "reps", 0, "bench: timed repetitions per spec (0 = default)")
+	fs.IntVar(&cfg.benchWarmup, "warmup", -1, "bench: untimed warmup repetitions (-1 = default, 0 = none)")
+	fs.BoolVar(&cfg.benchQuick, "quick", false, "bench: CI-gate repetition counts")
+	fs.BoolVar(&cfg.benchJSON, "json", false, "bench: machine-readable output")
+	fs.StringVar(&cfg.benchOut, "out", "", "bench: also write the JSON run to this path")
+	fs.StringVar(&cfg.benchCompare, "compare", "", "bench: baseline BENCH_<n>.json to diff against")
+	fs.Float64Var(&cfg.tolerance, "tolerance", 20, "bench: regression threshold in percent for -compare")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -183,6 +219,9 @@ func run(ctx context.Context, args []string) error {
 
 	if exp == "t1" {
 		return report.Table1(os.Stdout, arch.All())
+	}
+	if exp == "bench" {
+		return cmdBench(ctx, cfg)
 	}
 
 	mask := features.DefaultMask()
@@ -470,6 +509,12 @@ func validate(cfg config) error {
 	}
 	if cfg.jobs < 0 {
 		return fmt.Errorf("-j must be >= 0 (0 = GOMAXPROCS), got %d", cfg.jobs)
+	}
+	if cfg.benchReps < 0 {
+		return fmt.Errorf("-reps must be >= 0 (0 = default), got %d", cfg.benchReps)
+	}
+	if cfg.tolerance < 0 {
+		return fmt.Errorf("-tolerance must be >= 0 percent, got %g", cfg.tolerance)
 	}
 	return nil
 }

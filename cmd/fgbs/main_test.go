@@ -26,6 +26,11 @@ func TestRunRejectsBadInvocations(t *testing.T) {
 		{"non-positive trials", []string{"f7", "-trials", "0"}},
 		{"negative jobs", []string{"f7", "-j", "-4"}},
 		{"missing fault profile", []string{"summary", "-faultprofile", "/nonexistent/faults.json"}},
+		{"bench bad spec pattern", []string{"bench", "-spec", "["}},
+		{"bench no spec matches", []string{"bench", "-spec", "no-such-spec-anywhere"}},
+		{"bench negative reps", []string{"bench", "-reps", "-2"}},
+		{"bench negative tolerance", []string{"bench", "-tolerance", "-5"}},
+		{"bench missing baseline", []string{"bench", "-spec", "^stats/", "-reps", "1", "-warmup", "0", "-compare", "/nonexistent/BENCH.json"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -101,6 +106,49 @@ func TestRunRejectsInvalidFaultProfile(t *testing.T) {
 	err := run(context.Background(), []string{"summary", "-faultprofile", path})
 	if err == nil || !strings.Contains(err.Error(), "permanentRate") {
 		t.Errorf("invalid fault profile error = %v, want the offending field named", err)
+	}
+}
+
+// TestRunBenchEndToEnd drives the full gate loop on one cheap spec:
+// run + persist, then a self-comparison (which can only regress against
+// itself through measurement noise, absorbed by a wide tolerance).
+func TestRunBenchEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_test.json")
+	args := []string{"bench", "-spec", "^stats/", "-reps", "3", "-warmup", "0", "-json", "-out", out}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatalf("bench run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("bench -out wrote nothing: %v", err)
+	}
+	if !strings.Contains(string(data), "stats/median-mad") {
+		t.Fatalf("run file missing the spec:\n%s", data)
+	}
+	compare := []string{"bench", "-spec", "^stats/", "-reps", "3", "-warmup", "0", "-quick",
+		"-compare", out, "-tolerance", "10000"}
+	if err := run(context.Background(), compare); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+}
+
+// TestRunBenchGateFailsOnRegression plants a baseline with impossible
+// numbers and checks the compare path exits with an error naming the
+// regressed spec.
+func TestRunBenchGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_fast.json")
+	// A 1ns alloc-free baseline no real run can match.
+	doc := `{"version": 1, "quick": false, "reps": 3, "results": [` +
+		`{"name": "stats/median-mad", "reps": 3, "rejected": 0, "medianNs": 1, "madNs": 0, "allocsPerOp": 0, "bytesPerOp": 0}]}`
+	if err := os.WriteFile(base, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"bench", "-spec", "^stats/", "-reps", "3", "-warmup", "0",
+		"-compare", base, "-tolerance", "20"})
+	if err == nil || !strings.Contains(err.Error(), "stats/median-mad") {
+		t.Fatalf("regression gate error = %v, want the spec named", err)
 	}
 }
 

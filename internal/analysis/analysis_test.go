@@ -113,6 +113,53 @@ func TestDeterminismStagePurity(t *testing.T) {
 	checkWants(t, dir, diags)
 }
 
+// TestDeterminismBenchTimingExemption loads the benchpkg corpus under
+// an import path ending in internal/bench, where time.Now is sanctioned
+// (elapsed wall time is the benchmark runner's product) while pacing
+// and math/rand remain findings even there.
+func TestDeterminismBenchTimingExemption(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "benchpkg")
+	pkg, err := LoadDir(dir, "corpus/internal/bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, Options{Checks: []string{"determinism"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, dir, diags)
+}
+
+// TestDeterminismBenchExemptionIsPathScoped is the control for the
+// bench carve-out: the identical time.Now code that is silent under
+// corpus/internal/bench is a finding under any other import path, so
+// the exemption rides on the package path, not on the code's shape.
+func TestDeterminismBenchExemptionIsPathScoped(t *testing.T) {
+	src := `package snippet
+
+import "time"
+
+func elapsed(op func()) time.Duration {
+	start := time.Now()
+	op()
+	return time.Now().Sub(start)
+}
+`
+	pkg := loadSnippet(t, src)
+	diags, err := Run([]*Package{pkg}, Options{Checks: []string{"determinism"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings outside internal/bench, want 2 (one per time.Now): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "time.Now reads the wall clock") {
+			t.Errorf("unexpected finding: %v", d)
+		}
+	}
+}
+
 // TestDeterminismAllowWorksOutsideStage is the control for the purity
 // rule: the same suppressed time.Now that is a double finding inside
 // internal/stage stays silent in an ordinary package.

@@ -20,8 +20,13 @@ import (
 // ends in internal/fault or internal/rng are exempt from the pacing
 // rule only — fault injection delays on the wall clock by design, and
 // rng is the sanctioned randomness source — but time.Now stays
-// forbidden even there. Infrastructure that legitimately reads the
-// wall clock (HTTP metrics, uptime) carries an //fgbs:allow
+// forbidden even there. Packages whose import path ends in
+// internal/bench get the inverse carve-out: elapsed wall time is the
+// benchmark runner's product, not a side effect, so time.Now is
+// allowed there — while pacing and math/rand stay forbidden (bench
+// workloads must be identical from run to run, so their randomness
+// still flows through internal/rng). Infrastructure that legitimately
+// reads the wall clock (HTTP metrics, uptime) carries an //fgbs:allow
 // determinism annotation; the deterministic pipeline packages
 // (internal/cluster, features, ga, pipeline, predict, represent, sim,
 // stats, ir, extract, compile) must never need one.
@@ -43,6 +48,15 @@ var determinismCheck = &Check{
 // internal/rng.
 func wallClockExempt(path string) bool {
 	return strings.HasSuffix(path, "internal/fault") || strings.HasSuffix(path, "internal/rng")
+}
+
+// benchTimingExempt reports whether pkg may read time.Now: the
+// benchmark runner measures elapsed wall time as its product. The
+// exemption is deliberately narrow — pacing and math/rand remain
+// forbidden in internal/bench, and the same suffix matching as
+// wallClockExempt keeps it path-scoped, not blanket.
+func benchTimingExempt(path string) bool {
+	return strings.HasSuffix(path, "internal/bench")
 }
 
 // stagePure reports whether pkg is the content-addressing engine,
@@ -85,7 +99,9 @@ func runDeterminism(p *Pass) {
 			case "time":
 				switch obj.Name() {
 				case "Now":
-					report(sel.Pos(), "time.Now reads the wall clock; inject a clock (the jobs.now hook pattern) so runs stay reproducible")
+					if !benchTimingExempt(p.Pkg.Path) {
+						report(sel.Pos(), "time.Now reads the wall clock; inject a clock (the jobs.now hook pattern) so runs stay reproducible")
+					}
 				case "Sleep", "After", "Tick", "NewTimer", "NewTicker":
 					if !wallClockExempt(p.Pkg.Path) {
 						report(sel.Pos(), "time.%s paces on the wall clock; route delays through an injectable sleep hook (the measure.Config.Sleep pattern) so chaos schedules replay instantly", obj.Name())

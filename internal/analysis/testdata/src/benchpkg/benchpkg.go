@@ -1,0 +1,25 @@
+// Corpus for the determinism bench-timing exemption. The harness loads
+// this package under the import path corpus/internal/bench, where
+// time.Now is sanctioned — elapsed wall time is the benchmark runner's
+// product — while pacing and math/rand remain findings even here: the
+// workloads being timed must stay identical from run to run.
+package benchpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func elapsed(op func()) time.Duration {
+	start := time.Now()
+	op()
+	return time.Now().Sub(start)
+}
+
+func pace(d time.Duration) {
+	time.Sleep(d) // want "paces on the wall clock"
+}
+
+func jitter() int64 {
+	return rand.Int63() // want "bypasses internal/rng"
+}

@@ -1,0 +1,124 @@
+// Package bench is the repository's performance instrument: a registry
+// of named benchmark specs covering the pipeline's hot paths (the cache
+// hierarchy simulator, the bottleneck cost model, Ward clustering,
+// stage-key hashing, the stage codec's disk path, feature
+// normalization, warm and cold K sweeps through internal/stage), a
+// runner that times each spec with the paper's own §3.4 measurement
+// protocol — warmup invocations excluded, ≥N timed repetitions
+// summarized by the median after MAD outlier rejection, reusing
+// internal/stats — and pluggable reporters (human table, machine JSON).
+//
+// The JSON report is the repository's persisted perf trajectory: each
+// release commits a BENCH_<n>.json baseline at the repo root, and
+// Compare diffs a fresh run against it, failing CI when a spec's median
+// time or allocations regress beyond a tolerance. "Machines are
+// benchmarked by code, not algorithms": small code and compilation
+// changes silently flip performance behavior, so the trajectory is
+// measured, committed, and gated — not asserted in prose.
+//
+// This package is the one place in the module allowed to read the wall
+// clock (fgbsvet's determinism check carries a path-suffix exemption
+// for it): elapsed wall time is its product, not a side effect. All
+// workload construction still draws from seeded internal/rng streams,
+// so the work being timed is identical from run to run.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Spec is one registered benchmark: a named hot path with a setup phase
+// (excluded from timing) and the operation the runner times.
+type Spec struct {
+	// Name identifies the spec as "area/name", e.g.
+	// "cluster/ward-distance". Names are unique within the registry and
+	// are the join key for baseline comparison, so renaming one orphans
+	// its baseline entry.
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Setup builds the spec's workload once per run and returns the
+	// instance the runner drives. Everything expensive and untimed
+	// (profiles, datasets, stores) belongs here.
+	Setup func(ctx context.Context) (*Instance, error)
+}
+
+// Instance is one prepared benchmark workload.
+type Instance struct {
+	// Op is the operation the runner times, once per repetition. It
+	// must perform the same work every call (the runner's median/MAD
+	// summary assumes repetitions are exchangeable).
+	Op func() error
+	// Verify, when non-nil, runs after the timed repetitions; an error
+	// fails the whole run. Self-asserting specs (the warm K sweep
+	// proving the stage cache actually served its artifacts) live here.
+	Verify func() error
+	// Cleanup, when non-nil, releases setup resources (temp dirs).
+	Cleanup func()
+}
+
+// registry holds the package's specs, keyed by name.
+var registry = map[string]Spec{}
+
+// Register adds a spec to the registry. It panics on a duplicate or
+// malformed name — registration happens at init time, where a panic is
+// a build error, not a runtime hazard.
+func Register(s Spec) {
+	if s.Name == "" || !strings.Contains(s.Name, "/") {
+		panic(fmt.Sprintf("bench: spec name %q is not of the form area/name", s.Name))
+	}
+	if s.Setup == nil {
+		panic(fmt.Sprintf("bench: spec %s has no Setup", s.Name))
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("bench: duplicate spec %s", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Names lists every registered spec name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered spec, sorted by name.
+func All() []Spec {
+	specs := make([]Spec, 0, len(registry))
+	for _, name := range Names() {
+		specs = append(specs, registry[name])
+	}
+	return specs
+}
+
+// Match returns the specs whose names match the anchored-nowhere
+// regular expression pattern, sorted by name. An empty pattern selects
+// everything; a pattern matching nothing is an error naming the valid
+// specs, in the flag-validation convention of cmd/fgbs.
+func Match(pattern string) ([]Spec, error) {
+	if pattern == "" {
+		return All(), nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("bench: bad spec pattern %q: %w", pattern, err)
+	}
+	var specs []Spec
+	for _, s := range All() {
+		if re.MatchString(s.Name) {
+			specs = append(specs, s)
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("bench: no spec matches %q (valid: %s)", pattern, strings.Join(Names(), ", "))
+	}
+	return specs, nil
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// Baseline comparison: the regression gate. A fresh run is diffed
+// against a committed BENCH_<n>.json; a spec whose median time or
+// allocations grew beyond the tolerance is a regression, and ci.sh
+// turns that into a red build. Improvements never fail — they are the
+// trajectory moving the right way, and the next baseline bump records
+// them.
+
+// Delta is one spec's baseline-vs-fresh comparison.
+type Delta struct {
+	Name string
+	// Base/Fresh are nil when the spec is absent on that side.
+	Base, Fresh *Result
+	// TimePct/AllocPct are the relative changes in percent; they are
+	// meaningful only when the matching guard below is false.
+	TimePct  float64
+	AllocPct float64
+	// TimeSkipped marks a zero-median baseline (nothing to divide by:
+	// the guard against a degenerate baseline poisoning the gate).
+	TimeSkipped bool
+	// Regressed marks a gate failure; Note explains any special case.
+	Regressed bool
+	Note      string
+}
+
+// LoadBaseline reads a committed trajectory file, with a recovery hint
+// on the likeliest failure (the file was never generated or moved).
+func LoadBaseline(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline %s: %w (regenerate with 'fgbs bench -json -out %s')", path, err, path)
+	}
+	defer f.Close()
+	run, err := ReadRun(f)
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline %s: %w", path, err)
+	}
+	return run, nil
+}
+
+// Compare diffs fresh against base under a tolerance in percent,
+// returning one delta per spec in the union of both runs, sorted by
+// name. Rules:
+//
+//   - present in both: regression when median time or allocs/op grew
+//     by more than tolerancePct. A zero-median baseline entry skips the
+//     time check (no denominator) instead of dividing by zero. Alloc
+//     percentages are compared only when the baseline allocates at
+//     least one whole object per op — sub-object counts are runtime
+//     background noise (a 0.04 allocs/op baseline would turn one stray
+//     allocation into a +200% "regression") — so an effectively
+//     alloc-free baseline regresses only when the fresh run crosses
+//     one object per op.
+//   - present only in the baseline: a regression — the spec vanished,
+//     which either reverts accidentally or needs a deliberate baseline
+//     bump.
+//   - present only in the fresh run: informational, never a failure —
+//     new specs are expected to land before their baseline does.
+func Compare(base, fresh *Run, tolerancePct float64) []Delta {
+	names := map[string]bool{}
+	for _, res := range base.Results {
+		names[res.Name] = true
+	}
+	for _, res := range fresh.Results {
+		names[res.Name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	var deltas []Delta
+	for _, name := range sorted {
+		d := Delta{Name: name}
+		if b, ok := base.Lookup(name); ok {
+			bb := b
+			d.Base = &bb
+		}
+		if f, ok := fresh.Lookup(name); ok {
+			ff := f
+			d.Fresh = &ff
+		}
+		switch {
+		case d.Fresh == nil:
+			d.Regressed = true
+			d.Note = "missing from this run (deliberate removal needs a baseline bump)"
+		case d.Base == nil:
+			d.Note = "new spec (not in baseline)"
+		default:
+			if d.Base.MedianNS > 0 {
+				d.TimePct = (d.Fresh.MedianNS - d.Base.MedianNS) / d.Base.MedianNS * 100
+				if d.TimePct > tolerancePct {
+					d.Regressed = true
+				}
+			} else {
+				d.TimeSkipped = true
+				d.Note = "zero-median baseline; time not compared"
+			}
+			if d.Base.AllocsPerOp >= 1 {
+				d.AllocPct = (d.Fresh.AllocsPerOp - d.Base.AllocsPerOp) / d.Base.AllocsPerOp * 100
+				if d.AllocPct > tolerancePct {
+					d.Regressed = true
+				}
+			} else if d.Fresh.AllocsPerOp >= 1 {
+				d.Regressed = true
+				d.Note = "alloc-free baseline now allocates"
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions extracts the failing deltas' messages, one line each.
+func Regressions(deltas []Delta) []string {
+	var msgs []string
+	for _, d := range deltas {
+		if !d.Regressed {
+			continue
+		}
+		switch {
+		case d.Fresh == nil:
+			msgs = append(msgs, fmt.Sprintf("%s: %s", d.Name, d.Note))
+		case d.Note != "":
+			msgs = append(msgs, fmt.Sprintf("%s: %s (%.1f allocs/op)", d.Name, d.Note, d.Fresh.AllocsPerOp))
+		default:
+			msgs = append(msgs, fmt.Sprintf("%s: median %s → %s (%+.1f%%), allocs/op %.1f → %.1f (%+.1f%%)",
+				d.Name, formatNS(d.Base.MedianNS), formatNS(d.Fresh.MedianNS), d.TimePct,
+				d.Base.AllocsPerOp, d.Fresh.AllocsPerOp, d.AllocPct))
+		}
+	}
+	return msgs
+}
+
+// WriteComparison renders the comparison table.
+func WriteComparison(w io.Writer, deltas []Delta, tolerancePct float64) error {
+	t := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(t, "Spec\tBase\tNew\tΔtime\tΔallocs\tStatus\n")
+	for _, d := range deltas {
+		status := "ok"
+		if d.Regressed {
+			status = "REGRESSED"
+		}
+		switch {
+		case d.Fresh == nil:
+			fmt.Fprintf(t, "%s\t%s\t-\t-\t-\t%s\n", d.Name, formatNS(d.Base.MedianNS), status)
+		case d.Base == nil:
+			fmt.Fprintf(t, "%s\t-\t%s\t-\t-\tnew\n", d.Name, formatNS(d.Fresh.MedianNS))
+		case d.TimeSkipped:
+			fmt.Fprintf(t, "%s\t%s\t%s\tskipped\t%+.1f%%\t%s\n",
+				d.Name, formatNS(d.Base.MedianNS), formatNS(d.Fresh.MedianNS), d.AllocPct, status)
+		default:
+			fmt.Fprintf(t, "%s\t%s\t%s\t%+.1f%%\t%+.1f%%\t%s\n",
+				d.Name, formatNS(d.Base.MedianNS), formatNS(d.Fresh.MedianNS), d.TimePct, d.AllocPct, status)
+		}
+	}
+	fmt.Fprintf(t, "(tolerance %.0f%%)\n", tolerancePct)
+	return t.Flush()
+}

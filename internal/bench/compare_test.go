@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkRun(results ...Result) *Run {
+	return &Run{Version: RunVersion, Reps: 25, Results: results}
+}
+
+func res(name string, medianNS, allocs float64) Result {
+	return Result{Name: name, Reps: 25, MedianNS: medianNS, AllocsPerOp: allocs}
+}
+
+func deltaByName(t *testing.T, deltas []Delta, name string) Delta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s", name)
+	return Delta{}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := mkRun(res("a/b", 1000, 10))
+	fresh := mkRun(res("a/b", 1150, 11))
+	deltas := Compare(base, fresh, 20)
+	d := deltaByName(t, deltas, "a/b")
+	if d.Regressed {
+		t.Fatalf("+15%% time within 20%% tolerance regressed: %+v", d)
+	}
+	if d.TimePct < 14.9 || d.TimePct > 15.1 {
+		t.Fatalf("TimePct = %v, want ~15", d.TimePct)
+	}
+}
+
+func TestCompareTimeRegression(t *testing.T) {
+	base := mkRun(res("a/b", 1000, 10))
+	fresh := mkRun(res("a/b", 1500, 10))
+	deltas := Compare(base, fresh, 20)
+	if d := deltaByName(t, deltas, "a/b"); !d.Regressed {
+		t.Fatalf("+50%% time did not regress: %+v", d)
+	}
+	msgs := Regressions(deltas)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "a/b") {
+		t.Fatalf("Regressions = %v", msgs)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := mkRun(res("a/b", 1000, 10))
+	fresh := mkRun(res("a/b", 1000, 20))
+	if d := deltaByName(t, Compare(base, fresh, 20), "a/b"); !d.Regressed {
+		t.Fatalf("+100%% allocs did not regress: %+v", d)
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	base := mkRun(res("a/b", 1000, 10))
+	fresh := mkRun(res("a/b", 100, 1))
+	if d := deltaByName(t, Compare(base, fresh, 20), "a/b"); d.Regressed {
+		t.Fatalf("10x improvement regressed: %+v", d)
+	}
+}
+
+// A spec present only in the baseline is a regression (silent removal);
+// one present only in the fresh run is informational.
+func TestCompareMembershipRules(t *testing.T) {
+	base := mkRun(res("only/base", 1000, 1))
+	fresh := mkRun(res("only/fresh", 500, 2))
+	deltas := Compare(base, fresh, 20)
+
+	gone := deltaByName(t, deltas, "only/base")
+	if !gone.Regressed || gone.Fresh != nil {
+		t.Fatalf("vanished spec not regressed: %+v", gone)
+	}
+	fresh1 := deltaByName(t, deltas, "only/fresh")
+	if fresh1.Regressed || fresh1.Base != nil {
+		t.Fatalf("new spec regressed: %+v", fresh1)
+	}
+	if !strings.Contains(fresh1.Note, "new spec") {
+		t.Fatalf("new spec note = %q", fresh1.Note)
+	}
+	if msgs := Regressions(deltas); len(msgs) != 1 || !strings.Contains(msgs[0], "only/base") {
+		t.Fatalf("Regressions = %v", msgs)
+	}
+}
+
+// A zero-median baseline has no denominator: the time check is skipped,
+// not failed, and the skip is surfaced in the note.
+func TestCompareZeroMedianGuard(t *testing.T) {
+	base := mkRun(res("a/b", 0, 10))
+	fresh := mkRun(res("a/b", 1e9, 10))
+	d := deltaByName(t, Compare(base, fresh, 20), "a/b")
+	if d.Regressed {
+		t.Fatalf("zero-median baseline regressed on time: %+v", d)
+	}
+	if !d.TimeSkipped {
+		t.Fatalf("zero-median baseline did not skip the time check: %+v", d)
+	}
+}
+
+// An alloc-free baseline regresses only when the fresh run allocates at
+// least a whole object per op (guarding the zero denominator).
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	base := mkRun(res("a/b", 1000, 0))
+	fresh := mkRun(res("a/b", 1000, 3))
+	if d := deltaByName(t, Compare(base, fresh, 20), "a/b"); !d.Regressed {
+		t.Fatalf("alloc-free baseline now allocating did not regress: %+v", d)
+	}
+	still := mkRun(res("a/b", 1000, 0.2))
+	if d := deltaByName(t, Compare(base, still, 20), "a/b"); d.Regressed {
+		t.Fatalf("sub-object alloc noise regressed: %+v", d)
+	}
+}
+
+// A sub-object baseline (runtime background allocations leaking into
+// the ReadMemStats delta) must not turn one stray allocation into a
+// huge percentage regression: 0.04 → 0.125 allocs/op is noise.
+func TestCompareSubObjectAllocNoise(t *testing.T) {
+	base := mkRun(res("a/b", 1000, 0.04))
+	fresh := mkRun(res("a/b", 1000, 0.125))
+	if d := deltaByName(t, Compare(base, fresh, 20), "a/b"); d.Regressed {
+		t.Fatalf("sub-object baseline alloc noise regressed: %+v", d)
+	}
+	// Crossing a whole object per op is real, though.
+	grew := mkRun(res("a/b", 1000, 2))
+	if d := deltaByName(t, Compare(base, grew, 20), "a/b"); !d.Regressed {
+		t.Fatalf("sub-object baseline growing to 2 allocs/op did not regress: %+v", d)
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	var buf bytes.Buffer
+	if err := JSON(&buf, mkRun(res("a/b", 1000, 1))); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if _, ok := run.Lookup("a/b"); !ok {
+		t.Fatal("baseline lost its result")
+	}
+
+	_, err = LoadBaseline(filepath.Join(dir, "missing.json"))
+	if err == nil || !strings.Contains(err.Error(), "regenerate with") {
+		t.Fatalf("missing baseline error = %v, want recovery hint", err)
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	base := mkRun(res("gone/spec", 1000, 1), res("slow/spec", 1000, 1), res("zero/median", 0, 1))
+	fresh := mkRun(res("slow/spec", 2000, 1), res("new/spec", 10, 1), res("zero/median", 5, 1))
+	deltas := Compare(base, fresh, 20)
+	var buf bytes.Buffer
+	if err := WriteComparison(&buf, deltas, 20); err != nil {
+		t.Fatalf("WriteComparison: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "new", "skipped", "(tolerance 20%)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison table missing %q:\n%s", want, out)
+		}
+	}
+}

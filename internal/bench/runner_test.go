@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// scriptedClock hands out timestamps advancing by a scripted step per
+// call, so runner timing tests are deterministic.
+type scriptedClock struct {
+	t     time.Time
+	steps []time.Duration
+	i     int
+}
+
+func (c *scriptedClock) now() time.Time {
+	out := c.t
+	if len(c.steps) > 0 {
+		c.t = c.t.Add(c.steps[c.i%len(c.steps)])
+		c.i++
+	}
+	return out
+}
+
+func testSpec(name string, op func() error) Spec {
+	return Spec{
+		Name:  name,
+		Doc:   "test spec",
+		Setup: func(context.Context) (*Instance, error) { return &Instance{Op: op}, nil },
+	}
+}
+
+func TestRunnerMedianFromScriptedClock(t *testing.T) {
+	// Each Op brackets two clock reads; steps alternate so repetition
+	// durations are 10ms, 30ms, 20ms, ... — the runner must report the
+	// median, not the mean.
+	clock := &scriptedClock{t: time.Unix(0, 0), steps: []time.Duration{
+		10 * time.Millisecond, 0,
+		30 * time.Millisecond, 0,
+		20 * time.Millisecond, 0,
+	}}
+	r := NewRunner(Config{Reps: 3, Warmup: 0, MADK: -1, Now: clock.now})
+	run, err := r.Run(context.Background(), []Spec{testSpec("t/median", func() error { return nil })})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	res := run.Results[0]
+	if got, want := res.MedianNS, float64(20*time.Millisecond); got < want-1 || got > want+1 {
+		t.Fatalf("median = %v ns, want %v", got, want)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("rejected = %d, want 0 with rejection disabled", res.Rejected)
+	}
+}
+
+func TestRunnerRejectsOutliers(t *testing.T) {
+	// Eight jittered ~10ms repetitions and one 10s spike: the spike must
+	// be MAD-rejected so the median stays at the steady value. (The
+	// jitter matters: identical repetitions give a zero MAD, which
+	// MADKeep treats as "no dispersion, keep everything".)
+	steady := []time.Duration{
+		10 * time.Millisecond, 10100 * time.Microsecond,
+		9900 * time.Microsecond, 10050 * time.Microsecond,
+		9950 * time.Microsecond, 10020 * time.Microsecond,
+		9980 * time.Microsecond, 10010 * time.Microsecond,
+	}
+	steps := make([]time.Duration, 0, 18)
+	for _, s := range steady {
+		steps = append(steps, s, 0)
+	}
+	steps = append(steps, 10*time.Second, 0)
+	clock := &scriptedClock{t: time.Unix(0, 0), steps: steps}
+	r := NewRunner(Config{Reps: 9, Warmup: 0, Now: clock.now})
+	run, err := r.Run(context.Background(), []Spec{testSpec("t/outlier", func() error { return nil })})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	res := run.Results[0]
+	if res.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", res.Rejected)
+	}
+	if got := res.MedianNS; got < float64(9900*time.Microsecond) || got > float64(10100*time.Microsecond) {
+		t.Fatalf("median = %v ns, want ~10ms (spike not rejected?)", got)
+	}
+}
+
+func TestRunnerWarmupIsUntimed(t *testing.T) {
+	calls := 0
+	clock := &scriptedClock{t: time.Unix(0, 0), steps: []time.Duration{time.Millisecond}}
+	r := NewRunner(Config{Reps: 2, Warmup: 3, Now: clock.now})
+	_, err := r.Run(context.Background(), []Spec{testSpec("t/warm", func() error {
+		calls++
+		return nil
+	})})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 5 {
+		t.Fatalf("op ran %d times, want 3 warmup + 2 timed = 5", calls)
+	}
+}
+
+func TestRunnerDefaults(t *testing.T) {
+	full := NewRunner(Config{Warmup: -1})
+	if full.cfg.Reps != DefaultReps || full.cfg.Warmup != DefaultWarmup {
+		t.Fatalf("full defaults = %d/%d, want %d/%d", full.cfg.Reps, full.cfg.Warmup, DefaultReps, DefaultWarmup)
+	}
+	quick := NewRunner(Config{Quick: true, Warmup: -1})
+	if quick.cfg.Reps != QuickReps || quick.cfg.Warmup != QuickWarmup {
+		t.Fatalf("quick defaults = %d/%d, want %d/%d", quick.cfg.Reps, quick.cfg.Warmup, QuickReps, QuickWarmup)
+	}
+	// Zero warmup is an explicit choice, not a sentinel.
+	none := NewRunner(Config{Warmup: 0})
+	if none.cfg.Warmup != 0 {
+		t.Fatalf("explicit Warmup 0 remapped to %d", none.cfg.Warmup)
+	}
+}
+
+func TestRunnerPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"setup", Spec{Name: "t/setup", Setup: func(context.Context) (*Instance, error) { return nil, boom }}},
+		{"op", testSpec("t/op", func() error { return boom })},
+		{"verify", Spec{Name: "t/verify", Setup: func(context.Context) (*Instance, error) {
+			return &Instance{Op: func() error { return nil }, Verify: func() error { return boom }}, nil
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRunner(Config{Reps: 1, Warmup: 0})
+			_, err := r.Run(context.Background(), []Spec{tc.spec})
+			if !errors.Is(err, boom) {
+				t.Fatalf("Run error = %v, want wrapped boom", err)
+			}
+		})
+	}
+}
+
+func TestRunnerRunsCleanup(t *testing.T) {
+	cleaned := false
+	sp := Spec{Name: "t/clean", Setup: func(context.Context) (*Instance, error) {
+		return &Instance{
+			Op:      func() error { return fmt.Errorf("op fails") },
+			Cleanup: func() { cleaned = true },
+		}, nil
+	}}
+	r := NewRunner(Config{Reps: 1, Warmup: 0})
+	if _, err := r.Run(context.Background(), []Spec{sp}); err == nil {
+		t.Fatal("Run did not fail")
+	}
+	if !cleaned {
+		t.Fatal("Cleanup did not run after a failing op")
+	}
+}
+
+func TestRunnerHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(Config{Reps: 1, Warmup: 0})
+	_, err := r.Run(ctx, []Spec{testSpec("t/ctx", func() error { return nil })})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run on cancelled ctx = %v, want context.Canceled", err)
+	}
+}

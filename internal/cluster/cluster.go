@@ -83,17 +83,25 @@ func Build(points [][]float64, linkage Linkage) (*Dendrogram, error) {
 		return d, nil
 	}
 
-	// Pairwise squared distances, updated by Lance-Williams.
+	// Pairwise squared distances, updated by Lance-Williams. The
+	// matrix is symmetric with a zero diagonal, so it is stored in
+	// condensed upper-triangular form: one slab of n*(n-1)/2 values
+	// instead of n row slices — a single allocation, half the memory,
+	// and each pair's distance computed once. cond maps an unordered
+	// pair to its slab index (row-major over i < j).
 	// active[i] is true while node i is an un-merged cluster root.
 	// id[i] is the dendrogram node id of slot i; size[i] its leaves.
-	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
-		for j := range dist[i] {
-			if i != j {
-				e := stats.EuclideanDistance(points[i], points[j])
-				dist[i][j] = e * e
-			}
+	dist := make([]float64, n*(n-1)/2)
+	cond := func(i, j int) int {
+		if i > j {
+			i, j = j, i
+		}
+		return i*(2*n-i-1)/2 + (j - i - 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			e := stats.EuclideanDistance(points[i], points[j])
+			dist[cond(i, j)] = e * e
 		}
 	}
 	active := make([]bool, n)
@@ -116,8 +124,8 @@ func Build(points [][]float64, linkage Linkage) (*Dendrogram, error) {
 				if !active[j] {
 					continue
 				}
-				if dist[i][j] < best {
-					bi, bj, best = i, j, dist[i][j]
+				if d := dist[cond(i, j)]; d < best {
+					bi, bj, best = i, j, d
 				}
 			}
 		}
@@ -132,21 +140,21 @@ func Build(points [][]float64, linkage Linkage) (*Dendrogram, error) {
 				continue
 			}
 			nk := size[k]
+			dik, djk := dist[cond(bi, k)], dist[cond(bj, k)]
 			var nd float64
 			switch linkage {
 			case Ward:
-				nd = ((ni+nk)*dist[bi][k] + (nj+nk)*dist[bj][k] - nk*best) / (ni + nj + nk)
+				nd = ((ni+nk)*dik + (nj+nk)*djk - nk*best) / (ni + nj + nk)
 			case Single:
-				nd = math.Min(dist[bi][k], dist[bj][k])
+				nd = math.Min(dik, djk)
 			case Complete:
-				nd = math.Max(dist[bi][k], dist[bj][k])
+				nd = math.Max(dik, djk)
 			case Average:
-				nd = (ni*dist[bi][k] + nj*dist[bj][k]) / (ni + nj)
+				nd = (ni*dik + nj*djk) / (ni + nj)
 			default:
 				return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
 			}
-			dist[bi][k] = nd
-			dist[k][bi] = nd
+			dist[cond(bi, k)] = nd
 		}
 		active[bj] = false
 		size[bi] = ni + nj

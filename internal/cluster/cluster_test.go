@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
 	"fgbs/internal/rng"
+	"fgbs/internal/stats"
 )
 
 // blobs generates k well-separated Gaussian blobs of m points each in
@@ -282,6 +285,117 @@ func TestPartitionProperty(t *testing.T) {
 		}
 		if len(distinct) != k {
 			t.Fatalf("trial %d: cut(%d) gave %d clusters", trial, k, len(distinct))
+		}
+	}
+}
+
+// buildDense is the pre-condensed reference implementation of Build:
+// a full n×n symmetric distance matrix updated in both triangles. It
+// exists only to pin the condensed-storage rewrite byte-identical.
+func buildDense(points [][]float64, linkage Linkage) (*Dendrogram, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	d := &Dendrogram{N: n, Linkage: linkage}
+	if n == 1 {
+		return d, nil
+	}
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i != j {
+				e := stats.EuclideanDistance(points[i], points[j])
+				dist[i][j] = e * e
+			}
+		}
+	}
+	active := make([]bool, n)
+	id := make([]int, n)
+	size := make([]float64, n)
+	for i := range active {
+		active[i] = true
+		id[i] = i
+		size[i] = 1
+	}
+	for step := 0; step < n-1; step++ {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		ni, nj := size[bi], size[bj]
+		d.Merges = append(d.Merges, Merge{A: id[bi], B: id[bj], Height: best, Size: int(ni + nj)})
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			nk := size[k]
+			var nd float64
+			switch linkage {
+			case Ward:
+				nd = ((ni+nk)*dist[bi][k] + (nj+nk)*dist[bj][k] - nk*best) / (ni + nj + nk)
+			case Single:
+				nd = math.Min(dist[bi][k], dist[bj][k])
+			case Complete:
+				nd = math.Max(dist[bi][k], dist[bj][k])
+			case Average:
+				nd = (ni*dist[bi][k] + nj*dist[bj][k]) / (ni + nj)
+			default:
+				return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
+			}
+			dist[bi][k] = nd
+			dist[k][bi] = nd
+		}
+		active[bj] = false
+		size[bi] = ni + nj
+		id[bi] = n + step
+	}
+	return d, nil
+}
+
+// TestCondensedMatchesDense pins the condensed-triangular rewrite
+// byte-identical to the dense reference: same merges, same heights
+// (reflect.DeepEqual on float64 means bitwise, not approximate), for
+// every linkage over several point-set shapes. This is the contract
+// that lets the optimization land without a baseline bump anywhere
+// downstream — cluster assignments, representatives, and stage keys
+// derived from them are all unchanged.
+func TestCondensedMatchesDense(t *testing.T) {
+	shapes := []struct {
+		seed      uint64
+		k, m, dim int
+		sep       float64
+	}{
+		{1, 3, 10, 4, 8},
+		{2, 5, 7, 16, 3},
+		{3, 1, 2, 1, 1},
+		{4, 4, 12, 8, 0.5}, // overlapping blobs: plenty of near-ties
+	}
+	for _, s := range shapes {
+		points, _ := blobs(s.seed, s.k, s.m, s.dim, s.sep)
+		for _, linkage := range []Linkage{Ward, Single, Complete, Average} {
+			got, err := Build(points, linkage)
+			if err != nil {
+				t.Fatalf("Build(%v): %v", linkage, err)
+			}
+			want, err := buildDense(points, linkage)
+			if err != nil {
+				t.Fatalf("buildDense(%v): %v", linkage, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d linkage %v: condensed dendrogram differs from dense reference", s.seed, linkage)
+			}
 		}
 	}
 }

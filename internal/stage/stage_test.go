@@ -1,6 +1,7 @@
 package stage
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -504,5 +505,72 @@ func TestStoreNoPersistStaysOffDisk(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "art.txt")); !errors.Is(err, os.ErrNotExist) {
 		t.Errorf("non-persistable artifact reached disk (stat err = %v)", err)
+	}
+}
+
+// TestSaveDiskBytesIdentical pins the pooled-buffer persist path
+// byte-identical to encoding straight through the codec: the on-disk
+// artifact is exactly what codec.Encode produces, no staging residue.
+func TestSaveDiskBytesIdentical(t *testing.T) {
+	dir := t.TempDir()
+	codec := testCodec{name: "ident.txt", persist: true}
+	ctx := context.Background()
+	const payload = "artifact-bytes-0123456789"
+	s := NewStore(4, dir)
+	if _, _, err := s.Resolve(ctx, "test", testKey(1), codec, func(context.Context) (any, error) {
+		return payload, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(dir, "ident.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := codec.Encode(&direct, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, direct.Bytes()) {
+		t.Errorf("persisted bytes %q != direct encode %q", onDisk, direct.Bytes())
+	}
+}
+
+// TestPooledBuffersDoNotLeakAcrossArtifacts drives many differently
+// sized artifacts through persist and disk-decode in sequence. A
+// buffer reuse bug (missing Reset, or a codec retaining pool memory)
+// would surface as one artifact's bytes bleeding into another's.
+func TestPooledBuffersDoNotLeakAcrossArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	payloads := []string{
+		strings.Repeat("long-first-artifact|", 50),
+		"tiny",
+		strings.Repeat("x", 333),
+		"another-small-one",
+	}
+	for i, payload := range payloads {
+		codec := testCodec{name: fmt.Sprintf("leak-%d.txt", i), persist: true}
+		s := NewStore(4, dir)
+		p := payload
+		if _, _, err := s.Resolve(ctx, "test", testKey(100+i), codec, func(context.Context) (any, error) {
+			return p, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// A fresh store must round-trip the value through the pooled
+		// decode path, not memory.
+		fresh := NewStore(4, dir)
+		v, out, err := fresh.Resolve(ctx, "test", testKey(100+i), codec, func(context.Context) (any, error) {
+			return nil, errors.New("decode path must not recompute")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Disk {
+			t.Fatalf("artifact %d not served from disk: %+v", i, out)
+		}
+		if v.(string) != payload {
+			t.Errorf("artifact %d decoded to %q, want %q", i, v, payload)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package stage
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"fmt"
@@ -9,6 +10,14 @@ import (
 	"path/filepath"
 	"sync"
 )
+
+// bufPool recycles the scratch buffers the disk layer stages artifact
+// bytes in. Profile artifacts run to megabytes of JSON; without
+// pooling, every persist and every disk hit allocates and grows a
+// fresh buffer of that size. Codecs must not retain the readers or
+// writers they are handed — the buffer behind them returns to the
+// pool when the call ends.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // Codec serializes one stage's artifacts for the Store's disk layer.
 // Stages whose artifacts are not worth persisting (cheap to recompute,
@@ -269,7 +278,16 @@ func (s *Store) decodeFile(stage string, codec Codec, name string) (any, bool) {
 		return nil, false
 	}
 	defer f.Close()
-	v, err := codec.Decode(f)
+	// Read the whole artifact into a pooled buffer first: decoders
+	// (json.Decoder especially) issue many small reads, each a syscall
+	// when pointed straight at the file.
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if _, err := buf.ReadFrom(f); err != nil {
+		return nil, false
+	}
+	v, err := codec.Decode(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return nil, false
 	}
@@ -295,12 +313,21 @@ func (s *Store) saveDisk(stage string, codec Codec, v any) {
 	// -profiledir), and a fixed tmp path would let two concurrent
 	// persists of the same filename interleave writes and rename a
 	// corrupt artifact.
+	// Encode into a pooled buffer, then write the file in one call:
+	// the encoder's many small writes land in memory, and a failed
+	// encode never creates a partially-written tmp file at all.
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if err := codec.Encode(buf, v); err != nil {
+		return
+	}
 	f, err := os.CreateTemp(s.dir, codec.Filename()+".tmp*")
 	if err != nil {
 		return
 	}
 	tmp := f.Name()
-	if err := codec.Encode(f, v); err != nil {
+	if _, err := f.Write(buf.Bytes()); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return
