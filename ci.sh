@@ -36,6 +36,15 @@ go build ./...
 echo "== chaos =="
 go test -race -timeout 20m -run '^TestChaos' ./internal/pipeline ./internal/server
 
+# The corpus smoke gate: materialize a synthetic suite from the CLI
+# (flag validation + byte-identical generation) and drive the small
+# registered suite through the full Subset→Evaluate pipeline under
+# -race with stable cluster membership. Generation fans out across
+# workers, so the race detector is load-bearing here.
+echo "== corpus smoke =="
+go run ./cmd/fgbs corpus -family stencil2d -n 8 -seed 42 > /dev/null
+go test -race -timeout 10m -run '^TestCorpusSmokeSubsetEvaluate$' ./internal/corpus
+
 # Heavy single-threaded reproduction tests in the root package skip
 # themselves under -race (see skipIfRace in fixtures_test.go); all
 # concurrency-bearing code runs with the detector on.
@@ -44,7 +53,7 @@ go test -race -timeout 25m ./...
 
 # The performance trajectory gate (see README "Performance
 # trajectory"): every internal/bench spec runs in quick mode and is
-# diffed against the committed BENCH_6.json baseline; a median or
+# diffed against the committed BENCH_7.json baseline; a median or
 # allocation regression beyond the tolerance is a red build. The
 # tolerance is deliberately wide — CI boxes jitter badly — so only
 # order-of-magnitude mistakes (an accidental O(n²) in a hot path, a
@@ -55,7 +64,7 @@ go test -race -timeout 25m ./...
 # sweep is served by the stage store without extra simulator
 # invocations.
 echo "== bench trajectory =="
-go run ./cmd/fgbs bench -quick -compare BENCH_6.json -tolerance 200
+go run ./cmd/fgbs bench -quick -compare BENCH_7.json -tolerance 200
 # The go-test benchmarks still rot silently if nothing executes them:
 # the Figure 7 parallel baseline carries its byte-identical-to-serial
 # assertion in the bench body, so it must actually run.

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fgbs/internal/corpus"
+	"fgbs/internal/ir"
+)
+
+// cmdCorpus is the synthetic-suite surface: with no -family and no
+// synthetic -suite it lists the generator catalog (families, axes,
+// registered suites); with -family it materializes n standalone
+// codelets of that family under -seed; with a synthetic -suite it
+// materializes the registered suite. Output is the canonical corpus
+// dump — byte-identical for a given (family/suite, seed, n) at every
+// worker count — written to stdout or -out.
+func cmdCorpus(cfg config) error {
+	switch {
+	case cfg.family != "":
+		progs, err := corpus.GenerateFamily(cfg.family, cfg.seed, cfg.n, cfg.jobs)
+		if err != nil {
+			return err
+		}
+		return writeCorpus(cfg, progs)
+	case corpus.IsSuite(cfg.suite):
+		progs, err := corpus.BuildSuiteWorkers(cfg.suite, cfg.jobs)
+		if err != nil {
+			return err
+		}
+		return writeCorpus(cfg, progs)
+	default:
+		fmt.Println("Families (generate with: fgbs corpus -family <name> -n <count> [-seed N]):")
+		for _, name := range corpus.FamilyNames() {
+			f, err := corpus.FamilyByName(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n  %-10s %s\n", f.Name, f.Doc)
+			for _, ax := range f.Axes {
+				fmt.Printf("    %-12s %s  (%s)\n", ax.Name, ax.Doc, ax)
+			}
+		}
+		fmt.Println("\nRegistered suites (materialize with: fgbs corpus -suite <name>):")
+		for _, s := range corpus.Suites() {
+			fmt.Printf("  %-12s %4d codelets, seed %-10d %s\n", s.Name, s.Size(), s.Seed, s.Doc)
+		}
+		return nil
+	}
+}
+
+func writeCorpus(cfg config, progs []*ir.Program) error {
+	dump := corpus.Dump(progs)
+	if cfg.benchOut != "" {
+		if err := os.WriteFile(cfg.benchOut, []byte(dump), 0o644); err != nil {
+			return err
+		}
+		var n int
+		for _, p := range progs {
+			n += len(p.Codelets)
+		}
+		fmt.Printf("wrote %d codelets (%d programs) to %s\n", n, len(progs), cfg.benchOut)
+		return nil
+	}
+	_, err := fmt.Print(dump)
+	return err
+}

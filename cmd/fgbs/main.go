@@ -27,6 +27,14 @@
 //	export    data series: -what eval|sweep|features (CSV) or
 //	          evaljson|subsetjson|select (the JSON forms the fgbsd
 //	          service also returns)
+//	corpus    synthetic-suite generator (internal/corpus): with no
+//	          flags, list the codelet families, their axes and the
+//	          registered synthetic suites; with -family name -n N,
+//	          materialize N standalone codelets of that family under
+//	          -seed; with a synthetic -suite (syn-*), materialize the
+//	          registered suite. Output is the canonical corpus dump —
+//	          byte-identical for a given seed at every -j — to stdout
+//	          or -out
 //	bench     run the internal/bench spec registry — the repository's
 //	          performance trajectory (see the README's "Performance
 //	          trajectory" section). Writes a human table by default,
@@ -36,7 +44,13 @@
 //
 // Flags:
 //
-//	-suite name     suite to analyze: nas, nr, poly, joint (default nas)
+//	-suite name     suite to analyze: nas, nr, poly, joint, or a
+//	                registered synthetic suite (syn-smoke, syn-mix-240,
+//	                syn-apps-96, syn-mix-960) materialized on demand by
+//	                internal/corpus (default nas)
+//	-family name    corpus: codelet family to generate (run 'fgbs
+//	                corpus' with no flags for the catalog)
+//	-n N            corpus: how many codelets to generate (default 100)
 //	-target name    target machine for f2/f4/f7 (default depends)
 //	-k N            cluster count (0 = elbow)
 //	-seed N         experiment seed (default 1)
@@ -79,7 +93,8 @@
 //	                workloads, so medians stay comparable to a full run
 //	-json           bench: write the machine-readable run to stdout
 //	-out path       bench: also write the JSON run to path (the form
-//	                committed as BENCH_<n>.json)
+//	                committed as BENCH_<n>.json); corpus: write the
+//	                dump to path instead of stdout
 //	-compare path   bench: diff this run against the baseline at path
 //	                and exit nonzero on regression
 //	-tolerance pct  bench: regression threshold in percent for -compare
@@ -101,6 +116,7 @@ import (
 	"syscall"
 
 	"fgbs/internal/arch"
+	"fgbs/internal/corpus"
 	"fgbs/internal/fault"
 	"fgbs/internal/features"
 	"fgbs/internal/ga"
@@ -131,6 +147,8 @@ type config struct {
 	cache      string
 	codelet    string
 	what       string
+	family     string
+	n          int
 	jobs       int
 	faultPath  string
 	stageCache int
@@ -179,7 +197,7 @@ func run(ctx context.Context, args []string) error {
 	exp := args[0]
 	fs := flag.NewFlagSet("fgbs", flag.ContinueOnError)
 	cfg := config{}
-	fs.StringVar(&cfg.suite, "suite", "nas", "suite: nas, nr, poly or joint (nas+poly)")
+	fs.StringVar(&cfg.suite, "suite", "nas", "suite: nas, nr, poly, joint, or a registered synthetic syn-* suite")
 	fs.StringVar(&cfg.target, "target", "", "target machine name")
 	fs.IntVar(&cfg.k, "k", 0, "cluster count (0 = elbow)")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "experiment seed")
@@ -189,6 +207,8 @@ func run(ctx context.Context, args []string) error {
 	fs.StringVar(&cfg.cache, "cache", "", "profile cache file (load if present; 'save' writes it)")
 	fs.StringVar(&cfg.codelet, "codelet", "", "codelet name for 'show'")
 	fs.StringVar(&cfg.what, "what", "eval", "export kind: eval, sweep, features, evaljson, subsetjson or select")
+	fs.StringVar(&cfg.family, "family", "", "corpus: codelet family to generate")
+	fs.IntVar(&cfg.n, "n", 100, "corpus: codelets to generate with -family")
 	fs.IntVar(&cfg.jobs, "j", 0, "parallel workers for f3/f7 and the sweep export (0 = GOMAXPROCS)")
 	fs.StringVar(&cfg.faultPath, "faultprofile", "", "JSON fault-injection profile (chaos testing)")
 	fs.IntVar(&cfg.stageCache, "stagecache", 256, "in-memory stage artifact cache size (entries)")
@@ -222,6 +242,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if exp == "bench" {
 		return cmdBench(ctx, cfg)
+	}
+	if exp == "corpus" {
+		return cmdCorpus(cfg)
 	}
 
 	mask := features.DefaultMask()
@@ -503,6 +526,14 @@ func validate(cfg config) error {
 			}
 			return fmt.Errorf("unknown target %q (valid: %s)", cfg.target, strings.Join(names, ", "))
 		}
+	}
+	if cfg.family != "" {
+		if _, err := corpus.FamilyByName(cfg.family); err != nil {
+			return fmt.Errorf("-family: %w", err)
+		}
+	}
+	if cfg.n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", cfg.n)
 	}
 	if cfg.trials <= 0 {
 		return fmt.Errorf("-trials must be positive, got %d", cfg.trials)

@@ -12,7 +12,8 @@
 //
 //	-addr host:port  listen address (default :8093)
 //	-suites list     comma-separated suites to serve (default all:
-//	                 nas, nr, poly, joint)
+//	                 nas, nr, poly, joint, plus the synthetic syn-*
+//	                 suites internal/corpus registers)
 //	-preload list    comma-separated suites to profile at startup
 //	                 instead of on first request
 //	-profiledir dir  persist built profiles as <dir>/<suite>-<key>.json

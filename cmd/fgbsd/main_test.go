@@ -4,9 +4,12 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"fgbs/internal/suites"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -17,8 +20,8 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.addr != ":8093" || cfg.cacheN != 256 || cfg.seed != 1 {
 		t.Errorf("defaults = %+v", cfg)
 	}
-	if len(cfg.serve) != 4 {
-		t.Errorf("serve = %v, want all four suites", cfg.serve)
+	if !reflect.DeepEqual(cfg.serve, suites.Names()) {
+		t.Errorf("serve = %v, want every registered suite %v", cfg.serve, suites.Names())
 	}
 	if cfg.preload != nil {
 		t.Errorf("preload = %v, want none", cfg.preload)

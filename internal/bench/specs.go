@@ -11,6 +11,7 @@ import (
 	"fgbs/internal/arch"
 	"fgbs/internal/cache"
 	"fgbs/internal/cluster"
+	"fgbs/internal/corpus"
 	"fgbs/internal/fault"
 	"fgbs/internal/features"
 	"fgbs/internal/ir"
@@ -278,6 +279,40 @@ func init() {
 				return nil
 			}
 			return &Instance{Op: op}, nil
+		},
+	})
+
+	Register(Spec{
+		Name: "corpus/generate",
+		Doc:  "synthetic suite generation: 96 mixed-family codelets from one seed",
+		Setup: func(ctx context.Context) (*Instance, error) {
+			op := func() error {
+				progs, err := corpus.Mixed(42, 96, 0)
+				if err != nil {
+					return err
+				}
+				var n int
+				for _, p := range progs {
+					n += len(p.Codelets)
+				}
+				sink.Add(uint64(n))
+				return nil
+			}
+			verify := func() error {
+				progs, err := corpus.Mixed(42, 96, 1)
+				if err != nil {
+					return err
+				}
+				wide, err := corpus.Mixed(42, 96, 0)
+				if err != nil {
+					return err
+				}
+				if corpus.Dump(progs) != corpus.Dump(wide) {
+					return fmt.Errorf("corpus/generate: serial and parallel dumps differ")
+				}
+				return nil
+			}
+			return &Instance{Op: op, Verify: verify}, nil
 		},
 	})
 

@@ -1,0 +1,105 @@
+package corpus
+
+import (
+	"fmt"
+
+	"fgbs/internal/ir"
+	"fgbs/internal/rng"
+)
+
+// arrayPool is the composer's shared working set: arrays are keyed by
+// their full shape signature (element type, integer initialization,
+// dimensions), and a codelet requesting a compatible array
+// preferentially reuses one a sibling already declared. That is what
+// makes a composed program an "application" in the paper's sense —
+// codelets operating on common state, so WarmInApp and in-application
+// cache effects have something to be warm about.
+type arrayPool struct {
+	byKey map[string][]string
+}
+
+func newArrayPool() *arrayPool {
+	return &arrayPool{byKey: make(map[string][]string)}
+}
+
+func poolKey(dt ir.DType, init ir.IntInit, dims []ir.Affine) string {
+	k := fmt.Sprintf("%v/%d/%s", dt, init.Kind, init.Bound.String())
+	for _, d := range dims {
+		k += "/" + d.String()
+	}
+	return k
+}
+
+// get serves an array of the requested shape from the pool, reusing an
+// existing one with probability ~0.6 (drawn from the requesting
+// codelet's own stream, so composition stays a pure function of the
+// app seed). Reuse may alias two roles inside one codelet — e.g. a
+// stencil reading and writing the same grid — which is deliberate:
+// in-place nests are a real and distinct locality class (seidel-2d).
+func (ap *arrayPool) get(b *build, dt ir.DType, init ir.IntInit, dims []ir.Affine) string {
+	key := poolKey(dt, init, dims)
+	if list := ap.byKey[key]; len(list) > 0 && b.r.Bool(0.6) {
+		return list[b.r.Intn(len(list))]
+	}
+	name := b.fresh(dt, init, dims)
+	ap.byKey[key] = append(ap.byKey[key], name)
+	return name
+}
+
+// ComposeApp builds synthetic application index under the suite seed: k
+// codelets from randomly drawn families generated into one program over
+// a shared array pool, with per-codelet WarmInApp/ContextSensitive
+// draws and a nonzero uncovered fraction. The result is a pure function
+// of (seed, index, k).
+func ComposeApp(seed uint64, index, k int) (*ir.Program, error) {
+	return composeApp(seed, index, k, 0)
+}
+
+func composeApp(seed uint64, index, k int, footCap int64) (*ir.Program, error) {
+	// The app's own stream ("app" is not a family name, so it can never
+	// collide with a standalone codelet's stream under the same seed).
+	appSeed := codeletSeed(seed, "app", index)
+	name := fmt.Sprintf("synapp_%03d", index)
+	p := ir.NewProgram(name)
+	ar := rng.New(appSeed)
+	p.UncoveredFraction = 0.02 + 0.10*ar.Float64()
+	pool := newArrayPool()
+	names := FamilyNames()
+	arrayN := 0
+	for j := 0; j < k; j++ {
+		f := families[names[ar.Intn(len(names))]]
+		warm := ar.Bool(0.5)
+		ctx := ar.Bool(0.1)
+		b := &build{
+			p:       p,
+			r:       rng.New(codeletSeed(appSeed, f.Name, j)),
+			footCap: footCap,
+			pool:    pool,
+			arrayN:  &arrayN,
+		}
+		cname := fmt.Sprintf("%s_c%02d_%s", name, j, f.Name)
+		if err := generateInto(b, f, cname, appSeed, j); err != nil {
+			return nil, err
+		}
+		c := p.Codelets[len(p.Codelets)-1]
+		c.WarmInApp = warm
+		c.ContextSensitive = ctx
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("corpus: composed app %s invalid: %w", name, err)
+	}
+	return p, nil
+}
+
+// ComposeApps builds apps applications of perApp codelets each, fanning
+// the independent builds across workers (0 = GOMAXPROCS). Output is
+// byte-identical at every worker count.
+func ComposeApps(seed uint64, apps, perApp, workers int) ([]*ir.Program, error) {
+	return composeApps(seed, apps, perApp, workers, 0)
+}
+
+func composeApps(seed uint64, apps, perApp, workers int, footCap int64) ([]*ir.Program, error) {
+	return fanOut(apps, workers, func(i int) (*ir.Program, error) {
+		return composeApp(seed, i, perApp, footCap)
+	})
+}

@@ -1,0 +1,255 @@
+package corpus
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"fgbs/internal/ir"
+	"fgbs/internal/pipeline"
+)
+
+// skipIfRace skips the heavy generation+profiling tests under the race
+// detector: generation itself is race-checked by the lighter tests, and
+// the big suites exist to exercise scale, not concurrency.
+func skipIfRace(tb testing.TB) {
+	tb.Helper()
+	if raceDetectorEnabled {
+		tb.Skip("heavy single-threaded test: skipped under -race")
+	}
+}
+
+func TestFamilyRegistry(t *testing.T) {
+	names := FamilyNames()
+	want := []string{"butterfly", "histogram", "matvec", "reduction", "spmv", "stencil1d", "stencil2d"}
+	if len(names) != len(want) {
+		t.Fatalf("FamilyNames() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("FamilyNames()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	for _, n := range names {
+		f, err := FamilyByName(n)
+		if err != nil {
+			t.Fatalf("FamilyByName(%q): %v", n, err)
+		}
+		if f.Doc == "" || len(f.Axes) == 0 {
+			t.Errorf("family %q: missing doc or axes", n)
+		}
+		for _, ax := range f.Axes {
+			if len(ax.Values) < 2 {
+				t.Errorf("family %q axis %q: fewer than 2 values", n, ax.Name)
+			}
+		}
+	}
+	if _, err := FamilyByName("nope"); err == nil {
+		t.Fatal("FamilyByName(nope): want error")
+	} else if !strings.Contains(err.Error(), "stencil1d") {
+		t.Errorf("unknown-family error should list valid names, got %v", err)
+	}
+}
+
+// TestGenerateDeterministic pins the core contract: the same
+// (family, seed, index) triple yields a byte-identical program no
+// matter how, in what order, or on how many workers it is generated.
+func TestGenerateDeterministic(t *testing.T) {
+	const seed, n = 42, 21
+	for _, fam := range FamilyNames() {
+		serial, err := GenerateFamily(fam, seed, n, 1)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", fam, err)
+		}
+		wide, err := GenerateFamily(fam, seed, n, 8)
+		if err != nil {
+			t.Fatalf("%s: wide: %v", fam, err)
+		}
+		if Dump(serial) != Dump(wide) {
+			t.Fatalf("%s: suite differs between 1 and 8 workers", fam)
+		}
+		// Out-of-order single generation must reproduce each slot.
+		for i := n - 1; i >= 0; i -= 5 {
+			p, err := Generate(fam, seed, i)
+			if err != nil {
+				t.Fatalf("%s[%d]: %v", fam, i, err)
+			}
+			if got, want := Dump([]*ir.Program{p}), Dump([]*ir.Program{serial[i]}); got != want {
+				t.Fatalf("%s[%d]: out-of-order generation differs:\n%s\n--- vs ---\n%s", fam, i, got, want)
+			}
+		}
+		// A different seed must actually change the suite.
+		other, err := GenerateFamily(fam, seed+1, n, 0)
+		if err != nil {
+			t.Fatalf("%s: reseed: %v", fam, err)
+		}
+		if Dump(serial) == Dump(other) {
+			t.Fatalf("%s: seed %d and %d generated identical suites", fam, seed, seed+1)
+		}
+	}
+}
+
+func TestMixedAndSuitesDeterministic(t *testing.T) {
+	a, err := Mixed(3, 28, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mixed(3, 28, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Dump(a) != Dump(b) {
+		t.Fatal("Mixed: suite differs between 1 and 8 workers")
+	}
+	for _, name := range SuiteNames() {
+		spec, err := SuiteByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Size() < 24 {
+			t.Errorf("suite %q: size %d, want >= 24", name, spec.Size())
+		}
+	}
+	s1, err := BuildSuiteWorkers("syn-smoke", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildSuiteWorkers("syn-smoke", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Dump(s1) != Dump(s2) {
+		t.Fatal("syn-smoke: suite differs between 1 and 7 workers")
+	}
+	if !IsSuite("syn-smoke") || IsSuite("nas") {
+		t.Fatal("IsSuite misclassifies")
+	}
+	if _, err := BuildSuite("syn-nope"); err == nil || !strings.Contains(err.Error(), "syn-smoke") {
+		t.Fatalf("BuildSuite(syn-nope): want error listing valid suites, got %v", err)
+	}
+}
+
+// TestComposeApp checks the application composer: deterministic across
+// workers, shared arrays actually shared, per-codelet annotations
+// drawn.
+func TestComposeApp(t *testing.T) {
+	apps1, err := ComposeApps(1729, 6, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps2, err := ComposeApps(1729, 6, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Dump(apps1) != Dump(apps2) {
+		t.Fatal("ComposeApps: differs between 1 and 5 workers")
+	}
+	shared, warm := false, false
+	for _, p := range apps1 {
+		if len(p.Codelets) != 8 {
+			t.Fatalf("%s: %d codelets, want 8", p.Name, len(p.Codelets))
+		}
+		if p.UncoveredFraction <= 0 {
+			t.Errorf("%s: zero uncovered fraction", p.Name)
+		}
+		use := map[string]int{}
+		for _, c := range p.Codelets {
+			if c.WarmInApp {
+				warm = true
+			}
+			for _, a := range codeletArrays(c) {
+				use[a]++
+			}
+		}
+		for _, n := range use {
+			if n > 1 {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		t.Error("no array shared between codelets across 6 composed apps")
+	}
+	if !warm {
+		t.Error("no WarmInApp codelet across 6 composed apps")
+	}
+}
+
+// TestGeneratedCodeletsProfile is the property test of the determinism
+// contract's second half: every generated codelet passes ir validation
+// (Generate validates internally) and profiles cleanly under the raw
+// simulator — no error, no RefFailed markers, and measurable work.
+func TestGeneratedCodeletsProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling property test in -short mode")
+	}
+	for _, fam := range FamilyNames() {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			t.Parallel()
+			progs, err := generateAll(picksOf(fam, 6), 11, 0, 8192)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := pipeline.NewProfile(progs, pipeline.Options{Seed: 11})
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			if prof.Degraded() {
+				t.Fatal("raw-simulator profile carries failure markers")
+			}
+			for i, c := range prof.Codelets {
+				if prof.RefInApp[i] <= 0 {
+					t.Errorf("%s: non-positive reference time", c.Name)
+				}
+			}
+		})
+	}
+}
+
+// codeletArrays returns the sorted set of array names a codelet's nest
+// references (loads, stores, and index expressions alike).
+func codeletArrays(c *ir.Codelet) []string {
+	set := map[string]bool{}
+	var walkStmt func(s ir.Stmt)
+	walkRef := func(r *ir.Ref) {
+		set[r.Array] = true
+		for _, ix := range r.Index {
+			ir.WalkExpr(ix, func(e ir.Expr) {
+				if l, ok := e.(*ir.Load); ok {
+					set[l.Ref.Array] = true
+				}
+			})
+		}
+	}
+	walkStmt = func(s ir.Stmt) {
+		switch st := s.(type) {
+		case *ir.Loop:
+			for _, b := range st.Body {
+				walkStmt(b)
+			}
+		case *ir.Assign:
+			walkRef(st.LHS)
+			ir.WalkExpr(st.RHS, func(e ir.Expr) {
+				if l, ok := e.(*ir.Load); ok {
+					set[l.Ref.Array] = true
+				}
+			})
+		}
+	}
+	walkStmt(c.Loop)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func picksOf(fam string, n int) []*Family {
+	picks := make([]*Family, n)
+	for i := range picks {
+		picks[i] = families[fam]
+	}
+	return picks
+}

@@ -1,0 +1,399 @@
+package corpus
+
+import (
+	"fmt"
+
+	"fgbs/internal/ir"
+)
+
+// The family catalog. Each family's generate function draws every axis
+// exactly once, in the order the Axes slice declares, from the
+// codelet's private stream — the whole determinism contract rests on
+// that discipline.
+
+var (
+	vi = ir.V("i")
+	vj = ir.V("j")
+)
+
+// idx1 builds the 1-D index expression stride*i + off, simplified for
+// the common unit cases so printed sources stay readable.
+func idx1(v ir.Expr, stride, off int64) ir.Expr {
+	e := v
+	if stride != 1 {
+		e = ir.Mul(ir.CI(stride), v)
+	}
+	if off != 0 {
+		e = ir.Add(e, ir.CI(off))
+	}
+	return e
+}
+
+// dtypeOf parses the dtype axis.
+func dtypeOf(v string) ir.DType {
+	if v == "f32" {
+		return ir.F32
+	}
+	return ir.F64
+}
+
+// cappedSide clamps a 2-D grid side so side² respects the footprint
+// cap (smoke-sized suites).
+func (b *build) cappedSide(side int64) int64 {
+	for b.footCap > 0 && side*side > b.footCap && side > 16 {
+		side /= 2
+	}
+	return side
+}
+
+func init() {
+	registerFamily(stencil1d())
+	registerFamily(stencil2d())
+	registerFamily(reduction())
+	registerFamily(matvec())
+	registerFamily(spmv())
+	registerFamily(butterfly())
+	registerFamily(histogram())
+}
+
+// stencil1d sweeps a (2r+1)-tap filter over a vector at a constant
+// stride: the footprint axis fixes the iteration count, so widening
+// the stride widens the touched span — exactly the locality knob the
+// stride feature family observes.
+func stencil1d() *Family {
+	axRadius := Axis{Name: "radius", Doc: "filter taps each side", Values: []string{"1", "2", "4"}}
+	f := &Family{
+		Name: "stencil1d",
+		Doc:  "1-D filter sweep: (2r+1)-tap weighted sum at constant stride",
+		Axes: []Axis{axRadius, axStride, axFoot1D, axDtype, axBranch},
+	}
+	f.generate = func(b *build) *ir.Codelet {
+		radius := strideOf(b.draw(axRadius))
+		stride := strideOf(b.draw(axStride))
+		n := b.capped(foot1DElems(b.draw(axFoot1D)))
+		dt := dtypeOf(b.draw(axDtype))
+		level := branchLevel(b.draw(axBranch))
+
+		nm := b.sizeParam(n)
+		src := b.array(dt, ir.IntInit{}, ir.AT(nm, stride).PlusK(2*radius+stride))
+		dst := b.array(dt, ir.IntInit{}, ir.AV(nm))
+		var rhs ir.Expr
+		for k := int64(0); k <= 2*radius; k++ {
+			tap := ir.Mul(b.weight(dt), b.p.LoadE(src, idx1(vi, stride, k)))
+			if rhs == nil {
+				rhs = tap
+			} else {
+				rhs = ir.Add(rhs, tap)
+			}
+		}
+		return &ir.Codelet{Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV(nm), Body: []ir.Stmt{
+				&ir.Assign{LHS: b.p.Ref(dst, vi), RHS: b.clampify(dt, rhs, level)},
+			},
+		}}
+	}
+	return f
+}
+
+// stencil2d applies a cross- or box-shaped neighborhood over a square
+// grid; the row dimension makes every vertical tap a long-stride
+// access without any explicit stride axis.
+func stencil2d() *Family {
+	axRadius := Axis{Name: "radius", Doc: "neighborhood radius", Values: []string{"1", "2"}}
+	axShape := Axis{Name: "shape", Doc: "neighborhood shape", Values: []string{"cross", "box"}}
+	f := &Family{
+		Name: "stencil2d",
+		Doc:  "2-D grid relaxation: cross or box neighborhood weighted sum",
+		Axes: []Axis{axRadius, axShape, axFoot2D, axDtype, axBranch},
+	}
+	f.generate = func(b *build) *ir.Codelet {
+		radius := strideOf(b.draw(axRadius))
+		shape := b.draw(axShape)
+		m := b.cappedSide(foot2DSide(b.draw(axFoot2D)))
+		dt := dtypeOf(b.draw(axDtype))
+		level := branchLevel(b.draw(axBranch))
+
+		mp := b.sizeParam(m)
+		src := b.array(dt, ir.IntInit{}, ir.AV(mp), ir.AV(mp))
+		dst := b.array(dt, ir.IntInit{}, ir.AV(mp), ir.AV(mp))
+		at := func(di, dj int64) ir.Expr {
+			return b.p.LoadE(src, idx1(vi, 1, di), idx1(vj, 1, dj))
+		}
+		var rhs ir.Expr
+		tap := func(di, dj int64) {
+			t := ir.Mul(b.weight(dt), at(di, dj))
+			if rhs == nil {
+				rhs = t
+			} else {
+				rhs = ir.Add(rhs, t)
+			}
+		}
+		if shape == "box" {
+			for di := -radius; di <= radius; di++ {
+				for dj := -radius; dj <= radius; dj++ {
+					tap(di, dj)
+				}
+			}
+		} else {
+			tap(0, 0)
+			for d := int64(1); d <= radius; d++ {
+				tap(-d, 0)
+				tap(d, 0)
+				tap(0, -d)
+				tap(0, d)
+			}
+		}
+		return &ir.Codelet{Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(radius), Upper: ir.AV(mp).PlusK(-radius), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(radius), Upper: ir.AV(mp).PlusK(-radius), Body: []ir.Stmt{
+					&ir.Assign{LHS: b.p.Ref(dst, vi, vj), RHS: b.clampify(dt, rhs, level)},
+				}},
+			},
+		}}
+	}
+	return f
+}
+
+// reduction folds one or two strided streams into scalar accumulators:
+// sums, dot products, sums of squares, or running maxima (the paper's
+// "2 simultaneous reductions" pattern at width 2).
+func reduction() *Family {
+	axKind := Axis{Name: "kind", Doc: "fold operation", Values: []string{"sum", "dot", "sumsq", "max"}}
+	axWidth := Axis{Name: "width", Doc: "simultaneous reductions", Values: []string{"1", "2"}}
+	f := &Family{
+		Name: "reduction",
+		Doc:  "strided stream folded into scalar accumulators",
+		Axes: []Axis{axKind, axWidth, axStride, axFoot1D, axDtype, axBranch},
+	}
+	f.generate = func(b *build) *ir.Codelet {
+		kind := b.draw(axKind)
+		width := strideOf(b.draw(axWidth))
+		stride := strideOf(b.draw(axStride))
+		n := b.capped(foot1DElems(b.draw(axFoot1D)))
+		dt := dtypeOf(b.draw(axDtype))
+		level := branchLevel(b.draw(axBranch))
+
+		nm := b.sizeParam(n)
+		var body []ir.Stmt
+		for w := int64(0); w < width; w++ {
+			a := b.array(dt, ir.IntInit{}, ir.AT(nm, stride))
+			acc := b.scalar(dt)
+			load := b.p.LoadE(a, idx1(vi, stride, 0))
+			var rhs ir.Expr
+			switch kind {
+			case "dot":
+				o := b.array(dt, ir.IntInit{}, ir.AT(nm, stride))
+				rhs = ir.Add(b.p.LoadE(acc), b.clampify(dt, ir.Mul(load, b.p.LoadE(o, idx1(vi, stride, 0))), level))
+			case "sumsq":
+				rhs = ir.Add(b.p.LoadE(acc), b.clampify(dt, ir.Mul(load, load), level))
+			case "max":
+				rhs = ir.MaxE(b.p.LoadE(acc), b.clampify(dt, load, level))
+			default:
+				rhs = ir.Add(b.p.LoadE(acc), b.clampify(dt, load, level))
+			}
+			body = append(body, &ir.Assign{LHS: b.p.Ref(acc), RHS: rhs})
+		}
+		return &ir.Codelet{Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV(nm), Body: body,
+		}}
+	}
+	return f
+}
+
+// matvec is a dense matrix-vector product; the layout axis flips the
+// inner access between unit-stride rows and column walks of stride m,
+// the precision/stride pairing that separates the paper's two "Dense
+// Matrix x vector product" NR codelets into different clusters.
+func matvec() *Family {
+	axLayout := Axis{Name: "layout", Doc: "inner-loop matrix walk", Values: []string{"row", "col"}}
+	f := &Family{
+		Name: "matvec",
+		Doc:  "dense matrix-vector product, row- or column-major inner walk",
+		Axes: []Axis{axFoot2D, axDtype, axLayout, axBranch},
+	}
+	f.generate = func(b *build) *ir.Codelet {
+		m := b.cappedSide(foot2DSide(b.draw(axFoot2D)))
+		dt := dtypeOf(b.draw(axDtype))
+		layout := b.draw(axLayout)
+		level := branchLevel(b.draw(axBranch))
+
+		mp := b.sizeParam(m)
+		a := b.array(dt, ir.IntInit{}, ir.AV(mp), ir.AV(mp))
+		x := b.array(dt, ir.IntInit{}, ir.AV(mp))
+		y := b.array(dt, ir.IntInit{}, ir.AV(mp))
+		elem := b.p.LoadE(a, vi, vj)
+		if layout == "col" {
+			elem = b.p.LoadE(a, vj, vi)
+		}
+		return &ir.Codelet{Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV(mp), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AV(mp), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: b.p.Ref(y, vi),
+						RHS: ir.Add(b.p.LoadE(y, vi),
+							b.clampify(dt, ir.Mul(elem, b.p.LoadE(x, vj)), level)),
+					},
+				}},
+			},
+		}}
+	}
+	return f
+}
+
+// spmv is a CSR-like sparse matrix-vector product with a fixed row
+// length: the column-index gather into x is the irregular access, and
+// the locality axis selects worst-case uniform columns or a banded
+// cyclic pattern with reuse.
+func spmv() *Family {
+	axRowLen := Axis{Name: "rowlen", Doc: "nonzeros per row", Values: []string{"8", "32"}}
+	axLocality := Axis{Name: "locality", Doc: "column index distribution", Values: []string{"uniform", "banded"}}
+	f := &Family{
+		Name: "spmv",
+		Doc:  "sparse matrix-vector product: gather through a column-index array",
+		Axes: []Axis{axFoot1D, axRowLen, axLocality, axDtype, axBranch},
+	}
+	f.generate = func(b *build) *ir.Codelet {
+		nnz := b.capped(foot1DElems(b.draw(axFoot1D)))
+		rowLen := strideOf(b.draw(axRowLen))
+		locality := b.draw(axLocality)
+		dt := dtypeOf(b.draw(axDtype))
+		level := branchLevel(b.draw(axBranch))
+
+		rows := nnz / rowLen
+		rp := b.sizeParam(rows)
+		init := ir.IntInit{Kind: ir.IntInitUniform, Bound: ir.AV(rp)}
+		if locality == "banded" {
+			init = ir.IntInit{Kind: ir.IntInitMod, Bound: ir.AV(rp)}
+		}
+		val := b.array(dt, ir.IntInit{}, ir.AT(rp, rowLen))
+		col := b.array(ir.I64, init, ir.AT(rp, rowLen))
+		x := b.array(dt, ir.IntInit{}, ir.AV(rp))
+		y := b.array(dt, ir.IntInit{}, ir.AV(rp))
+		at := idx1(vi, rowLen, 0)
+		nz := ir.Add(at, vj)
+		return &ir.Codelet{Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV(rp), Body: []ir.Stmt{
+				&ir.Loop{Var: "j", Lower: ir.AC(0), Upper: ir.AC(rowLen), Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: b.p.Ref(y, vi),
+						RHS: ir.Add(b.p.LoadE(y, vi),
+							b.clampify(dt, ir.Mul(b.p.LoadE(val, nz),
+								b.p.LoadE(x, b.p.LoadE(col, nz))), level)),
+					},
+				}},
+			},
+		}}
+	}
+	return f
+}
+
+// butterfly is the FFT inner update over split halves: every statement
+// carries the VecNever hint, mirroring the paper's observation that
+// icc leaves realft_4's butterfly scalar despite it being legal to
+// vectorize. The twiddle axis switches between constant factors and
+// per-iteration sin/cos, moving the codelet between bandwidth- and
+// special-function-bound clusters.
+func butterfly() *Family {
+	axTwiddle := Axis{Name: "twiddle", Doc: "twiddle factors", Values: []string{"const", "trig"}}
+	f := &Family{
+		Name: "butterfly",
+		Doc:  "FFT-style butterfly over split halves (forced scalar)",
+		Axes: []Axis{axFoot1D, axDtype, axTwiddle},
+	}
+	f.generate = func(b *build) *ir.Codelet {
+		n := b.capped(foot1DElems(b.draw(axFoot1D))) / 2
+		dt := dtypeOf(b.draw(axDtype))
+		twiddle := b.draw(axTwiddle)
+
+		nm := b.sizeParam(n)
+		re := b.array(dt, ir.IntInit{}, ir.AT(nm, 2))
+		im := b.array(dt, ir.IntInit{}, ir.AT(nm, 2))
+		tr := b.scalar(dt)
+		ti := b.scalar(dt)
+		hi := ir.Add(vi, ir.V(nm))
+
+		var body []ir.Stmt
+		var wr, wi ir.Expr
+		if twiddle == "trig" {
+			theta := ir.Mul(ir.ToF(vi, dt), b.cf(dt, 1.0/float64(n)))
+			wrS, wiS := b.scalar(dt), b.scalar(dt)
+			body = append(body,
+				&ir.Assign{LHS: b.p.Ref(wrS), RHS: ir.Cos(theta), Hint: ir.VecNever},
+				&ir.Assign{LHS: b.p.Ref(wiS), RHS: ir.Sin(theta), Hint: ir.VecNever},
+			)
+			wr, wi = b.p.LoadE(wrS), b.p.LoadE(wiS)
+		} else {
+			wr, wi = b.weight(dt), b.weight(dt)
+		}
+		body = append(body,
+			&ir.Assign{LHS: b.p.Ref(tr), Hint: ir.VecNever,
+				RHS: ir.Sub(ir.Mul(wr, b.p.LoadE(re, hi)), ir.Mul(wi, b.p.LoadE(im, hi)))},
+			&ir.Assign{LHS: b.p.Ref(ti), Hint: ir.VecNever,
+				RHS: ir.Add(ir.Mul(wr, b.p.LoadE(im, hi)), ir.Mul(wi, b.p.LoadE(re, hi)))},
+			&ir.Assign{LHS: b.p.Ref(re, hi), Hint: ir.VecNever,
+				RHS: ir.Sub(b.p.LoadE(re, vi), b.p.LoadE(tr))},
+			&ir.Assign{LHS: b.p.Ref(im, hi), Hint: ir.VecNever,
+				RHS: ir.Sub(b.p.LoadE(im, vi), b.p.LoadE(ti))},
+			&ir.Assign{LHS: b.p.Ref(re, vi), Hint: ir.VecNever,
+				RHS: ir.Add(b.p.LoadE(re, vi), b.p.LoadE(tr))},
+			&ir.Assign{LHS: b.p.Ref(im, vi), Hint: ir.VecNever,
+				RHS: ir.Add(b.p.LoadE(im, vi), b.p.LoadE(ti))},
+		)
+		return &ir.Codelet{Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV(nm), Body: body,
+		}}
+	}
+	return f
+}
+
+// histogram scatters keys into a bucket table (the NAS IS pattern):
+// the buckets axis moves the table across cache levels, and the
+// locality axis selects worst-case uniform keys or a banded cyclic
+// pattern.
+func histogram() *Family {
+	axBuckets := Axis{Name: "buckets", Doc: "bucket table size", Values: []string{"256", "4096", "65536"}}
+	axLocality := Axis{Name: "locality", Doc: "key distribution", Values: []string{"uniform", "banded"}}
+	axKind := Axis{Name: "kind", Doc: "increment", Values: []string{"count", "weighted"}}
+	f := &Family{
+		Name: "histogram",
+		Doc:  "histogram scatter: indirect read-modify-write of a bucket table",
+		Axes: []Axis{axBuckets, axFoot1D, axLocality, axKind},
+	}
+	f.generate = func(b *build) *ir.Codelet {
+		var buckets int64
+		fmt.Sscanf(b.draw(axBuckets), "%d", &buckets)
+		n := b.capped(foot1DElems(b.draw(axFoot1D)))
+		locality := b.draw(axLocality)
+		kind := b.draw(axKind)
+		if b.footCap > 0 && buckets > b.footCap {
+			buckets = b.footCap
+		}
+
+		nm := b.sizeParam(n)
+		init := ir.IntInit{Kind: ir.IntInitUniform, Bound: ir.AC(buckets)}
+		if locality == "banded" {
+			init = ir.IntInit{Kind: ir.IntInitMod, Bound: ir.AC(buckets)}
+		}
+		keys := b.array(ir.I64, init, ir.AV(nm))
+		key := b.p.LoadE(keys, vi)
+		var stmt ir.Stmt
+		if kind == "weighted" {
+			hist := b.array(ir.F64, ir.IntInit{}, ir.AC(buckets))
+			w := b.array(ir.F64, ir.IntInit{}, ir.AV(nm))
+			stmt = &ir.Assign{
+				LHS: b.p.Ref(hist, key),
+				RHS: ir.Add(b.p.LoadE(hist, key), b.p.LoadE(w, vi)),
+			}
+		} else {
+			hist := b.array(ir.I64, ir.IntInit{}, ir.AC(buckets))
+			stmt = &ir.Assign{
+				LHS: b.p.Ref(hist, key),
+				RHS: ir.Add(b.p.LoadE(hist, key), ir.CI(1)),
+			}
+		}
+		return &ir.Codelet{Loop: &ir.Loop{
+			Var: "i", Lower: ir.AC(0), Upper: ir.AV(nm), Body: []ir.Stmt{stmt},
+		}}
+	}
+	return f
+}

@@ -1,0 +1,108 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"fgbs/internal/features"
+	"fgbs/internal/pipeline"
+)
+
+// TestCorpusSmokeSubsetEvaluate drives the syn-smoke suite through the
+// full Subset→Evaluate pipeline twice and requires identical cluster
+// membership and prediction error — the acceptance bar for synthetic
+// suites feeding the same machinery as the hand-built ones. ci.sh runs
+// this under -race as the corpus smoke gate.
+func TestCorpusSmokeSubsetEvaluate(t *testing.T) {
+	mask := features.DefaultMask()
+	run := func() ([]int, float64) {
+		progs, err := BuildSuite("syn-smoke")
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := pipeline.NewProfile(progs, pipeline.Options{Seed: 7})
+		if err != nil {
+			t.Fatalf("profile: %v", err)
+		}
+		sub, err := prof.Subset(mask, 6)
+		if err != nil {
+			t.Fatalf("subset: %v", err)
+		}
+		ev, err := prof.Evaluate(sub, 0)
+		if err != nil {
+			t.Fatalf("evaluate: %v", err)
+		}
+		return sub.Selection.Labels, ev.Summary.Average
+	}
+	labels1, err1 := run()
+	labels2, err2 := run()
+	if !reflect.DeepEqual(labels1, labels2) {
+		t.Fatalf("cluster membership unstable across re-runs:\n%v\n%v", labels1, labels2)
+	}
+	if err1 != err2 {
+		t.Fatalf("prediction error unstable across re-runs: %v vs %v", err1, err2)
+	}
+	if len(labels1) < 20 {
+		t.Fatalf("syn-smoke produced only %d clustered codelets", len(labels1))
+	}
+}
+
+// TestCorpusMix240Pipeline is the scale acceptance test: a registered
+// ≥200-codelet synthetic suite runs the staged pipeline end to end
+// with stable cluster membership across re-runs. Heavy, so it skips
+// under -race and -short; the race-checked path is covered by the
+// smoke test above.
+func TestCorpusMix240Pipeline(t *testing.T) {
+	skipIfRace(t)
+	if testing.Short() {
+		t.Skip("heavy 240-codelet pipeline in -short mode")
+	}
+	progs, err := BuildSuite("syn-mix-240")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for _, p := range progs {
+		n += len(p.Codelets)
+	}
+	if n < 200 {
+		t.Fatalf("syn-mix-240 has %d codelets, want >= 200", n)
+	}
+	mask := features.DefaultMask()
+	run := func() ([]int, float64) {
+		prof, err := pipeline.NewProfile(progs, pipeline.Options{Seed: 20140215})
+		if err != nil {
+			t.Fatalf("profile: %v", err)
+		}
+		if prof.Degraded() {
+			t.Fatal("raw-simulator profile carries failure markers")
+		}
+		sub, err := prof.Subset(mask, 15)
+		if err != nil {
+			t.Fatalf("subset: %v", err)
+		}
+		ev, err := prof.Evaluate(sub, 0)
+		if err != nil {
+			t.Fatalf("evaluate: %v", err)
+		}
+		return sub.Selection.Labels, ev.Summary.Average
+	}
+	labels1, err1 := run()
+	labels2, err2 := run()
+	if !reflect.DeepEqual(labels1, labels2) {
+		t.Fatal("cluster membership unstable across re-runs on syn-mix-240")
+	}
+	if err1 != err2 {
+		t.Fatalf("prediction error unstable across re-runs: %v vs %v", err1, err2)
+	}
+	if k := 0; true {
+		for _, l := range labels1 {
+			if l+1 > k {
+				k = l + 1
+			}
+		}
+		if k < 2 {
+			t.Fatalf("degenerate clustering: %d clusters", k)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package corpus
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. See skipIfRace in corpus_test.go.
+const raceDetectorEnabled = false

@@ -1,0 +1,119 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"fgbs/internal/ir"
+)
+
+// SuiteSpec is one registered synthetic suite: a name plus the seed and
+// shape that fully determine its contents. Specs are static package
+// data; BuildSuite materializes them on demand, byte-identically every
+// time.
+type SuiteSpec struct {
+	Name string
+	Doc  string
+	Seed uint64
+	// Codelets standalone single-codelet programs, cycling round-robin
+	// through every family in sorted order.
+	Codelets int
+	// Apps composed applications of PerApp codelets each, appended
+	// after the standalone programs.
+	Apps, PerApp int
+	// FootprintCap, when > 0, clamps every footprint axis to at most
+	// this many elements — how smoke-sized suites stay fast under the
+	// race detector without changing any codelet's draw stream.
+	FootprintCap int64
+}
+
+// Size returns the suite's total codelet count.
+func (s SuiteSpec) Size() int { return s.Codelets + s.Apps*s.PerApp }
+
+// suiteSpecs is the registry, in listing order. Seeds are arbitrary but
+// frozen: changing one regenerates a different suite, which downstream
+// stage keys will correctly treat as new input.
+var suiteSpecs = []SuiteSpec{
+	{
+		Name: "syn-smoke", Seed: 7, Codelets: 14, Apps: 2, PerApp: 5, FootprintCap: 8192,
+		Doc: "24 capped-footprint codelets (14 standalone + 2 apps); the CI corpus gate",
+	},
+	{
+		Name: "syn-mix-240", Seed: 20140215, Codelets: 240,
+		Doc: "240 standalone codelets round-robin across all families",
+	},
+	{
+		Name: "syn-apps-96", Seed: 1729, Apps: 12, PerApp: 8,
+		Doc: "12 composed applications of 8 codelets over shared arrays",
+	},
+	{
+		Name: "syn-mix-960", Seed: 97, Codelets: 960,
+		Doc: "960 standalone codelets; the scaling stressor",
+	},
+}
+
+// Suites returns the registered suite specs in listing order.
+func Suites() []SuiteSpec {
+	out := make([]SuiteSpec, len(suiteSpecs))
+	copy(out, suiteSpecs)
+	return out
+}
+
+// SuiteNames returns the registered synthetic suite names in listing
+// order.
+func SuiteNames() []string {
+	names := make([]string, len(suiteSpecs))
+	for i, s := range suiteSpecs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// IsSuite reports whether name is a registered synthetic suite.
+func IsSuite(name string) bool {
+	for _, s := range suiteSpecs {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SuiteByName returns a suite spec; the error for an unknown name lists
+// the valid ones.
+func SuiteByName(name string) (SuiteSpec, error) {
+	for _, s := range suiteSpecs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return SuiteSpec{}, fmt.Errorf("corpus: unknown synthetic suite %q (valid: %s)",
+		name, strings.Join(SuiteNames(), ", "))
+}
+
+// BuildSuite materializes a registered suite with default parallelism.
+func BuildSuite(name string) ([]*ir.Program, error) {
+	return BuildSuiteWorkers(name, 0)
+}
+
+// BuildSuiteWorkers materializes a registered suite across the given
+// worker count (0 = GOMAXPROCS). The result is byte-identical at every
+// worker count: standalone programs first, composed applications after.
+func BuildSuiteWorkers(name string, workers int) ([]*ir.Program, error) {
+	spec, err := SuiteByName(name)
+	if err != nil {
+		return nil, err
+	}
+	progs, err := mixedCapped(spec.Seed, spec.Codelets, workers, spec.FootprintCap)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Apps > 0 {
+		apps, err := composeApps(spec.Seed, spec.Apps, spec.PerApp, workers, spec.FootprintCap)
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, apps...)
+	}
+	return progs, nil
+}

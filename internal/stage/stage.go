@@ -21,8 +21,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"hash"
 	"math"
+	"sync"
 )
 
 // Key is the content address of one stage artifact: the hex SHA-256
@@ -34,8 +34,25 @@ type Key string
 // Every value is written with a type tag and, for variable-length
 // values, a length prefix, so adjacent fields can never collide by
 // concatenation ("ab"+"c" vs "a"+"bc").
+//
+// Builders come from an internal pool and return to it when Key
+// finalizes the digest, so the whole derivation — header tags, value
+// encodings, hash state — reuses one scratch buffer instead of
+// allocating per field (key derivation runs on every stage resolution,
+// thousands of times per sweep). A builder is dead after Key: the only
+// supported shape is the one every call site uses, a single
+// NewKey(...).X(...).Y(...).Key() chain.
 type KeyBuilder struct {
-	h hash.Hash
+	buf []byte
+}
+
+// builderPool recycles KeyBuilder scratch buffers. Typical derivations
+// encode a few hundred bytes; the detect key (whole-suite sources) can
+// reach megabytes, and such a buffer is kept and reused too — there is
+// exactly one detect derivation per resolve, so at most a handful of
+// large buffers ever live in the pool.
+var builderPool = sync.Pool{
+	New: func() any { return &KeyBuilder{buf: make([]byte, 0, 512)} },
 }
 
 // NewKey starts a key for one stage. The stage name and version are
@@ -43,21 +60,25 @@ type KeyBuilder struct {
 // invalidates every stored artifact of that stage (and, through
 // upstream-key chaining, everything downstream of it).
 func NewKey(stage string, version int) *KeyBuilder {
-	b := &KeyBuilder{h: sha256.New()}
+	b := builderPool.Get().(*KeyBuilder)
+	b.buf = b.buf[:0]
 	return b.Str(stage).Int(version)
 }
 
-func (b *KeyBuilder) tag(t byte, payload []byte) *KeyBuilder {
-	var n [9]byte
-	n[0] = t
-	binary.BigEndian.PutUint64(n[1:], uint64(len(payload)))
-	b.h.Write(n[:])
-	b.h.Write(payload)
-	return b
+// header appends the 9-byte field header: type tag plus payload length.
+func (b *KeyBuilder) header(t byte, n int) {
+	var hdr [9]byte
+	hdr[0] = t
+	binary.BigEndian.PutUint64(hdr[1:], uint64(n))
+	b.buf = append(b.buf, hdr[:]...)
 }
 
 // Str mixes in a string.
-func (b *KeyBuilder) Str(s string) *KeyBuilder { return b.tag('s', []byte(s)) }
+func (b *KeyBuilder) Str(s string) *KeyBuilder {
+	b.header('s', len(s))
+	b.buf = append(b.buf, s...)
+	return b
+}
 
 // Strs mixes in a string slice, order-sensitively.
 func (b *KeyBuilder) Strs(ss []string) *KeyBuilder {
@@ -73,31 +94,44 @@ func (b *KeyBuilder) Int(v int) *KeyBuilder { return b.Uint64(uint64(int64(v))) 
 
 // Uint64 mixes in a uint64.
 func (b *KeyBuilder) Uint64(v uint64) *KeyBuilder {
-	var p [8]byte
-	binary.BigEndian.PutUint64(p[:], v)
-	return b.tag('u', p[:])
+	b.header('u', 8)
+	b.buf = binary.BigEndian.AppendUint64(b.buf, v)
+	return b
 }
 
 // Float mixes in a float64 by its exact bit pattern.
 func (b *KeyBuilder) Float(v float64) *KeyBuilder {
-	var p [8]byte
-	binary.BigEndian.PutUint64(p[:], math.Float64bits(v))
-	return b.tag('f', p[:])
+	b.header('f', 8)
+	b.buf = binary.BigEndian.AppendUint64(b.buf, math.Float64bits(v))
+	return b
 }
 
 // Bool mixes in a bool.
 func (b *KeyBuilder) Bool(v bool) *KeyBuilder {
+	b.header('b', 1)
 	if v {
-		return b.tag('b', []byte{1})
+		b.buf = append(b.buf, 1)
+	} else {
+		b.buf = append(b.buf, 0)
 	}
-	return b.tag('b', []byte{0})
+	return b
 }
 
 // Upstream mixes in another stage's key, chaining the DAG: any change
 // upstream changes this key too.
-func (b *KeyBuilder) Upstream(k Key) *KeyBuilder { return b.tag('k', []byte(k)) }
+func (b *KeyBuilder) Upstream(k Key) *KeyBuilder {
+	b.header('k', len(k))
+	b.buf = append(b.buf, k...)
+	return b
+}
 
-// Key finalizes the digest.
+// Key finalizes the digest and recycles the builder; the receiver must
+// not be used again.
 func (b *KeyBuilder) Key() Key {
-	return Key(hex.EncodeToString(b.h.Sum(nil)))
+	sum := sha256.Sum256(b.buf)
+	var hx [2 * sha256.Size]byte
+	hex.Encode(hx[:], sum[:])
+	k := Key(hx[:])
+	builderPool.Put(b)
+	return k
 }

@@ -175,18 +175,29 @@ func Max(xs []float64) float64 {
 // This is the normalization of §3.3: "Features are normalized to have
 // unit variance and to be centered on zero," giving every feature equal
 // weight in the Euclidean distance.
+// The column statistics are computed in place, walking each column in
+// row order with the same two-pass sum/sum-of-squares arithmetic as
+// Mean and StdDev, so results are bit-identical to the gather-a-column
+// formulation while allocating nothing — this runs on every normalize
+// stage resolution, over matrices as tall as the suite.
 func Normalize(rows [][]float64) {
 	if len(rows) == 0 {
 		return
 	}
+	n := float64(len(rows))
 	cols := len(rows[0])
-	col := make([]float64, len(rows))
 	for c := 0; c < cols; c++ {
+		sum := 0.0
 		for r := range rows {
-			col[r] = rows[r][c]
+			sum += rows[r][c]
 		}
-		m := Mean(col)
-		sd := StdDev(col)
+		m := sum / n
+		ss := 0.0
+		for r := range rows {
+			d := rows[r][c] - m
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / n)
 		if sd < 1e-12 {
 			for r := range rows {
 				rows[r][c] = 0

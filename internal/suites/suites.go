@@ -2,22 +2,27 @@
 // and maps each name to its IR programs. It is the single registry the
 // CLI (cmd/fgbs), the daemon (cmd/fgbsd) and the serving layer
 // (internal/server) share, so "valid suite" means the same thing
-// everywhere.
+// everywhere. Besides the hand-built suites, every synthetic suite
+// registered by internal/corpus resolves here too — materialized
+// deterministically on demand from its seed, so downstream consumers
+// cannot tell generated programs from curated ones.
 package suites
 
 import (
 	"fmt"
 	"strings"
 
+	"fgbs/internal/corpus"
 	"fgbs/internal/ir"
 	"fgbs/internal/suites/nas"
 	"fgbs/internal/suites/nr"
 	"fgbs/internal/suites/poly"
 )
 
-// Names returns the valid suite names in canonical order.
+// Names returns the valid suite names in canonical order: the
+// hand-built suites first, then the registered synthetic ones.
 func Names() []string {
-	return []string{"nas", "nr", "poly", "joint"}
+	return append([]string{"nas", "nr", "poly", "joint"}, corpus.SuiteNames()...)
 }
 
 // Valid reports whether name is a known suite.
@@ -43,6 +48,9 @@ func Programs(name string) ([]*ir.Program, error) {
 	case "joint":
 		return append(nas.Suite(), poly.Suite()...), nil
 	default:
+		if corpus.IsSuite(name) {
+			return corpus.BuildSuite(name)
+		}
 		return nil, fmt.Errorf("suites: unknown suite %q (valid: %s)", name, strings.Join(Names(), ", "))
 	}
 }
