@@ -19,10 +19,16 @@ echo "== go vet =="
 go vet ./...
 
 # fgbsvet is the repository's own invariant analyzer (determinism,
-# ctxpropagation, floatcompare, errwrap, guardedby — see DESIGN.md).
-# Findings are suppressed only at the site with //fgbs:allow + reason.
+# ctxpropagation, floatcompare, errwrap, guardedby, plus the
+# flow-sensitive lockorder/goroutineleak/keypurity/allochot checks —
+# see DESIGN.md). Findings are suppressed only at the site with
+# //fgbs:allow + reason. The driver loads and analyzes packages in
+# parallel (-workers 0 = GOMAXPROCS; output is byte-identical to
+# serial), tees a machine-readable report with per-check timings to
+# fgbsvet.json for artifact upload, and reports its own runtime on
+# stderr. On failure the vet-style file:line:col lines still print.
 echo "== fgbsvet =="
-go run ./cmd/fgbsvet ./...
+go run ./cmd/fgbsvet -workers 0 -json fgbsvet.json ./...
 
 echo "== go build =="
 go build ./...
@@ -53,7 +59,7 @@ go test -race -timeout 25m ./...
 
 # The performance trajectory gate (see README "Performance
 # trajectory"): every internal/bench spec runs in quick mode and is
-# diffed against the committed BENCH_7.json baseline; a median or
+# diffed against the committed BENCH_8.json baseline; a median or
 # allocation regression beyond the tolerance is a red build. The
 # tolerance is deliberately wide — CI boxes jitter badly — so only
 # order-of-magnitude mistakes (an accidental O(n²) in a hot path, a
@@ -64,7 +70,7 @@ go test -race -timeout 25m ./...
 # sweep is served by the stage store without extra simulator
 # invocations.
 echo "== bench trajectory =="
-go run ./cmd/fgbs bench -quick -compare BENCH_7.json -tolerance 200
+go run ./cmd/fgbs bench -quick -compare BENCH_8.json -tolerance 200
 # The go-test benchmarks still rot silently if nothing executes them:
 # the Figure 7 parallel baseline carries its byte-identical-to-serial
 # assertion in the bench body, so it must actually run.

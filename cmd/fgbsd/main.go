@@ -212,6 +212,9 @@ func run(ctx context.Context, cfg daemonConfig) error {
 
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
+	// The server goroutine is torn down by httpSrv.Shutdown below, not
+	// by observing ctx directly.
+	//fgbs:allow goroutineleak joined via httpSrv.Shutdown on ctx cancellation
 	go func() {
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err

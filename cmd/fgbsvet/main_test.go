@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+
+	"fgbs/internal/analysis"
 )
 
 // TestRunCleanTree is the end-to-end acceptance gate: fgbsvet over the
@@ -60,9 +64,10 @@ func TestRunRejectsBadInvocations(t *testing.T) {
 		args []string
 		want string // stderr substring
 	}{
-		{"unknown check", []string{"-checks", "ghost"}, "valid: determinism, ctxpropagation, floatcompare, errwrap, guardedby"},
+		{"unknown check", []string{"-checks", "ghost"}, "valid: determinism, ctxpropagation, floatcompare, errwrap, guardedby, lockorder, goroutineleak, keypurity, allochot"},
 		{"empty checks", []string{"-checks", ","}, "lists no checks"},
 		{"bad flag", []string{"-bogus"}, "-bogus"},
+		{"negative workers", []string{"-workers", "-3"}, "-workers must be >= 0"},
 		{"unknown package", []string{"./nonexistent"}, "no packages match"},
 	}
 	for _, c := range cases {
@@ -78,20 +83,139 @@ func TestRunRejectsBadInvocations(t *testing.T) {
 	}
 }
 
-func TestListPrintsEveryCheck(t *testing.T) {
+// TestListGolden pins -list's exact output: alphabetically sorted, one
+// aligned line per check. A new or renamed check must update this
+// golden deliberately.
+func TestListGolden(t *testing.T) {
+	const golden = `allochot         loops in //fgbs:hot functions must avoid per-iteration allocation (fmt, string +, unpreallocated append, interface boxing)
+ctxpropagation   in ctx-holding functions, forbid context.Background()/TODO() args and non-Context variants when a Context variant exists
+determinism      forbid time.Now, wall-clock sleeps, and math/rand: use internal/rng streams, injected clocks, and sleep hooks
+errwrap          forbid fmt.Errorf formatting an error operand without %w
+floatcompare     forbid ==/!=/switch on floating-point operands outside tests and internal/stats
+goroutineleak    goroutines launched from ctx-holding functions must observe ctx.Done() or be WaitGroup-joined
+guardedby        fields annotated '// guarded by <mu>' must only be touched under <mu>: RLock suffices to read, Lock is required to write
+keypurity        values reaching stage.KeyBuilder writes must not derive from map order, time, rand, or pointer formatting
+lockorder        locks must be released on every return path; the package lock-acquisition graph must be acyclic
+`
 	var stdout, stderr strings.Builder
 	if code := run(&stdout, &stderr, []string{"-list"}); code != 0 {
 		t.Fatalf("-list = exit %d", code)
 	}
-	for _, name := range []string{"determinism", "ctxpropagation", "floatcompare", "errwrap", "guardedby"} {
-		if !strings.Contains(stdout.String(), name) {
-			t.Errorf("-list output lacks %s:\n%s", name, stdout.String())
+	if stdout.String() != golden {
+		t.Errorf("-list output diverged from golden:\n--- got ---\n%s--- want ---\n%s", stdout.String(), golden)
+	}
+	names := sortedListNames(t, stdout.String())
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list names are not sorted: %v", names)
+	}
+}
+
+// sortedListNames extracts the first column of -list output.
+func sortedListNames(t *testing.T, out string) []string {
+	t.Helper()
+	var names []string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			t.Fatalf("blank -list line in %q", out)
 		}
+		names = append(names, f[0])
+	}
+	return names
+}
+
+// TestJSONReport: -json writes a machine-readable artifact with the
+// findings and one timing entry per check, while the vet-style lines
+// still print to stdout.
+func TestJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "clock.go"),
+		"package scratch\n\nimport \"time\"\n\nfunc Stamp() time.Time {\n\treturn time.Now()\n}\n")
+	t.Chdir(dir)
+	artifact := filepath.Join(dir, "vet.json")
+
+	var stdout, stderr strings.Builder
+	if code := run(&stdout, &stderr, []string{"-json", artifact}); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "clock.go:6:9:") {
+		t.Errorf("-json to a file should keep vet lines on stdout, got:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, data)
+	}
+	if report.Packages != 1 {
+		t.Errorf("report.Packages = %d, want 1", report.Packages)
+	}
+	if len(report.Findings) != 1 || report.Findings[0].Check != "determinism" || report.Findings[0].Line != 6 {
+		t.Errorf("report.Findings = %+v, want one determinism finding at line 6", report.Findings)
+	}
+	if len(report.Checks) != len(analysis.CheckNames()) {
+		t.Errorf("report.Checks has %d entries, want one per check (%d)", len(report.Checks), len(analysis.CheckNames()))
+	}
+	for _, c := range report.Checks {
+		if c.ElapsedMS < 0 {
+			t.Errorf("check %s has negative elapsed %v", c.Check, c.ElapsedMS)
+		}
+	}
+}
+
+// TestJSONToStdout: with -json -, stdout carries only the report so a
+// pipe consumer can parse it without stripping vet lines.
+func TestJSONToStdout(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "clock.go"),
+		"package scratch\n\nimport \"time\"\n\nfunc Stamp() time.Time {\n\treturn time.Now()\n}\n")
+	t.Chdir(dir)
+
+	var stdout, stderr strings.Builder
+	if code := run(&stdout, &stderr, []string{"-json", "-"}); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(stdout.String()), &report); err != nil {
+		t.Fatalf("stdout is not pure JSON: %v\n%s", err, stdout.String())
+	}
+	if len(report.Findings) != 1 {
+		t.Errorf("report.Findings = %+v, want exactly one", report.Findings)
+	}
+}
+
+// TestWorkersByteIdentical: the parallel driver must print exactly what
+// the serial one does, finding for finding.
+func TestWorkersByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a", "a.go"),
+		"package a\n\nimport \"time\"\n\nfunc Stamp() time.Time {\n\treturn time.Now()\n}\n")
+	writeFile(t, filepath.Join(dir, "b", "b.go"),
+		"package b\n\nimport \"math/rand\"\n\nfunc Roll() int {\n\treturn rand.Int()\n}\n")
+	t.Chdir(dir)
+
+	var serial, parallel, stderr strings.Builder
+	if code := run(&serial, &stderr, []string{"-workers", "1", "./..."}); code != 1 {
+		t.Fatalf("serial exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if code := run(&parallel, &stderr, []string{"-workers", "8", "./..."}); code != 1 {
+		t.Fatalf("parallel exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel output diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial.String(), parallel.String())
 	}
 }
 
 func writeFile(t *testing.T, path, content string) {
 	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// allochotCheck turns the raw-speed campaign into a standing gate: a
+// function annotated //fgbs:hot (the bench-spec hot paths — ward
+// distance, key hashing, normalize, K-sweep inner loops) is held to a
+// per-iteration allocation budget. Inside any loop of a hot function
+// the check flags the constructs that allocate each iteration:
+//
+//   - fmt calls (every fmt call boxes its operands; Errorf is exempt —
+//     error paths leave the loop)
+//   - string concatenation with + / += (each one allocates; hot code
+//     uses a byte buffer or strconv.Append*)
+//   - append to a destination never preallocated with make(..., n) in
+//     the same function (growth reallocations inside the loop)
+//   - explicit conversions to an interface type (boxing on every
+//     iteration)
+//
+// The annotation is a contract, not a heuristic: marking a function
+// hot is a promise that its loops stay allocation-free, checked on
+// every CI run instead of rediscovered by the next bench sweep.
+var allochotCheck = &Check{
+	Name: "allochot",
+	Doc:  "loops in //fgbs:hot functions must avoid per-iteration allocation (fmt, string +, unpreallocated append, interface boxing)",
+	run:  runAllocHot,
+}
+
+const hotDirective = "//fgbs:hot"
+
+func runAllocHot(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		hotLines := hotDirectiveLines(p, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !isHotFunc(p, fd, hotLines) {
+				continue
+			}
+			checkHotFunc(p, fd)
+		}
+	}
+}
+
+// hotDirectiveLines maps the lines carrying an //fgbs:hot comment.
+func hotDirectiveLines(p *Pass, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, hotDirective) {
+				lines[p.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// isHotFunc reports whether fd carries the hot annotation: inside its
+// doc comment, or on the line directly above the declaration.
+func isHotFunc(p *Pass, fd *ast.FuncDecl, hotLines map[int]bool) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.HasPrefix(c.Text, hotDirective) {
+				return true
+			}
+		}
+	}
+	return hotLines[p.Fset.Position(fd.Pos()).Line-1]
+}
+
+// checkHotFunc walks the hot function's loops and reports allocating
+// constructs inside them.
+func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
+	prealloc := preallocatedDests(p.Pkg, fd.Body)
+	var inLoop func(n ast.Node) bool
+	inspectLoop := func(body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool { return inLoop(n) })
+	}
+	inLoop = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, fd, e, prealloc)
+		case *ast.BinaryExpr:
+			if e.Op.String() == "+" && isStringExpr(p.Pkg, e.X) {
+				p.Reportf(e.OpPos, "string concatenation in a loop of hot %s allocates per iteration; use a buffer or strconv.Append",
+					fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if e.Tok.String() == "+=" && len(e.Lhs) == 1 && isStringExpr(p.Pkg, e.Lhs[0]) {
+				p.Reportf(e.TokPos, "string += in a loop of hot %s allocates per iteration; use a buffer or strconv.Append",
+					fd.Name.Name)
+			}
+		}
+		return true
+	}
+	// Find the loops; everything inside them (nested loops included)
+	// is "in a loop".
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			inspectLoop(s.Body)
+			return false
+		case *ast.RangeStmt:
+			inspectLoop(s.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating calls inside a hot loop: fmt (except
+// Errorf), unpreallocated append, explicit interface conversions.
+func checkHotCall(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) {
+	// fmt in loops: every variadic fmt call allocates for the boxed
+	// arguments alone. Errorf is exempt — constructing the error is
+	// the iteration's last act.
+	if fn := calleeFunc(p.Pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if fn.Name() != "Errorf" {
+			p.Reportf(call.Pos(), "fmt.%s in a loop of hot %s allocates per iteration", fn.Name(), fd.Name.Name)
+		}
+		return
+	}
+	// append without preallocation.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if dest := appendDestObj(p.Pkg, call.Args[0]); dest != nil && !prealloc[dest] {
+				p.Reportf(call.Pos(), "append in a loop of hot %s grows %s without preallocation; make(..., n) it before the loop",
+					fd.Name.Name, destName(call.Args[0]))
+			}
+		}
+		return
+	}
+	// Explicit conversion to an interface type boxes the operand.
+	if tn := conversionToInterface(p.Pkg, call); tn != "" {
+		p.Reportf(call.Pos(), "conversion to interface %s in a loop of hot %s boxes per iteration", tn, fd.Name.Name)
+	}
+}
+
+// preallocatedDests collects slice destinations assigned from a make()
+// call with an explicit size anywhere in the body — appends to those
+// amortize to zero growth.
+func preallocatedDests(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(lhs, rhs ast.Expr) {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(call.Args) < 2 {
+			return
+		}
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return
+		}
+		if dest := appendDestObj(pkg, lhs); dest != nil {
+			out[dest] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					record(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range s.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+					for i := range vs.Names {
+						record(vs.Names[i], vs.Values[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// appendDestObj resolves an append destination (or make target) to a
+// stable object: the variable for `s`, the field for `d.Merges`.
+func appendDestObj(pkg *Package, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return identObj(pkg, e)
+	case *ast.SelectorExpr:
+		if s := pkg.Info.Selections[e]; s != nil {
+			return s.Obj()
+		}
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// destName renders the destination for the diagnostic.
+func destName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "the destination"
+}
+
+// conversionToInterface returns the interface type's name when call is
+// an explicit conversion to an interface type ("" otherwise).
+func conversionToInterface(pkg *Package, call *ast.CallExpr) string {
+	if len(call.Args) != 1 {
+		return ""
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	default:
+		return ""
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return ""
+	}
+	if _, isIface := tn.Type().Underlying().(*types.Interface); !isIface {
+		return ""
+	}
+	// Converting an interface to an interface does not box.
+	if tv, ok := pkg.Info.Types[call.Args[0]]; ok {
+		if _, alreadyIface := tv.Type.Underlying().(*types.Interface); alreadyIface {
+			return ""
+		}
+	}
+	return tn.Name()
+}
+
+// isStringExpr reports whether expr's static type is string.
+func isStringExpr(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.String
+}

@@ -22,6 +22,8 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // A Diagnostic is one finding at a resolved source position.
@@ -55,13 +57,19 @@ type Check struct {
 	run func(*Pass)
 }
 
-// registry holds every check in its canonical reporting order.
+// registry holds every check in its canonical reporting order: the
+// five syntactic/type-level checks from the first analyzer release,
+// then the flow-sensitive generation (CFG + package summaries).
 var registry = []*Check{
 	determinismCheck,
 	ctxPropagationCheck,
 	floatCompareCheck,
 	errWrapCheck,
 	guardedByCheck,
+	lockorderCheck,
+	goroutineleakCheck,
+	keypurityCheck,
+	allochotCheck,
 }
 
 // Checks returns the registered checks in canonical order.
@@ -113,6 +121,25 @@ func (p *Pass) reportAt(pos token.Position, noSuppress bool, format string, args
 type Options struct {
 	// Checks selects which checks run, by name. Empty means all.
 	Checks []string
+
+	// Workers sets Run's package-level parallelism: 0 or 1 analyze
+	// serially, N>1 analyzes up to N packages concurrently. Packages
+	// are independent analysis units (summaries and suppression tables
+	// are per-package), and the final position sort gives a total
+	// order, so output is byte-identical at any worker count.
+	Workers int
+
+	// Clock, when set, enables per-check timing: it must return a
+	// monotonically non-decreasing reading (e.g. time.Since of a fixed
+	// start). The analyzer cannot call time.Now itself — its own
+	// determinism check forbids wall-clock reads module-wide — so the
+	// driver injects one.
+	Clock func() time.Duration
+
+	// OnTiming receives, per selected check, the cumulative time the
+	// check spent across all packages. Called once per check in
+	// canonical order after analysis completes; requires Clock.
+	OnTiming func(check string, elapsed time.Duration)
 }
 
 // Run executes the selected checks over pkgs and returns the surviving
@@ -134,15 +161,60 @@ func Run(pkgs []*Package, opts Options) ([]Diagnostic, error) {
 		}
 	}
 
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	// Each package gets its own diagnostic slice so packages can be
+	// analyzed concurrently; merging afterwards keeps one code path
+	// for serial and parallel runs.
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var timingMu sync.Mutex
+	timings := make(map[string]time.Duration)
+	runPkg := func(i int) {
+		pkg := pkgs[i]
+		var diags []Diagnostic
 		for _, c := range selected {
+			var start time.Duration
+			if opts.Clock != nil {
+				start = opts.Clock()
+			}
 			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, check: c, diags: &diags}
 			c.run(pass)
+			if opts.Clock != nil {
+				elapsed := opts.Clock() - start
+				timingMu.Lock()
+				timings[c.Name] += elapsed
+				timingMu.Unlock()
+			}
 		}
 		diags = append(diags, pkg.badAllows...)
+		perPkg[i] = diags
 	}
 
+	if opts.Workers > 1 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runPkg(i)
+				}
+			}()
+		}
+		for i := range pkgs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range pkgs {
+			runPkg(i)
+		}
+	}
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
 	diags = filterSuppressed(pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -155,8 +227,19 @@ func Run(pkgs []*Package, opts Options) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		// Message is the final tiebreaker: two findings from one check
+		// at one position must still compare deterministically for the
+		// parallel driver's byte-identical guarantee.
+		return a.Message < b.Message
 	})
+	if opts.OnTiming != nil {
+		for _, c := range selected {
+			opts.OnTiming(c.Name, timings[c.Name])
+		}
+	}
 	return diags, nil
 }
 

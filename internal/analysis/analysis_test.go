@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // loadRealTree loads the enclosing module once for all tests; the
@@ -42,6 +43,10 @@ func TestCtxPropagationCorpus(t *testing.T) { testCorpus(t, "ctxpropagation") }
 func TestFloatCompareCorpus(t *testing.T)   { testCorpus(t, "floatcompare") }
 func TestErrWrapCorpus(t *testing.T)        { testCorpus(t, "errwrap") }
 func TestGuardedByCorpus(t *testing.T)      { testCorpus(t, "guardedby") }
+func TestLockOrderCorpus(t *testing.T)      { testCorpus(t, "lockorder") }
+func TestGoroutineLeakCorpus(t *testing.T)  { testCorpus(t, "goroutineleak") }
+func TestKeyPurityCorpus(t *testing.T)      { testCorpus(t, "keypurity") }
+func TestAllocHotCorpus(t *testing.T)       { testCorpus(t, "allochot") }
 
 func testCorpus(t *testing.T, check string) {
 	t.Helper()
@@ -257,6 +262,197 @@ func TestRunRejectsUnknownCheck(t *testing.T) {
 	_, err := Run(nil, Options{Checks: []string{"ghost"}})
 	if err == nil || !strings.Contains(err.Error(), "determinism") {
 		t.Errorf("Run with unknown check = %v, want error listing valid checks", err)
+	}
+}
+
+// TestParallelRunMatchesSerial is the byte-identical guarantee at the
+// Run level: the same loaded module analyzed with one worker and with
+// many must render the exact same diagnostics in the exact same order.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	mod := loadRealTree(t)
+	render := func(diags []Diagnostic) string {
+		var sb strings.Builder
+		for _, d := range diags {
+			sb.WriteString(d.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	serial, err := Run(mod.Pkgs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(mod.Pkgs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(serial) != render(parallel) {
+		t.Errorf("parallel output differs from serial:\nserial:\n%sparallel:\n%s",
+			render(serial), render(parallel))
+	}
+}
+
+// TestLoadModuleParallelMatchesSerial: the wave-scheduled loader must
+// be observationally identical to the serial one — same packages in
+// the same order, and identical analysis output on top.
+func TestLoadModuleParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the module a second time")
+	}
+	serialMod := loadRealTree(t)
+	parMod, err := LoadModuleParallel("../..", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialMod.Pkgs) != len(parMod.Pkgs) {
+		t.Fatalf("parallel load found %d packages, serial %d", len(parMod.Pkgs), len(serialMod.Pkgs))
+	}
+	for i := range serialMod.Pkgs {
+		if serialMod.Pkgs[i].Path != parMod.Pkgs[i].Path {
+			t.Errorf("package %d: parallel %s, serial %s", i, parMod.Pkgs[i].Path, serialMod.Pkgs[i].Path)
+		}
+	}
+	serialDiags, err := Run(serialMod.Pkgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parDiags, err := Run(parMod.Pkgs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialDiags) != len(parDiags) {
+		t.Fatalf("parallel-load analysis found %d diagnostics, serial %d", len(parDiags), len(serialDiags))
+	}
+	for i := range serialDiags {
+		if serialDiags[i].String() != parDiags[i].String() {
+			t.Errorf("diagnostic %d differs: parallel %q, serial %q", i, parDiags[i], serialDiags[i])
+		}
+	}
+}
+
+// TestRunTimings: the injected clock yields one timing per selected
+// check, in canonical order.
+func TestRunTimings(t *testing.T) {
+	mod := loadRealTree(t)
+	pkgs, err := mod.Select([]string{"./internal/rng"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fake time.Duration
+	var order []string
+	_, err = Run(pkgs, Options{
+		Clock: func() time.Duration { fake += time.Millisecond; return fake },
+		OnTiming: func(check string, elapsed time.Duration) {
+			order = append(order, check)
+			if elapsed <= 0 {
+				t.Errorf("check %s: elapsed %v, want > 0 with a strictly advancing clock", check, elapsed)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strings.Join(CheckNames(), ","); strings.Join(order, ",") != want {
+		t.Errorf("timing order %v, want canonical %v", order, CheckNames())
+	}
+}
+
+// TestAllowOnSameLine: the directive works as a trailing comment on
+// the flagged line itself.
+func TestAllowOnSameLine(t *testing.T) {
+	src := `package snippet
+
+import "time"
+
+func f() time.Time {
+	return time.Now() //fgbs:allow determinism display timestamp only
+}
+`
+	pkg := loadSnippet(t, src)
+	diags, err := Run([]*Package{pkg}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("same-line directive failed to suppress: %v", diags)
+	}
+}
+
+// TestMalformedMultiCheckAllow: one directive names one check; a
+// comma-joined list is a malformed directive (reported), and neither
+// named check is suppressed.
+func TestMalformedMultiCheckAllow(t *testing.T) {
+	src := `package snippet
+
+import "time"
+
+func f() time.Time {
+	//fgbs:allow determinism,floatcompare two checks in one directive
+	return time.Now()
+}
+`
+	pkg := loadSnippet(t, src)
+	diags, err := Run([]*Package{pkg}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var badDirective, determinism bool
+	for _, d := range diags {
+		if d.Check == "allow" && strings.Contains(d.Message, `unknown check "determinism,floatcompare"`) {
+			badDirective = true
+		}
+		if d.Check == "determinism" {
+			determinism = true
+		}
+	}
+	if !badDirective {
+		t.Errorf("diagnostics %v lack the malformed-directive finding", diags)
+	}
+	if !determinism {
+		t.Errorf("comma-joined directive suppressed the finding anyway: %v", diags)
+	}
+}
+
+// TestStageAllowIsItselfReported pins the noSuppress interaction from
+// the driver's point of view: inside a package whose path ends in
+// internal/stage, an //fgbs:allow determinism both fails to suppress
+// and produces its own finding.
+func TestStageAllowIsItselfReported(t *testing.T) {
+	src := `package stage
+
+import "time"
+
+func stamp() int64 {
+	//fgbs:allow determinism trying to sneak a clock into key hashing
+	return time.Now().UnixNano()
+}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "stage.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "corpus/internal/stage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, Options{Checks: []string{"determinism"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suppressionReported, findingSurvives bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "cannot be suppressed") || strings.Contains(d.Message, "suppress") {
+			suppressionReported = true
+		}
+		if strings.Contains(d.Message, "time.Now") {
+			findingSurvives = true
+		}
+	}
+	if !findingSurvives {
+		t.Errorf("the allow directive silenced a noSuppress finding: %v", diags)
+	}
+	if !suppressionReported {
+		t.Errorf("diagnostics %v lack a finding reporting the suppression attempt itself", diags)
 	}
 }
 

@@ -1,0 +1,418 @@
+// Intra-procedural control-flow graphs. The flow-sensitive checks
+// (lockorder's release-on-every-path analysis in particular) need to
+// reason about *paths* through a function body, not just its syntax
+// tree, so this file builds a small statement-level CFG: every
+// statement becomes a node, edges follow Go's control flow — if/else,
+// for and range loops, switch and select dispatch, break, continue,
+// goto, labeled statements, returns — and a distinguished exit node
+// collects every way out of the function (explicit returns and falling
+// off the end). Statements are atomic: the analyses process the calls
+// inside one statement in source order, which is exactly Go's
+// evaluation order for the lock/unlock pairs they care about.
+//
+// The builder is deliberately conservative where precision stops
+// paying for itself: panics terminate a path (deferred unlocks run
+// during unwinding, so a lock held at a panic is not a leak), and a
+// function using goto in a way the label map cannot resolve is marked
+// unanalyzable rather than analyzed wrongly.
+package analysis
+
+import (
+	"go/ast"
+)
+
+// cfgNode is one statement (or synthetic entry/exit point) in the
+// graph.
+type cfgNode struct {
+	// stmt is the statement this node executes; nil for the synthetic
+	// entry and exit nodes.
+	stmt ast.Stmt
+	// succs are the possible next nodes.
+	succs []*cfgNode
+	// index is the node's position in cfg.nodes, for dense worklists.
+	index int
+}
+
+// cfg is one function body's control-flow graph.
+type cfg struct {
+	entry *cfgNode
+	exit  *cfgNode
+	nodes []*cfgNode
+	// unanalyzable is set when the body uses control flow the builder
+	// does not model (an unresolved goto); checks skip such functions
+	// instead of reporting from a wrong graph.
+	unanalyzable bool
+}
+
+// cfgBuilder carries the loop/label context while walking a body.
+type cfgBuilder struct {
+	g *cfg
+	// breakTargets / continueTargets are stacks: innermost last.
+	breakTargets    []*cfgNode
+	continueTargets []*cfgNode
+	// labels maps a label name to its labeled statement's node, for
+	// goto resolution and labeled break/continue.
+	labels map[string]*cfgNode
+	// labeledBreak/labeledContinue map label names to the targets a
+	// "break L" / "continue L" jumps to.
+	labeledBreak    map[string]*cfgNode
+	labeledContinue map[string]*cfgNode
+	// pendingGotos are goto statements seen before their label.
+	pendingGotos map[string][]*cfgNode
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	g := &cfg{}
+	g.entry = g.newNode(nil)
+	g.exit = g.newNode(nil)
+	b := &cfgBuilder{
+		g:               g,
+		labels:          make(map[string]*cfgNode),
+		labeledBreak:    make(map[string]*cfgNode),
+		labeledContinue: make(map[string]*cfgNode),
+		pendingGotos:    make(map[string][]*cfgNode),
+	}
+	last := b.stmts(body.List, []*cfgNode{g.entry})
+	// Falling off the end of the body is a return.
+	for _, n := range last {
+		n.succs = append(n.succs, g.exit)
+	}
+	if len(b.pendingGotos) > 0 {
+		// A goto whose label never appeared (or appeared in a scope the
+		// walk did not thread): give up on this function.
+		g.unanalyzable = true
+	}
+	return g
+}
+
+func (g *cfg) newNode(stmt ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: stmt, index: len(g.nodes)}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// stmts wires a statement list after the given predecessor frontier and
+// returns the new frontier (the nodes whose successors are whatever
+// comes next). An empty frontier means control cannot reach this point.
+func (b *cfgBuilder) stmts(list []ast.Stmt, preds []*cfgNode) []*cfgNode {
+	cur := preds
+	for _, s := range list {
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// link points every frontier node at next.
+func link(preds []*cfgNode, next *cfgNode) {
+	for _, p := range preds {
+		p.succs = append(p.succs, next)
+	}
+}
+
+// stmt wires one statement and returns the frontier after it.
+func (b *cfgBuilder) stmt(s ast.Stmt, preds []*cfgNode) []*cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, preds)
+
+	case *ast.IfStmt:
+		cond := b.g.newNode(s)
+		link(preds, cond)
+		if s.Init != nil {
+			// Init runs before the condition; the node already covers
+			// both (statement granularity).
+		}
+		thenOut := b.stmts(s.Body.List, []*cfgNode{cond})
+		var elseOut []*cfgNode
+		if s.Else != nil {
+			elseOut = b.stmt(s.Else, []*cfgNode{cond})
+		} else {
+			elseOut = []*cfgNode{cond}
+		}
+		return append(thenOut, elseOut...)
+
+	case *ast.ForStmt:
+		head := b.g.newNode(s) // init+cond evaluation point
+		link(preds, head)
+		after := b.g.newNode(nil) // join point past the loop
+		b.breakTargets = append(b.breakTargets, after)
+		b.continueTargets = append(b.continueTargets, head)
+		bodyOut := b.stmts(s.Body.List, []*cfgNode{head})
+		link(bodyOut, head) // post statement folded into head
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+		if s.Cond != nil {
+			head.succs = append(head.succs, after) // cond may be false
+		}
+		// An infinite loop (no cond) exits only via break; if nothing
+		// breaks, `after` stays unreachable, which is correct.
+		return []*cfgNode{after}
+
+	case *ast.RangeStmt:
+		head := b.g.newNode(s)
+		link(preds, head)
+		after := b.g.newNode(nil)
+		head.succs = append(head.succs, after) // empty collection
+		b.breakTargets = append(b.breakTargets, after)
+		b.continueTargets = append(b.continueTargets, head)
+		bodyOut := b.stmts(s.Body.List, []*cfgNode{head})
+		link(bodyOut, head)
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+		return []*cfgNode{after}
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		head := b.g.newNode(s)
+		link(preds, head)
+		after := b.g.newNode(nil)
+		b.breakTargets = append(b.breakTargets, after)
+		var bodyList []ast.Stmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			bodyList = sw.Body.List
+		} else {
+			bodyList = s.(*ast.TypeSwitchStmt).Body.List
+		}
+		hasDefault := false
+		// Wire each case clause; fallthrough chains into the next.
+		var clauseEntries []*cfgNode
+		var clauseOuts [][]*cfgNode
+		for _, cs := range bodyList {
+			cc := cs.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			entry := b.g.newNode(cc)
+			head.succs = append(head.succs, entry)
+			out := b.stmts(cc.Body, []*cfgNode{entry})
+			clauseEntries = append(clauseEntries, entry)
+			clauseOuts = append(clauseOuts, out)
+		}
+		_ = clauseEntries
+		for i, out := range clauseOuts {
+			// A clause ending in fallthrough continues into the next
+			// clause's body; otherwise it exits the switch.
+			ft := false
+			cc := bodyList[i].(*ast.CaseClause)
+			if n := len(cc.Body); n > 0 {
+				if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+					ft = true
+				}
+			}
+			if ft && i+1 < len(clauseOuts) {
+				next := bodyList[i+1].(*ast.CaseClause)
+				_ = next
+				link(out, clauseEntries[i+1])
+			} else {
+				link(out, after)
+			}
+		}
+		if !hasDefault {
+			head.succs = append(head.succs, after) // no case matched
+		}
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		return []*cfgNode{after}
+
+	case *ast.SelectStmt:
+		head := b.g.newNode(s)
+		link(preds, head)
+		after := b.g.newNode(nil)
+		b.breakTargets = append(b.breakTargets, after)
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			entry := b.g.newNode(cc)
+			head.succs = append(head.succs, entry)
+			out := b.stmts(cc.Body, []*cfgNode{entry})
+			link(out, after)
+		}
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no way past it.
+		}
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		if len(s.Body.List) == 0 {
+			return nil
+		}
+		return []*cfgNode{after}
+
+	case *ast.ReturnStmt:
+		n := b.g.newNode(s)
+		link(preds, n)
+		n.succs = append(n.succs, b.g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.g.newNode(s)
+		link(preds, n)
+		switch s.Tok.String() {
+		case "break":
+			if s.Label != nil {
+				if t, ok := b.labeledBreak[s.Label.Name]; ok {
+					n.succs = append(n.succs, t)
+				} else {
+					b.g.unanalyzable = true
+				}
+			} else if len(b.breakTargets) > 0 {
+				n.succs = append(n.succs, b.breakTargets[len(b.breakTargets)-1])
+			} else {
+				b.g.unanalyzable = true
+			}
+		case "continue":
+			if s.Label != nil {
+				if t, ok := b.labeledContinue[s.Label.Name]; ok {
+					n.succs = append(n.succs, t)
+				} else {
+					b.g.unanalyzable = true
+				}
+			} else if len(b.continueTargets) > 0 {
+				n.succs = append(n.succs, b.continueTargets[len(b.continueTargets)-1])
+			} else {
+				b.g.unanalyzable = true
+			}
+		case "goto":
+			if t, ok := b.labels[s.Label.Name]; ok {
+				n.succs = append(n.succs, t)
+			} else {
+				b.pendingGotos[s.Label.Name] = append(b.pendingGotos[s.Label.Name], n)
+			}
+		case "fallthrough":
+			// Handled by the switch wiring; as a standalone frontier
+			// element it simply flows on.
+			return []*cfgNode{n}
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		// The label applies to the statement it prefixes; for loops it
+		// also names break/continue targets. Model the label itself as
+		// a pass-through node so gotos have somewhere to land.
+		lab := b.g.newNode(s)
+		link(preds, lab)
+		b.labels[s.Label.Name] = lab
+		for _, pending := range b.pendingGotos[s.Label.Name] {
+			pending.succs = append(pending.succs, lab)
+		}
+		delete(b.pendingGotos, s.Label.Name)
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Pre-register the labeled targets: the loop wiring will
+			// push its own unlabeled targets; the labeled forms alias
+			// them. Build the loop, then harvest its targets from the
+			// stacks via a small shim: easiest is to wire the loop and
+			// look at the nodes it created.
+			out := b.labeledLoop(s.Label.Name, inner, []*cfgNode{lab})
+			return out
+		default:
+			return b.stmt(s.Stmt, []*cfgNode{lab})
+		}
+
+	case *ast.ExprStmt:
+		if isTerminalCall(s.X) {
+			n := b.g.newNode(s)
+			link(preds, n)
+			return nil // panic/os.Exit: path ends here
+		}
+		n := b.g.newNode(s)
+		link(preds, n)
+		return []*cfgNode{n}
+
+	case nil:
+		return preds
+
+	default:
+		// Assignments, declarations, go/defer/send/incdec, empty
+		// statements: straight-line.
+		n := b.g.newNode(s)
+		link(preds, n)
+		return []*cfgNode{n}
+	}
+}
+
+// labeledLoop wires a labeled for/range loop, registering the label's
+// break/continue targets for "break L" / "continue L".
+func (b *cfgBuilder) labeledLoop(label string, s ast.Stmt, preds []*cfgNode) []*cfgNode {
+	head := b.g.newNode(s)
+	link(preds, head)
+	after := b.g.newNode(nil)
+	b.labeledBreak[label] = after
+	b.labeledContinue[label] = head
+	b.breakTargets = append(b.breakTargets, after)
+	b.continueTargets = append(b.continueTargets, head)
+	var body *ast.BlockStmt
+	hasCond := true
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		body = s.Body
+		hasCond = s.Cond != nil
+	case *ast.RangeStmt:
+		body = s.Body
+	}
+	bodyOut := b.stmts(body.List, []*cfgNode{head})
+	link(bodyOut, head)
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+	delete(b.labeledBreak, label)
+	delete(b.labeledContinue, label)
+	if hasCond {
+		head.succs = append(head.succs, after)
+	}
+	return []*cfgNode{after}
+}
+
+// isTerminalCall reports whether expr is a call that never returns:
+// panic(...) or os.Exit(...) / log.Fatal*(...). Deferred functions
+// still run after panic, which the lock analysis accounts for by
+// treating these as non-exit path ends.
+func isTerminalCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			if x.Name == "os" && fun.Sel.Name == "Exit" {
+				return true
+			}
+			if x.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcBodies yields every function body in the file with its
+// enclosing declaration context: top-level FuncDecls and all FuncLits.
+// Each FuncLit is its own analysis unit (its locks and paths are
+// independent of the enclosing function's).
+type funcUnit struct {
+	// decl is non-nil for a declared function, nil for a literal.
+	decl *ast.FuncDecl
+	// lit is non-nil for a function literal.
+	lit *ast.FuncLit
+	// name labels diagnostics: the declared name, or "func literal".
+	name string
+	body *ast.BlockStmt
+}
+
+// collectFuncUnits gathers the file's analysis units in source order.
+func collectFuncUnits(f *ast.File) []funcUnit {
+	var units []funcUnit
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		units = append(units, funcUnit{decl: fd, name: fd.Name.Name, body: fd.Body})
+		// Nested literals, in source order.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				units = append(units, funcUnit{lit: lit, name: fd.Name.Name + " func literal", body: lit.Body})
+			}
+			return true
+		})
+	}
+	return units
+}

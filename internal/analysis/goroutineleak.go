@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroutineleakCheck keeps goroutines cancellable: a goroutine
+// launched from a function that holds a context.Context must either
+// observe cancellation (receive from ctx.Done() in its body, take a
+// ctx parameter of its own, or call a same-package function that
+// observes Done) or be joined by a sync.WaitGroup the launcher waits
+// on. Otherwise cancellation of the launcher strands the goroutine —
+// the jobs pool, singleflight waiters, and pipeline fan-outs all leak
+// one goroutine per canceled request under that bug.
+//
+// Functions without a ctx in scope are out of scope by design:
+// lifetime there is the owner's responsibility (the worker pool
+// started by a constructor, say), not the cancellation graph's.
+var goroutineleakCheck = &Check{
+	Name: "goroutineleak",
+	Doc:  "goroutines launched from ctx-holding functions must observe ctx.Done() or be WaitGroup-joined",
+	run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Pass) {
+	sum := p.Pkg.summary()
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && hasCtxParam(p, fn.Type) {
+					scanGoStmts(p, sum, fn.Name.Name, fn.Body)
+					return false // nested literals already covered
+				}
+			case *ast.FuncLit:
+				if hasCtxParam(p, fn.Type) {
+					scanGoStmts(p, sum, "func literal", fn.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// scanGoStmts inspects a ctx-holding body (nested closures included —
+// they still see ctx) for go statements and judges each launch.
+func scanGoStmts(p *Pass, sum *pkgSummary, launcher string, body *ast.BlockStmt) {
+	// The WaitGroup-join rule needs launcher-side context: which
+	// WaitGroups does this body Wait() on?
+	waited := waitGroupsWaitedOn(p.Pkg, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if goroutineIsCovered(p, sum, g.Call, waited) {
+			return true
+		}
+		p.Reportf(g.Pos(), "goroutine launched from ctx-holding %s neither observes ctx.Done() nor is joined by a waited-on sync.WaitGroup; cancellation strands it",
+			launcher)
+		return true
+	})
+}
+
+// goroutineIsCovered decides whether the launched call is safe under
+// cancellation.
+func goroutineIsCovered(p *Pass, sum *pkgSummary, call *ast.CallExpr, waited map[types.Object]bool) bool {
+	// Any call form: passing a context argument hands the callee the
+	// means to stop itself.
+	for _, arg := range call.Args {
+		if tv, ok := p.Pkg.Info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		if litObservesDone(p, sum, fun) {
+			return true
+		}
+		// WaitGroup join: the literal calls wg.Done() on a group the
+		// launcher waits on.
+		return litJoinsWaitGroup(p.Pkg, fun, waited)
+	default:
+		callee := calleeFunc(p.Pkg, call)
+		if callee == nil {
+			// Dynamic launch with no ctx argument: cannot prove
+			// coverage; report.
+			return false
+		}
+		if fs := sum.funcs[callee]; fs != nil {
+			return fs.hasCtxParam || sum.observesDoneClosed(callee)
+		}
+		// Cross-package callee: trust a context parameter (checked
+		// above via the arguments); otherwise report.
+		return false
+	}
+}
+
+// litObservesDone reports whether the literal's body receives from a
+// context's Done() channel, directly or through a same-package call.
+func litObservesDone(p *Pass, sum *pkgSummary, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isDoneObservation(p.Pkg, call) {
+			found = true
+			return false
+		}
+		if callee := calleeFunc(p.Pkg, call); callee != nil && sum.observesDoneClosed(callee) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// litJoinsWaitGroup reports whether the literal calls Done() on a
+// sync.WaitGroup the launcher Wait()s on.
+func litJoinsWaitGroup(pkg *Package, lit *ast.FuncLit, waited map[types.Object]bool) bool {
+	if len(waited) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isWaitGroupMethod(pkg, call, "Done") {
+			return true
+		}
+		if obj := waitGroupOperand(pkg, call); obj != nil && waited[obj] {
+			found = true
+		}
+		return false
+	})
+	return found
+}
+
+// waitGroupsWaitedOn collects the WaitGroup objects the body calls
+// Wait() on (closures included — a Wait inside a helper literal still
+// blocks the launch scope that invokes it).
+func waitGroupsWaitedOn(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isWaitGroupMethod(pkg, call, "Wait") {
+			return true
+		}
+		if obj := waitGroupOperand(pkg, call); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// waitGroupOperand resolves the WaitGroup value a method call operates
+// on to its types.Object: the variable for `wg.Done()`, the field for
+// `m.wg.Done()`. Nil when the operand is too dynamic to resolve.
+func waitGroupOperand(pkg *Package, call *ast.CallExpr) types.Object {
+	sel := call.Fun.(*ast.SelectorExpr)
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if s := pkg.Info.Selections[x]; s != nil {
+			return s.Obj()
+		}
+		return pkg.Info.Uses[x.Sel]
+	case *ast.UnaryExpr: // (&wg).Done()
+		if id, ok := x.X.(*ast.Ident); ok {
+			return pkg.Info.Uses[id]
+		}
+	}
+	return nil
+}

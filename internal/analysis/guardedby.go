@@ -7,13 +7,16 @@ import (
 
 // guardedByCheck turns the informal "// guarded by mu" field comment
 // into a machine-checked invariant: every method of the struct that
-// reads or writes an annotated field must acquire the named mutex
-// (mu.Lock or mu.RLock on the receiver) somewhere in its body. The
-// tracking is intra-procedural and syntactic — helper methods that
-// run with the lock already held document that with //fgbs:allow.
+// touches an annotated field must hold the named mutex. RLock counts
+// as a read guard — reading the field under RLock is fine — but a
+// method that *writes* the field while only ever RLocking is reported:
+// an RWMutex read lock is shared, so such a write races with every
+// concurrent reader. The tracking is intra-procedural and syntactic —
+// helper methods that run with the lock already held document that
+// with //fgbs:allow.
 var guardedByCheck = &Check{
 	Name: "guardedby",
-	Doc:  "fields annotated '// guarded by <mu>' must only be touched by methods that lock <mu>",
+	Doc:  "fields annotated '// guarded by <mu>' must only be touched under <mu>: RLock suffices to read, Lock is required to write",
 	run:  runGuardedBy,
 }
 
@@ -46,7 +49,8 @@ func runGuardedBy(p *Pass) {
 			if len(fields) == 0 {
 				continue
 			}
-			locked := lockedMutexes(fn.Body, recvName)
+			writeLocked, readLocked := lockedMutexes(fn.Body, recvName)
+			written := writtenExprs(fn.Body)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok {
@@ -57,7 +61,18 @@ func runGuardedBy(p *Pass) {
 					return true
 				}
 				mu, guarded := fields[sel.Sel.Name]
-				if guarded && !locked[mu] {
+				if !guarded {
+					return true
+				}
+				switch {
+				case writeLocked[mu]:
+					// Full lock covers both directions.
+				case readLocked[mu]:
+					if written[sel] {
+						p.Reportf(sel.Pos(), "%s.%s is guarded by %s, but %s writes it under RLock; writes need %s.Lock()",
+							typeName, sel.Sel.Name, mu, fn.Name.Name, mu)
+					}
+				default:
 					p.Reportf(sel.Pos(), "%s.%s is guarded by %s, but %s never locks it",
 						typeName, sel.Sel.Name, mu, fn.Name.Name)
 				}
@@ -148,10 +163,11 @@ func receiverInfo(fn *ast.FuncDecl) (recvName, typeName string) {
 	return recv.Names[0].Name, id.Name
 }
 
-// lockedMutexes returns the set of receiver mutex fields on which the
-// body calls Lock or RLock (recv.mu.Lock(), possibly deferred).
-func lockedMutexes(body *ast.BlockStmt, recvName string) map[string]bool {
-	locked := make(map[string]bool)
+// lockedMutexes returns the receiver mutex fields on which the body
+// calls Lock (write guard) and RLock (read guard), possibly deferred.
+func lockedMutexes(body *ast.BlockStmt, recvName string) (writeLocked, readLocked map[string]bool) {
+	writeLocked = make(map[string]bool)
+	readLocked = make(map[string]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -166,9 +182,35 @@ func lockedMutexes(body *ast.BlockStmt, recvName string) map[string]bool {
 			return true
 		}
 		if x, ok := muSel.X.(*ast.Ident); ok && x.Name == recvName {
-			locked[muSel.Sel.Name] = true
+			if sel.Sel.Name == "Lock" {
+				writeLocked[muSel.Sel.Name] = true
+			} else {
+				readLocked[muSel.Sel.Name] = true
+			}
 		}
 		return true
 	})
-	return locked
+	return writeLocked, readLocked
+}
+
+// writtenExprs marks the expressions the body assigns to: assignment
+// left-hand sides and ++/-- operands. Everything else is a read.
+func writtenExprs(body *ast.BlockStmt) map[ast.Expr]bool {
+	written := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				written[lhs] = true
+				// m[k] = v writes the map held in the field too.
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					written[ix.X] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			written[s.X] = true
+		}
+		return true
+	})
+	return written
 }

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Package is one loaded, type-checked module package.
@@ -38,6 +39,12 @@ type Package struct {
 
 	allows    map[allowKey][]allowDirective
 	badAllows []Diagnostic
+
+	// funcSummaries caches the flow-sensitive checks' shared
+	// per-function facts (see summary.go); built lazily by the first
+	// check that needs it. All checks for one package run on a single
+	// goroutine, so no synchronization is required.
+	funcSummaries *pkgSummary
 }
 
 // A Module is a loaded view of one Go module: every package parsed,
@@ -99,6 +106,127 @@ func LoadModule(dir string) (*Module, error) {
 		m.Pkgs = append(m.Pkgs, pkg)
 	}
 	return m, nil
+}
+
+// LoadModuleParallel is LoadModule with bounded parallelism: files are
+// parsed concurrently, and type-checking proceeds in topological waves
+// (every package whose local dependencies are already checked is in
+// the current wave, and a wave's packages check concurrently). The
+// resulting Module is equivalent to LoadModule's — same package order,
+// same type facts — so analysis output is byte-identical; only wall
+// time differs. workers <= 1 falls back to the serial loader.
+func LoadModuleParallel(dir string, workers int) (*Module, error) {
+	if workers <= 1 {
+		return LoadModule(dir)
+	}
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	// Parse phase: token.FileSet and go/parser are safe for concurrent
+	// use with distinct files.
+	fset := token.NewFileSet()
+	parsed := make([]*parsedPkg, len(dirs))
+	parseErrs := make([]error, len(dirs))
+	runBounded(len(dirs), workers, func(i int) {
+		d := dirs[i]
+		importPath := modPath
+		if rel, _ := filepath.Rel(root, d); rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		parsed[i], parseErrs[i] = parseDir(fset, d, importPath)
+	})
+	byPath := make(map[string]*parsedPkg, len(dirs))
+	for i, pp := range parsed {
+		if parseErrs[i] != nil {
+			return nil, parseErrs[i]
+		}
+		if pp != nil {
+			byPath[pp.path] = pp
+		}
+	}
+
+	order, err := topoSort(byPath, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	// Type-check phase: waves over the dependency depth. depth(p) is
+	// 1 + max(depth of local deps); packages of equal depth cannot
+	// import each other, so a wave is safely concurrent.
+	depth := make(map[string]int, len(order))
+	for _, pp := range order { // order is deps-first, so deps are done
+		d := 0
+		for _, imp := range pp.imports {
+			if byPath[imp] != nil && depth[imp]+1 > d {
+				d = depth[imp] + 1
+			}
+		}
+		depth[pp.path] = d
+	}
+	maxDepth := 0
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+
+	checker := newTypeChecker(fset)
+	checked := make(map[string]*Package, len(order))
+	for wave := 0; wave <= maxDepth; wave++ {
+		var batch []*parsedPkg
+		for _, pp := range order {
+			if depth[pp.path] == wave {
+				batch = append(batch, pp)
+			}
+		}
+		pkgs := make([]*Package, len(batch))
+		errs := make([]error, len(batch))
+		runBounded(len(batch), workers, func(i int) {
+			pkgs[i], errs[i] = checker.check(batch[i])
+		})
+		for i, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+			checked[batch[i].path] = pkgs[i]
+		}
+	}
+
+	m := &Module{Path: modPath, Dir: root, Fset: fset}
+	for _, pp := range order {
+		m.Pkgs = append(m.Pkgs, checked[pp.path])
+	}
+	return m, nil
+}
+
+// runBounded invokes fn(0..n-1) across at most workers goroutines and
+// waits for all of them.
+func runBounded(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // LoadDir loads a single directory as one standalone package under the
@@ -300,8 +428,14 @@ func topoSort(byPath map[string]*parsedPkg, modPath string) ([]*parsedPkg, error
 
 // typeChecker type-checks packages against a shared importer so the
 // (expensive) source-import of the standard library happens once.
+// Import and the local-package table are mutex-guarded: the parallel
+// loader type-checks independent packages concurrently, and while
+// token.FileSet is documented as concurrency-safe, the source
+// importer is not.
 type typeChecker struct {
-	fset  *token.FileSet
+	fset *token.FileSet
+	// mu guards local and std.
+	mu    sync.Mutex
 	local map[string]*types.Package
 	std   types.Importer
 }
@@ -317,6 +451,8 @@ func newTypeChecker(fset *token.FileSet) *typeChecker {
 // Import resolves module-local packages from the already-checked set
 // and everything else through the standard-library source importer.
 func (tc *typeChecker) Import(path string) (*types.Package, error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
 	if pkg, ok := tc.local[path]; ok {
 		return pkg, nil
 	}
@@ -354,7 +490,9 @@ func (tc *typeChecker) check(pp *parsedPkg) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %w", pp.path, err)
 	}
+	tc.mu.Lock()
 	tc.local[pp.path] = tpkg
+	tc.mu.Unlock()
 
 	pkg := &Package{
 		Path:   pp.path,

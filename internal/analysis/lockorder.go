@@ -1,0 +1,482 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockorderCheck is the flow-sensitive deadlock guard. It does two
+// things with the sync.Mutex/RWMutex call sites the summary pass
+// classifies:
+//
+//  1. Release-on-every-path: a forward may-analysis over each
+//     function's CFG tracks which locks are held; a lock still held at
+//     a return (and not covered by a deferred unlock) is a leak — the
+//     classic missing-defer / early-return bug.
+//  2. Lock ordering: every acquisition made while another lock is held
+//     adds an edge held→acquired to a package-wide graph; calls to
+//     same-package functions contribute their transitive acquisitions.
+//     A cycle in that graph is a potential deadlock (two goroutines
+//     taking the locks in opposite orders) and is reported once per
+//     cycle at its lexicographically first edge.
+//
+// The analysis is deliberately intra-package: lock identities are
+// named Type.field / varName strings, so an ordering inversion split
+// across packages is out of scope (and out of idiom — the repo keeps
+// each mutex private to its package).
+var lockorderCheck = &Check{
+	Name: "lockorder",
+	Doc:  "locks must be released on every return path; the package lock-acquisition graph must be acyclic",
+	run:  runLockOrder,
+}
+
+// heldKey identifies one held lock in the dataflow state: the class
+// plus the read/write mode (an RUnlock does not release a write Lock).
+type heldKey struct {
+	class string
+	mode  lockMode
+}
+
+// lockEdge is one ordering fact: to was acquired while from was held.
+type lockEdge struct {
+	from, to string
+}
+
+func runLockOrder(p *Pass) {
+	sum := p.Pkg.summary()
+	edges := make(map[lockEdge]token.Pos)
+	for _, f := range p.Pkg.Files {
+		for _, unit := range collectFuncUnits(f) {
+			analyzeLockFlow(p, sum, unit, edges)
+		}
+	}
+	reportLockCycles(p, edges)
+}
+
+// analyzeLockFlow runs the may-held dataflow over one function body,
+// reporting leaks and accumulating ordering edges.
+func analyzeLockFlow(p *Pass, sum *pkgSummary, unit funcUnit, edges map[lockEdge]token.Pos) {
+	ops := hasLockOps(p.Pkg, unit.body)
+	if !ops {
+		return
+	}
+	g := buildCFG(unit.body)
+	if g.unanalyzable {
+		return
+	}
+
+	// Deferred releases cover every exit from their function frame
+	// (including panics). Collected syntactically over the whole body:
+	// a defer inside a branch is treated as covering, which errs
+	// toward silence — the precise version would drown idiomatic
+	// conditional-defer code in findings.
+	deferred := deferredReleases(p.Pkg, unit.body)
+
+	// Forward may-analysis: in[n] = union of out[preds]; the exit
+	// state is the union over every path, so "held at exit" means
+	// held on at least one return path.
+	in := make([]map[heldKey]token.Pos, len(g.nodes))
+	preds := make([][]int, len(g.nodes))
+	for _, n := range g.nodes {
+		for _, s := range n.succs {
+			preds[s.index] = append(preds[s.index], n.index)
+		}
+	}
+	work := []int{g.entry.index}
+	in[g.entry.index] = map[heldKey]token.Pos{}
+	queued := make([]bool, len(g.nodes))
+	queued[g.entry.index] = true
+	out := make([]map[heldKey]token.Pos, len(g.nodes))
+	for len(work) > 0 {
+		idx := work[0]
+		work = work[1:]
+		queued[idx] = false
+		n := g.nodes[idx]
+		state := cloneHeld(in[idx])
+		if n.stmt != nil {
+			applyLockOps(p.Pkg, sum, n.stmt, state, edges)
+		}
+		if !heldEqual(out[idx], state) {
+			out[idx] = state
+			for _, s := range n.succs {
+				merged := mergeHeld(in[s.index], state)
+				if !heldEqual(in[s.index], merged) {
+					in[s.index] = merged
+					if !queued[s.index] {
+						queued[s.index] = true
+						work = append(work, s.index)
+					}
+				}
+			}
+		}
+	}
+
+	exitState := in[g.exit.index]
+	// Deterministic reporting order: by acquire position.
+	type leak struct {
+		key heldKey
+		pos token.Pos
+	}
+	var leaks []leak
+	for k, pos := range exitState {
+		if deferred[k] {
+			continue
+		}
+		leaks = append(leaks, leak{k, pos})
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, l := range leaks {
+		verb := "Lock"
+		if l.key.mode == lockRead {
+			verb = "RLock"
+		}
+		p.Reportf(l.pos, "%s.%s() in %s is not released on every return path (missing defer or early-return unlock)",
+			l.key.class, verb, unit.name)
+	}
+}
+
+// applyLockOps processes the lock-relevant calls of one CFG node's
+// head in source order, mutating state and recording ordering edges.
+func applyLockOps(pkg *Package, sum *pkgSummary, stmt ast.Stmt, state map[heldKey]token.Pos, edges map[lockEdge]token.Pos) {
+	for _, expr := range stmtHeadExprs(stmt) {
+		inspectSkippingFuncLits(expr, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if op, ok := classifyLockCall(pkg, call); ok {
+				if op.class == "" {
+					return
+				}
+				key := heldKey{op.class, op.mode}
+				if op.acquire {
+					recordEdges(state, op.class, call.Pos(), edges)
+					// TryLock acquisitions are conditional; they feed
+					// the ordering graph but not the held state (a
+					// failed try would make "held" a false fact).
+					if name := lockMethodName(pkg, call); !strings.HasPrefix(name, "Try") {
+						if _, already := state[key]; !already {
+							state[key] = call.Pos()
+						}
+					}
+				} else {
+					delete(state, key)
+				}
+				return
+			}
+			// A call into the same package may acquire locks of its
+			// own: those acquisitions happen while everything in state
+			// is held.
+			if callee := calleeFunc(pkg, call); callee != nil && callee.Pkg() == pkg.Types {
+				for class := range sum.acquiredBy(callee) {
+					recordEdges(state, class, call.Pos(), edges)
+				}
+			}
+		})
+	}
+}
+
+// recordEdges adds held→acquired edges for every currently held class.
+func recordEdges(state map[heldKey]token.Pos, acquired string, pos token.Pos, edges map[lockEdge]token.Pos) {
+	for k := range state {
+		if k.class == acquired {
+			continue // re-entry is a separate concern, not an ordering edge
+		}
+		e := lockEdge{k.class, acquired}
+		if _, ok := edges[e]; !ok {
+			edges[e] = pos
+		}
+	}
+}
+
+// lockMethodName returns the sync method name of a classified lock
+// call ("Lock", "TryRLock", ...).
+func lockMethodName(pkg *Package, call *ast.CallExpr) string {
+	sel := call.Fun.(*ast.SelectorExpr)
+	return sel.Sel.Name
+}
+
+// deferredReleases collects the (class, mode) pairs released by defer
+// statements anywhere in the body — either `defer mu.Unlock()`
+// directly or inside a `defer func() { ... }()` literal.
+func deferredReleases(pkg *Package, body *ast.BlockStmt) map[heldKey]bool {
+	out := make(map[heldKey]bool)
+	record := func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if op, ok := classifyLockCall(pkg, call); ok && !op.acquire && op.class != "" {
+			out[heldKey{op.class, op.mode}] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool { record(n); return true })
+		} else {
+			record(d.Call)
+		}
+		return true
+	})
+	return out
+}
+
+// hasLockOps reports whether the body contains any sync lock-family
+// call — the cheap gate before building a CFG.
+func hasLockOps(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := classifyLockCall(pkg, call); ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stmtHeadExprs returns the expressions a CFG node evaluates itself,
+// excluding nested statements that are their own nodes (an IfStmt node
+// evaluates its condition; its body belongs to other nodes).
+func stmtHeadExprs(stmt ast.Stmt) []ast.Expr {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		var out []ast.Expr
+		out = append(out, initExprs(s.Init)...)
+		out = append(out, s.Cond)
+		return out
+	case *ast.ForStmt:
+		var out []ast.Expr
+		out = append(out, initExprs(s.Init)...)
+		if s.Cond != nil {
+			out = append(out, s.Cond)
+		}
+		out = append(out, initExprs(s.Post)...)
+		return out
+	case *ast.RangeStmt:
+		return []ast.Expr{s.X}
+	case *ast.SwitchStmt:
+		var out []ast.Expr
+		out = append(out, initExprs(s.Init)...)
+		if s.Tag != nil {
+			out = append(out, s.Tag)
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		return initExprs(s.Assign)
+	case *ast.SelectStmt, *ast.LabeledStmt, *ast.BlockStmt:
+		return nil
+	case *ast.CaseClause:
+		return s.List
+	case *ast.CommClause:
+		return initExprs(s.Comm)
+	case *ast.ExprStmt:
+		return []ast.Expr{s.X}
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, s.Rhs...), s.Lhs...)
+	case *ast.ReturnStmt:
+		return s.Results
+	case *ast.SendStmt:
+		return []ast.Expr{s.Chan, s.Value}
+	case *ast.IncDecStmt:
+		return []ast.Expr{s.X}
+	case *ast.DeferStmt:
+		// Deferred calls run at exit, not here; deferredReleases owns
+		// them. The argument expressions do evaluate now, but a lock
+		// call in a defer's arguments would be pathological.
+		return nil
+	case *ast.GoStmt:
+		// The goroutine's locks are its own problem (goroutineleak
+		// watches the launch itself).
+		return nil
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			var out []ast.Expr
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+			return out
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// initExprs flattens a simple statement (if/for init, comm statement)
+// into its expressions.
+func initExprs(s ast.Stmt) []ast.Expr {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, s.Rhs...), s.Lhs...)
+	case *ast.ExprStmt:
+		return []ast.Expr{s.X}
+	case *ast.SendStmt:
+		return []ast.Expr{s.Chan, s.Value}
+	case *ast.IncDecStmt:
+		return []ast.Expr{s.X}
+	default:
+		return nil
+	}
+}
+
+// inspectSkippingFuncLits walks expr, visiting every node except the
+// bodies of function literals (separate analysis units).
+func inspectSkippingFuncLits(expr ast.Expr, visit func(ast.Node)) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func cloneHeld(m map[heldKey]token.Pos) map[heldKey]token.Pos {
+	out := make(map[heldKey]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeHeld unions b into a copy of a, keeping the earliest acquire
+// position per key so reports are stable.
+func mergeHeld(a, b map[heldKey]token.Pos) map[heldKey]token.Pos {
+	out := cloneHeld(a)
+	for k, v := range b {
+		if old, ok := out[k]; !ok || v < old {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// heldEqual compares states; a nil map means "not yet computed" and
+// compares unequal to everything (including the empty state), so the
+// worklist always propagates a node's first evaluation.
+func heldEqual(a, b map[heldKey]token.Pos) bool {
+	if a == nil {
+		return false
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// reportLockCycles finds cycles in the package's acquisition graph and
+// reports each once, deterministically, at the position of its
+// lexicographically smallest edge.
+func reportLockCycles(p *Pass, edges map[lockEdge]token.Pos) {
+	if len(edges) == 0 {
+		return
+	}
+	adj := make(map[string][]string)
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	// DFS cycle detection with a canonicalized seen-set so each cycle
+	// is reported exactly once no matter which node the walk entered
+	// it from.
+	seen := make(map[string]bool)
+	color := make(map[string]int) // 0 white, 1 gray, 2 black
+	var stack []string
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = 1
+		stack = append(stack, n)
+		for _, next := range adj[n] {
+			if color[next] == 1 {
+				// Back edge: the cycle is stack[i..] + next.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != next {
+					i--
+				}
+				cycle := append([]string{}, stack[i:]...)
+				key := canonicalCycle(cycle)
+				if !seen[key] {
+					seen[key] = true
+					reportOneCycle(p, cycle, edges)
+				}
+			} else if color[next] == 0 {
+				dfs(next)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = 2
+	}
+	for _, n := range nodes {
+		if color[n] == 0 {
+			dfs(n)
+		}
+	}
+}
+
+// canonicalCycle rotates the cycle to start at its smallest member so
+// A→B→A and B→A→B dedupe to one key.
+func canonicalCycle(cycle []string) string {
+	min := 0
+	for i, c := range cycle {
+		if c < cycle[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string{}, cycle[min:]...), cycle[:min]...)
+	return strings.Join(rotated, "→")
+}
+
+// reportOneCycle emits the finding at the cycle's lexicographically
+// smallest edge position.
+func reportOneCycle(p *Pass, cycle []string, edges map[lockEdge]token.Pos) {
+	best := lockEdge{}
+	var bestPos token.Pos
+	for i, from := range cycle {
+		to := cycle[(i+1)%len(cycle)]
+		e := lockEdge{from, to}
+		if pos, ok := edges[e]; ok {
+			if best.from == "" || e.from < best.from || (e.from == best.from && e.to < best.to) {
+				best, bestPos = e, pos
+			}
+		}
+	}
+	min := 0
+	for i, c := range cycle {
+		if c < cycle[min] {
+			min = i
+		}
+	}
+	ordered := append(append([]string{}, cycle[min:]...), cycle[:min]...)
+	p.Reportf(bestPos, "lock-order cycle: %s → %s (inconsistent acquisition order can deadlock)",
+		strings.Join(ordered, " → "), ordered[0])
+}

@@ -1,0 +1,386 @@
+// Package-level function summaries. The flow-sensitive checks need a
+// little cross-function knowledge within one package: lockorder wants
+// "which locks does this callee acquire" so a call made under a held
+// lock contributes acquisition-graph edges, and goroutineleak wants
+// "does this function observe ctx.Done()" so `go m.worker()` can be
+// judged without inlining. The summary pass computes those facts once
+// per package with go/types resolution (no name matching) and caches
+// the result on the Package.
+//
+// Summaries are deliberately shallow: one package, declared functions
+// and methods only, no pointer analysis. A call that cannot be
+// resolved to a same-package *types.Func contributes nothing, which
+// errs toward fewer edges (lockorder may miss an exotic cycle) and
+// toward findings (goroutineleak treats an unresolvable goroutine body
+// as not observing ctx) — both the conservative direction for the
+// respective check.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockMode distinguishes write locks from read locks.
+type lockMode int
+
+const (
+	lockWrite lockMode = iota // Lock / TryLock / Unlock
+	lockRead                  // RLock / TryRLock / RUnlock
+)
+
+// lockOp classifies one sync mutex call site.
+type lockOp struct {
+	// class is the stable lock identity, e.g. "Manager.mu" for a field
+	// mutex, "registerMu" for a package-level one. Empty when the
+	// mutex expression could not be named (skip the site).
+	class string
+	// mode is the read/write flavor.
+	mode lockMode
+	// acquire is true for Lock/RLock/TryLock/TryRLock, false for the
+	// unlock family.
+	acquire bool
+	call    *ast.CallExpr
+}
+
+// funcSummary holds the per-function facts.
+type funcSummary struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	// acquires is the set of lock classes this function's body locks
+	// directly (including inside its function literals — they run, at
+	// the latest, when invoked from this body or deferred).
+	acquires map[string]bool
+	// calls lists same-package callees, for the transitive closure.
+	calls map[*types.Func]bool
+	// observesDone is true when the body (or a nested literal) receives
+	// from ctx.Done() for some context value.
+	observesDone bool
+	// hasCtxParam is true when the declared signature takes a
+	// context.Context.
+	hasCtxParam bool
+}
+
+// pkgSummary is the package-wide table plus its transitive lock
+// closure.
+type pkgSummary struct {
+	funcs map[*types.Func]*funcSummary
+	// closed maps each function to every lock class reachable through
+	// same-package calls (its own acquisitions included).
+	closed map[*types.Func]map[string]bool
+	// doneClosed marks functions that observe ctx.Done() directly or
+	// through same-package callees.
+	doneClosed map[*types.Func]bool
+}
+
+// observesDoneClosed reports whether obj observes ctx.Done(),
+// transitively through same-package calls. False for functions the
+// summary does not know (other packages, dynamic calls).
+func (s *pkgSummary) observesDoneClosed(obj *types.Func) bool {
+	return s.doneClosed[obj]
+}
+
+// summary returns the package's function summary table, building it on
+// first use. Checks for one package always run on one goroutine (the
+// parallel driver parallelizes across packages), so no locking is
+// needed here.
+func (p *Package) summary() *pkgSummary {
+	if p.funcSummaries == nil {
+		p.funcSummaries = buildSummary(p)
+	}
+	return p.funcSummaries
+}
+
+func buildSummary(p *Package) *pkgSummary {
+	s := &pkgSummary{
+		funcs:  make(map[*types.Func]*funcSummary),
+		closed: make(map[*types.Func]map[string]bool),
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fs := &funcSummary{
+				obj:      obj,
+				decl:     fd,
+				acquires: make(map[string]bool),
+				calls:    make(map[*types.Func]bool),
+			}
+			if sig, ok := obj.Type().(*types.Signature); ok {
+				fs.hasCtxParam = signatureTakesContext(sig)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if op, ok := classifyLockCall(p, call); ok {
+					if op.acquire && op.class != "" {
+						fs.acquires[op.class] = true
+					}
+					return true
+				}
+				if callee := calleeFunc(p, call); callee != nil && callee.Pkg() == p.Types {
+					fs.calls[callee] = true
+				}
+				if isDoneObservation(p, call) {
+					fs.observesDone = true
+				}
+				return true
+			})
+			s.funcs[obj] = fs
+		}
+	}
+	// Transitive closure of lock acquisitions over same-package calls.
+	for obj := range s.funcs {
+		s.closed[obj] = s.closeLocks(obj, make(map[*types.Func]bool))
+	}
+	// Fixpoint for Done observation: a function observes cancellation
+	// if it does so directly or any same-package callee does.
+	s.doneClosed = make(map[*types.Func]bool)
+	for obj, fs := range s.funcs {
+		if fs.observesDone {
+			s.doneClosed[obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, fs := range s.funcs {
+			if s.doneClosed[obj] {
+				continue
+			}
+			for callee := range fs.calls {
+				if s.doneClosed[callee] {
+					s.doneClosed[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return s
+}
+
+// closeLocks unions the lock classes reachable from obj through
+// same-package calls.
+func (s *pkgSummary) closeLocks(obj *types.Func, visiting map[*types.Func]bool) map[string]bool {
+	if done, ok := s.closed[obj]; ok && done != nil {
+		return done
+	}
+	if visiting[obj] {
+		return nil // recursion: the outer frame completes the union
+	}
+	visiting[obj] = true
+	fs := s.funcs[obj]
+	out := make(map[string]bool)
+	if fs == nil {
+		return out
+	}
+	for c := range fs.acquires {
+		out[c] = true
+	}
+	for callee := range fs.calls {
+		for c := range s.closeLocks(callee, visiting) {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+// acquiredBy returns every lock class the named function may acquire,
+// transitively through same-package calls. Nil-safe for functions the
+// summary does not know.
+func (s *pkgSummary) acquiredBy(obj *types.Func) map[string]bool {
+	return s.closed[obj]
+}
+
+// classifyLockCall recognizes calls to the sync.Mutex / sync.RWMutex
+// lock family, resolved through the type checker so shadowed names and
+// non-sync Lock methods cannot confuse it.
+func classifyLockCall(p *Package, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return lockOp{}, false
+	}
+	rt := recv.Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return lockOp{}, false
+	}
+	typeName := named.Obj().Name()
+	if typeName != "Mutex" && typeName != "RWMutex" {
+		return lockOp{}, false
+	}
+	op := lockOp{call: call}
+	switch fn.Name() {
+	case "Lock", "TryLock":
+		op.mode, op.acquire = lockWrite, true
+	case "Unlock":
+		op.mode, op.acquire = lockWrite, false
+	case "RLock", "TryRLock":
+		op.mode, op.acquire = lockRead, true
+	case "RUnlock":
+		op.mode, op.acquire = lockRead, false
+	default:
+		return lockOp{}, false // RLocker etc.
+	}
+	op.class = lockClass(p, sel.X)
+	return op, true
+}
+
+// lockClass names the mutex a lock-family method is called on, stably
+// within the package: "Type.field" for a struct-field mutex,
+// "Type.Mutex"/"Type.RWMutex" for an embedded one, the variable name
+// for a package-level or local mutex. Empty when the expression is too
+// dynamic to name (map index, call result) — the caller skips those.
+func lockClass(p *Package, expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		// A bare mutex variable, or — for an embedded mutex — the
+		// enclosing struct value.
+		if tv, ok := p.Info.Types[e]; ok && !isMutexType(tv.Type) {
+			if name := namedTypeName(tv.Type); name != "" {
+				return name + "." + mutexKindName(tv.Type)
+			}
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		if s := p.Info.Selections[e]; s != nil {
+			recvName := namedTypeName(s.Recv())
+			if tv, ok := p.Info.Types[e]; ok && !isMutexType(tv.Type) {
+				// Embedded mutex behind a field: x.inner.Lock() where
+				// inner embeds the mutex.
+				if name := namedTypeName(tv.Type); name != "" {
+					return name + "." + mutexKindName(tv.Type)
+				}
+			}
+			if recvName != "" {
+				return recvName + "." + e.Sel.Name
+			}
+			return e.Sel.Name
+		}
+		// Package-qualified variable: pkg.Mu.
+		if x, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := p.Info.Uses[x].(*types.PkgName); isPkg {
+				return x.Name + "." + e.Sel.Name
+			}
+		}
+		return ""
+	case *ast.ParenExpr:
+		return lockClass(p, e.X)
+	case *ast.UnaryExpr:
+		return lockClass(p, e.X) // &mu
+	case *ast.StarExpr:
+		return lockClass(p, e.X)
+	default:
+		return ""
+	}
+}
+
+// isMutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex itself.
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// mutexKindName returns "Mutex" or "RWMutex" for the lock embedded in
+// t's method set; used to name embedded-mutex classes.
+func mutexKindName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if m, _, _ := types.LookupFieldOrMethod(t, true, nil, "RLock"); m != nil {
+		return "RWMutex"
+	}
+	return "Mutex"
+}
+
+// namedTypeName returns the base named-type name of t, unwrapping one
+// pointer level; "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for dynamic calls (function values, interface methods the
+// checker cannot pin, built-ins).
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := p.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isDoneObservation reports whether call is ctx.Done() for a
+// context.Context-typed receiver. The callers treat any syntactic use
+// (<-ctx.Done(), a select case, passing the channel on) as observing
+// cancellation — over-approximate, but a Done() call that is then
+// ignored is vanishingly rare and cheap to annotate.
+func isDoneObservation(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return isContextType(tv.Type)
+}
+
+// isWaitGroupMethod reports whether call invokes the named method
+// (Done, Wait, Add) on a sync.WaitGroup.
+func isWaitGroupMethod(p *Package, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	return namedTypeName(recv.Type()) == "WaitGroup"
+}

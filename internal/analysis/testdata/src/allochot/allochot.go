@@ -1,0 +1,145 @@
+// Corpus for the allochot check: functions annotated //fgbs:hot must
+// keep their loops free of per-iteration allocation — no fmt calls
+// (Errorf excepted), no string concatenation, no append to an
+// unpreallocated destination, no interface boxing. Unannotated
+// functions are never checked: the directive is an opt-in contract.
+package allochot
+
+import "fmt"
+
+//fgbs:hot
+func sumClean(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//fgbs:hot
+func badFmt(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%d", x)) // want "fmt.Sprintf in a loop of hot badFmt allocates per iteration"
+	}
+	return out
+}
+
+//fgbs:hot
+func badConcat(names []string) string {
+	out := ""
+	for _, n := range names {
+		out = out + "," + n // want "string concatenation in a loop of hot badConcat" "string concatenation in a loop of hot badConcat"
+	}
+	return out
+}
+
+//fgbs:hot
+func badConcatAssign(names []string) string {
+	var out string
+	for _, n := range names {
+		out += n // want "string \+= in a loop of hot badConcatAssign"
+	}
+	return out
+}
+
+//fgbs:hot
+func badAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*x) // want "append in a loop of hot badAppend grows out without preallocation"
+	}
+	return out
+}
+
+//fgbs:hot
+func goodAppend(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*x)
+	}
+	return out
+}
+
+type result struct {
+	merges []int
+}
+
+// fillField shows the field-destination case: d.merges is preallocated
+// with capacity before the loop, so the appends amortize to zero.
+//
+//fgbs:hot
+func fillField(d *result, n int) {
+	d.merges = make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		d.merges = append(d.merges, i)
+	}
+}
+
+//fgbs:hot
+func badFillField(d *result, n int) {
+	for i := 0; i < n; i++ {
+		d.merges = append(d.merges, i) // want "append in a loop of hot badFillField grows d.merges without preallocation"
+	}
+}
+
+//fgbs:hot
+func badBox(xs []int) []any {
+	out := make([]any, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, any(x)) // want "conversion to interface any in a loop of hot badBox boxes per iteration"
+	}
+	return out
+}
+
+// errorPathOK: fmt.Errorf constructs the error that exits the loop —
+// exempt by design.
+//
+//fgbs:hot
+func errorPathOK(xs []int) error {
+	for _, x := range xs {
+		if x < 0 {
+			return fmt.Errorf("negative input %d", x)
+		}
+	}
+	return nil
+}
+
+// coldPath commits every hot-path sin but carries no annotation, so
+// nothing is reported.
+func coldPath(xs []int) string {
+	out := ""
+	var all []string
+	for _, x := range xs {
+		s := fmt.Sprintf("%d", x)
+		all = append(all, s)
+		out += s
+	}
+	return out
+}
+
+// outsideLoop: allocation before the loop is exactly what the check
+// pushes toward — no findings on straight-line code.
+//
+//fgbs:hot
+func outsideLoop(xs []int) string {
+	header := fmt.Sprintf("n=%d", len(xs))
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return header + fmt.Sprint(total)
+}
+
+// suppressed documents a measured exception (the fmt call is behind a
+// debug flag that is off in production).
+//
+//fgbs:hot
+func suppressed(xs []int, debug bool) {
+	for _, x := range xs {
+		if debug {
+			//fgbs:allow allochot corpus: debug-only branch, off in production
+			fmt.Println(x)
+		}
+	}
+}

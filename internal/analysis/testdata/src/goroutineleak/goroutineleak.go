@@ -1,0 +1,140 @@
+// Corpus for the goroutineleak check: a goroutine launched from a
+// ctx-holding function must observe ctx.Done() (directly, via a ctx
+// parameter of its own, or through a same-package callee) or be joined
+// by a sync.WaitGroup the launcher waits on. Functions without a ctx
+// in scope are out of scope — goroutine lifetime there belongs to the
+// owner, not the cancellation graph.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leaks: the goroutine neither watches ctx nor is joined.
+func leaks(ctx context.Context) {
+	go func() { // want "goroutine launched from ctx-holding leaks neither observes ctx.Done"
+		for {
+			work()
+		}
+	}()
+	<-ctx.Done()
+}
+
+// watchesDone is clean: the goroutine selects on ctx.Done().
+func watchesDone(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+				work()
+			}
+		}
+	}()
+}
+
+// joined is clean: the launcher waits on the WaitGroup the goroutine
+// signals.
+func joined(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// doneWithoutWait leaks: the goroutine calls wg.Done, but nothing in
+// this launcher ever waits on wg, so the join is imaginary.
+func doneWithoutWait(ctx context.Context) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine launched from ctx-holding doneWithoutWait neither observes ctx.Done"
+		defer wg.Done()
+		work()
+	}()
+}
+
+// passesCtx is clean: handing the callee a context gives it the means
+// to stop.
+func passesCtx(ctx context.Context) {
+	go runner(ctx)
+}
+
+func runner(ctx context.Context) {
+	<-ctx.Done()
+}
+
+type worker struct {
+	ctx  context.Context
+	jobs chan int
+}
+
+// launchMethod is clean through the summary pass: loop observes
+// w.ctx.Done() even though the go statement itself shows no ctx.
+func (w *worker) launchMethod(ctx context.Context) {
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-w.jobs:
+			work()
+		}
+	}
+}
+
+// launchOpaque leaks: spin never observes any ctx.
+func (w *worker) launchOpaque(ctx context.Context) {
+	go w.spin() // want "goroutine launched from ctx-holding launchOpaque neither observes ctx.Done"
+}
+
+func (w *worker) spin() {
+	for {
+		work()
+	}
+}
+
+// insideClosure: the ctx-holding scope extends into nested closures —
+// a leak three literals deep is still a leak.
+func insideClosure(ctx context.Context) func() {
+	return func() {
+		go work() // want "goroutine launched from ctx-holding insideClosure neither observes ctx.Done"
+	}
+}
+
+// noCtxNoRules: without a context in scope, goroutine lifetime is the
+// owner's business — no findings here.
+func noCtxNoRules() {
+	go work()
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// suppressed documents a sanctioned detachment (a server goroutine
+// bounded by Close elsewhere).
+func suppressed(ctx context.Context) {
+	//fgbs:allow goroutineleak corpus: goroutine bounded by Close, not ctx
+	go work()
+}
+
+// indirectDone is clean: the goroutine body calls a same-package
+// function that observes Done.
+func indirectDone(ctx context.Context) {
+	go func() {
+		runner(ctx)
+	}()
+}

@@ -49,6 +49,35 @@ func (g *gauge) set(v float64) {
 	g.mu.Unlock()
 }
 
+// readEverything reads several guarded values under RLock only — the
+// read guard suffices, so no findings.
+func (g *gauge) readEverything() (float64, float64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v, g.v * 2
+}
+
+// sneakyWrite holds only the read lock while writing: shared readers
+// race with this write, so RLock does not cover it.
+func (g *gauge) sneakyWrite(v float64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.v = v // want "gauge.v is guarded by mu, but sneakyWrite writes it under RLock; writes need mu.Lock\(\)"
+}
+
+// upgrades reads under RLock, then reacquires for the write — the
+// body-wide tracking sees both lock modes, so both accesses pass.
+func (g *gauge) upgrades(v float64) {
+	g.mu.RLock()
+	cur := g.v
+	g.mu.RUnlock()
+	if cur != v {
+		g.mu.Lock()
+		g.v = v
+		g.mu.Unlock()
+	}
+}
+
 type typo struct {
 	mux sync.Mutex
 	n   int // guarded by mu; want "'guarded by mu' names no field of typo"

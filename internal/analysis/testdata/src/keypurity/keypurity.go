@@ -1,0 +1,131 @@
+// Corpus for the keypurity check: no value derived from map iteration
+// order, the wall clock, math/rand, or pointer formatting may reach a
+// KeyBuilder write method. The KeyBuilder here mirrors the
+// stage.KeyBuilder surface — the check matches by type name so the
+// corpus and the real tree exercise the same code path.
+package keypurity
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// KeyBuilder is the corpus stand-in for stage.KeyBuilder.
+type KeyBuilder struct {
+	parts []string
+}
+
+// NewKey opens a key for the named stage at a format version.
+func NewKey(stage, version string) *KeyBuilder {
+	return &KeyBuilder{parts: []string{stage, version}}
+}
+
+func (b *KeyBuilder) Str(s string) *KeyBuilder {
+	b.parts = append(b.parts, s)
+	return b
+}
+
+func (b *KeyBuilder) Strs(ss []string) *KeyBuilder {
+	b.parts = append(b.parts, ss...)
+	return b
+}
+
+func (b *KeyBuilder) Int(v int) *KeyBuilder {
+	return b.Str(strconv.Itoa(v))
+}
+
+func (b *KeyBuilder) Uint64(v uint64) *KeyBuilder {
+	return b.Str(strconv.FormatUint(v, 10))
+}
+
+func (b *KeyBuilder) Float(v float64) *KeyBuilder {
+	return b.Str(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (b *KeyBuilder) Key() string {
+	out := ""
+	for _, p := range b.parts {
+		out += "/" + p
+	}
+	return out
+}
+
+// badMapRange is the seeded regression: keying directly off a map
+// range emits parts in a different order every run.
+func badMapRange(kb *KeyBuilder, opts map[string]string) {
+	for k, v := range opts {
+		kb.Str(k) // want "value derived from map iteration order reaches KeyBuilder.Str"
+		kb.Str(v) // want "value derived from map iteration order reaches KeyBuilder.Str"
+	}
+}
+
+// badDerived: taint survives assignment chains and concatenation.
+func badDerived(kb *KeyBuilder, opts map[string]string) {
+	for k := range opts {
+		tagged := "opt-" + k
+		kb.Str(tagged) // want "value derived from map iteration order reaches KeyBuilder.Str"
+	}
+}
+
+// goodSorted is the sanctioned idiom: collect, sort, then key. The
+// sort call launders the slice.
+func goodSorted(kb *KeyBuilder, opts map[string]string) {
+	keys := make([]string, 0, len(opts))
+	for k := range opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kb.Strs(keys)
+	for _, k := range keys {
+		kb.Str(opts[k])
+	}
+}
+
+// badClock: wall-clock values hash differently every run.
+func badClock(kb *KeyBuilder) {
+	stamp := time.Now().UnixNano()
+	kb.Int(int(stamp)) // want "value derived from the wall clock \(time.UnixNano\) reaches KeyBuilder.Int"
+}
+
+// badClockDirect: the source call can sit right in the argument.
+func badClockDirect(kb *KeyBuilder) {
+	kb.Float(time.Since(time.Time{}).Seconds()) // want "value derived from the wall clock"
+}
+
+// badRand: random key material defeats content addressing outright.
+func badRand(kb *KeyBuilder) {
+	kb.Uint64(rand.Uint64()) // want "value derived from math/rand \(Uint64\) reaches KeyBuilder.Uint64"
+}
+
+// badPointer: %p renders an address, unique per process.
+func badPointer(kb *KeyBuilder, cfg *KeyBuilder) {
+	id := fmt.Sprintf("%p", cfg)
+	kb.Str(id) // want "value derived from pointer formatting \(%p\) reaches KeyBuilder.Str"
+}
+
+// badNewKey: NewKey's own arguments are key material too.
+func badNewKey(cfg *KeyBuilder) *KeyBuilder {
+	return NewKey(fmt.Sprintf("stage-%p", cfg), "v1") // want "value derived from pointer formatting \(%p\) reaches NewKey"
+}
+
+// goodStable: constants, parameters, and derived-but-clean values are
+// all fine.
+func goodStable(kb *KeyBuilder, suite string, seed uint64, ks []int) {
+	kb.Str(suite)
+	kb.Uint64(seed)
+	for _, k := range ks {
+		kb.Int(k) // slice iteration order is deterministic
+	}
+	kb.Str(fmt.Sprintf("%d-%s", seed, suite)) // %d/%s formatting is stable
+}
+
+// suppressed documents a sanctioned impurity (a debug-only key).
+func suppressed(kb *KeyBuilder, opts map[string]bool) {
+	for k := range opts {
+		//fgbs:allow keypurity corpus: debug key, never persisted
+		kb.Str(k)
+	}
+}

@@ -1,0 +1,211 @@
+// Corpus for the lockorder check: locks must be released on every
+// return path, and the package-wide lock-acquisition graph must be
+// acyclic. The clean functions pin the idioms the analysis must NOT
+// flag (defer release, per-branch release, unlock-then-relock,
+// TryLock, panic paths).
+package lockorder
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+// ab and ba acquire the two package mutexes in opposite orders: the
+// seeded two-mutex deadlock. The cycle is reported once, at its
+// lexicographically smallest edge (muA→muB, i.e. ab's inner Lock).
+func ab() {
+	muA.Lock()
+	muB.Lock() // want "lock-order cycle: muA → muB → muA"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func ba() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var mu sync.Mutex
+var state int
+
+// earlyReturn leaks: the early return path exits with mu held.
+func earlyReturn(cond bool) int {
+	mu.Lock() // want "mu.Lock\(\) in earlyReturn is not released on every return path"
+	if cond {
+		return 1
+	}
+	mu.Unlock()
+	return 0
+}
+
+// deferRelease is the canonical clean shape.
+func deferRelease() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return state
+}
+
+// branchRelease unlocks on every path explicitly — clean.
+func branchRelease(cond bool) int {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return 1
+	}
+	mu.Unlock()
+	return 0
+}
+
+// relock unlocks and reacquires mid-body; both windows are balanced.
+func relock() {
+	mu.Lock()
+	state++
+	mu.Unlock()
+	compute()
+	mu.Lock()
+	state++
+	mu.Unlock()
+}
+
+func compute() {}
+
+// loopLocked locks and unlocks per iteration — clean (the back edge
+// carries the empty held set).
+func loopLocked(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		state++
+		mu.Unlock()
+	}
+}
+
+var rw sync.RWMutex
+
+// readersDone pairs RLock with RUnlock — clean.
+func readersDone() int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return state
+}
+
+// wrongMode leaks: RUnlock releases the read lock, not the write lock
+// taken here, so the write Lock is held at return.
+func wrongMode() {
+	rw.Lock() // want "rw.Lock\(\) in wrongMode is not released on every return path"
+	rw.RUnlock()
+}
+
+// tryNoLeak: a failed TryLock must not count as held, so the analysis
+// treats Try acquisitions as ordering-only facts.
+func tryNoLeak() {
+	if mu.TryLock() {
+		state++
+		mu.Unlock()
+	}
+}
+
+// panicPath: deferred unlocks run during unwinding, so a panic with a
+// defer in place is clean.
+func panicPath(bad bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	if bad {
+		panic("invariant violated")
+	}
+	state++
+}
+
+// deferInClosure releases through a deferred function literal — clean.
+func deferInClosure() int {
+	mu.Lock()
+	defer func() { mu.Unlock() }()
+	return state
+}
+
+var muC, muD sync.Mutex
+
+// outer→helper shows the summary pass at work: helper's acquisition of
+// muD happens while outer holds muC, and dc closes the cycle
+// muC→muD→muC. The report lands on the call that created the
+// smallest edge.
+func outer() {
+	muC.Lock()
+	helper() // want "lock-order cycle: muC → muD → muC"
+	muC.Unlock()
+}
+
+func helper() {
+	muD.Lock()
+	state++
+	muD.Unlock()
+}
+
+func dc() {
+	muD.Lock()
+	muC.Lock()
+	muC.Unlock()
+	muD.Unlock()
+}
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// methodLeak: a struct-field mutex leak names the class Type.field.
+func (b *box) methodLeak(cond bool) int {
+	b.mu.Lock() // want "box.mu.Lock\(\) in methodLeak is not released on every return path"
+	if cond {
+		return b.n
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// methodClean releases on both paths.
+func (b *box) methodClean(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		n := b.n
+		b.mu.Unlock()
+		return n
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// suppressed documents an intentional hand-off: the lock is released
+// by the caller (a locked-suffix contract).
+func (b *box) suppressed() {
+	//fgbs:allow lockorder corpus: transfers the lock to the caller by contract
+	b.mu.Lock()
+	b.n++
+}
+
+// selectRelease exercises CFG select handling: every comm clause
+// releases before returning.
+func selectRelease(ch chan int) int {
+	mu.Lock()
+	select {
+	case v := <-ch:
+		mu.Unlock()
+		return v
+	default:
+		mu.Unlock()
+		return 0
+	}
+}
+
+// switchLeak: one case forgets to unlock.
+func switchLeak(mode int) {
+	mu.Lock() // want "mu.Lock\(\) in switchLeak is not released on every return path"
+	switch mode {
+	case 0:
+		mu.Unlock()
+	case 1:
+		state++ // missing unlock: held at the fall-off-end exit
+	default:
+		mu.Unlock()
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 
+	"fgbs/internal/analysis"
 	"fgbs/internal/arch"
 	"fgbs/internal/cache"
 	"fgbs/internal/cluster"
@@ -333,6 +335,56 @@ func init() {
 				return nil
 			}
 			return &Instance{Op: op}, nil
+		},
+	})
+
+	Register(Spec{
+		Name: "analysis/vet-tree",
+		Doc:  "flow-sensitive fgbsvet analysis (all nine checks) over the repository's own packages, parallel workers",
+		Setup: func(ctx context.Context) (*Instance, error) {
+			workers := runtime.GOMAXPROCS(0)
+			mod, err := analysis.LoadModuleParallel(".", workers)
+			if err != nil {
+				return nil, err
+			}
+			pkgs, err := mod.Select(nil)
+			if err != nil {
+				return nil, err
+			}
+			op := func() error {
+				diags, err := analysis.Run(pkgs, analysis.Options{Workers: workers})
+				if err != nil {
+					return err
+				}
+				sink.Add(uint64(len(pkgs) + len(diags)))
+				return nil
+			}
+			// Verify pins the two properties the parallel driver must
+			// keep: the tree stays clean, and any worker count yields
+			// exactly the serial run's diagnostics.
+			verify := func() error {
+				serial, err := analysis.Run(pkgs, analysis.Options{Workers: 1})
+				if err != nil {
+					return err
+				}
+				par, err := analysis.Run(pkgs, analysis.Options{Workers: workers})
+				if err != nil {
+					return err
+				}
+				if len(serial) != len(par) {
+					return fmt.Errorf("parallel run found %d diagnostics, serial %d", len(par), len(serial))
+				}
+				for i := range serial {
+					if serial[i].String() != par[i].String() {
+						return fmt.Errorf("diagnostic %d diverged: serial %q, parallel %q", i, serial[i], par[i])
+					}
+				}
+				if len(serial) != 0 {
+					return fmt.Errorf("repository tree is not vet-clean: %d finding(s), first: %s", len(serial), serial[0])
+				}
+				return nil
+			}
+			return &Instance{Op: op, Verify: verify}, nil
 		},
 	})
 

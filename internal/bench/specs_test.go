@@ -14,6 +14,7 @@ func TestRegistryShape(t *testing.T) {
 		t.Fatalf("registry has %d specs, want >= 8: %v", len(names), names)
 	}
 	want := []string{
+		"analysis/vet-tree",
 		"cache/hierarchy-stream",
 		"cluster/ward-distance",
 		"features/normalize",

@@ -67,6 +67,8 @@ type Dendrogram struct {
 
 // Build clusters the given points hierarchically. Points must all
 // have the same, nonzero dimension; at least one point is required.
+//
+//fgbs:hot
 func Build(points [][]float64, linkage Linkage) (*Dendrogram, error) {
 	n := len(points)
 	if n == 0 {
@@ -113,6 +115,7 @@ func Build(points [][]float64, linkage Linkage) (*Dendrogram, error) {
 		size[i] = 1
 	}
 
+	d.Merges = make([]Merge, 0, n-1)
 	for step := 0; step < n-1; step++ {
 		// Find the closest active pair.
 		bi, bj, best := -1, -1, math.Inf(1)

@@ -46,12 +46,16 @@ func (p *Profile) SweepKContext(ctx context.Context, mask features.Mask, kMin, k
 // sweepPoint computes one K of the sweep. It is pure in (mask, k), the
 // property that lets SweepKParallel fan K values out and merge the
 // points back in order with results identical to the serial loop.
+//
+//fgbs:hot
 func (p *Profile) sweepPoint(mask features.Mask, k int) (SweepPoint, error) {
 	sub, err := p.Subset(mask, k)
 	if err != nil {
 		return SweepPoint{}, fmt.Errorf("pipeline: sweep k=%d: %w", k, err)
 	}
 	pt := SweepPoint{K: k, FinalK: sub.K()}
+	pt.MedianError = make([]float64, 0, len(p.Targets))
+	pt.Reduction = make([]float64, 0, len(p.Targets))
 	for t := range p.Targets {
 		ev, err := p.Evaluate(sub, t)
 		if err != nil {

@@ -169,6 +169,7 @@ func (r *registry) Staged(ctx context.Context, suite string) (*pipeline.Staged, 
 		r.mu.Unlock()
 		// Detached: the build must survive this requester giving up,
 		// because coalesced waiters share its outcome.
+		//fgbs:allow goroutineleak detached by design; build outlives the requester so coalesced waiters share it
 		go r.build(suite, e)
 	} else {
 		lg := r.lastGood[suite]
@@ -206,6 +207,7 @@ func (r *registry) Staged(ctx context.Context, suite string) (*pipeline.Staged, 
 		// hoping the faults behind the markers were transient.
 		if r.breakers.allow(key) {
 			if ne := r.swapEntry(suite, e); ne != nil {
+				//fgbs:allow goroutineleak detached rebuild probe; its outcome is shared via the swapped entry
 				go r.build(suite, ne)
 				select {
 				case <-ne.ready:

@@ -81,6 +81,8 @@ func (b *KeyBuilder) Str(s string) *KeyBuilder {
 }
 
 // Strs mixes in a string slice, order-sensitively.
+//
+//fgbs:hot
 func (b *KeyBuilder) Strs(ss []string) *KeyBuilder {
 	b.Int(len(ss))
 	for _, s := range ss {

@@ -180,6 +180,8 @@ func Max(xs []float64) float64 {
 // Mean and StdDev, so results are bit-identical to the gather-a-column
 // formulation while allocating nothing — this runs on every normalize
 // stage resolution, over matrices as tall as the suite.
+//
+//fgbs:hot
 func Normalize(rows [][]float64) {
 	if len(rows) == 0 {
 		return
@@ -212,6 +214,8 @@ func Normalize(rows [][]float64) {
 
 // EuclideanDistance returns the L2 distance between a and b.
 // It panics if the lengths differ.
+//
+//fgbs:hot
 func EuclideanDistance(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("stats: dimension mismatch")
