@@ -47,6 +47,15 @@ go test -race -timeout 20m -run '^TestChaos' ./internal/pipeline ./internal/serv
 # registered suite through the full Subset→Evaluate pipeline under
 # -race with stable cluster membership. Generation fans out across
 # workers, so the race detector is load-bearing here.
+# The crash-recovery gate kills a real fgbsd mid-job at each armed
+# crashpoint (journal write, artifact write, pre-rename), restarts it,
+# and requires the resumed job to finish with byte-identical results on
+# the reference seed (20140215) and every surviving artifact to pass
+# frame verification. -race because resume re-enters the worker pool
+# and the disk breaker under load.
+echo "== crash recovery =="
+go test -race -timeout 10m -run '^TestCrashRecovery$' ./cmd/fgbsd
+
 echo "== corpus smoke =="
 go run ./cmd/fgbs corpus -family stencil2d -n 8 -seed 42 > /dev/null
 go test -race -timeout 10m -run '^TestCorpusSmokeSubsetEvaluate$' ./internal/corpus

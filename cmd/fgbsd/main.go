@@ -53,6 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -210,17 +211,25 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: cfg.addr, Handler: s.Handler()}
+	// Listen before announcing: with -addr :0 the kernel picks the
+	// port, and harnesses (the crash-recovery e2e) learn it from the
+	// serving line, which must therefore carry the bound address rather
+	// than the flag value.
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	// The server goroutine is torn down by httpSrv.Shutdown below, not
 	// by observing ctx directly.
 	//fgbs:allow goroutineleak joined via httpSrv.Shutdown on ctx cancellation
 	go func() {
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()
-	fmt.Printf("fgbsd: serving %s on %s\n", strings.Join(cfg.serve, ", "), cfg.addr)
+	fmt.Printf("fgbsd: serving %s on %s\n", strings.Join(cfg.serve, ", "), ln.Addr())
 
 	select {
 	case err := <-errc:

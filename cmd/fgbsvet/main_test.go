@@ -89,7 +89,7 @@ func TestRunRejectsBadInvocations(t *testing.T) {
 func TestListGolden(t *testing.T) {
 	const golden = `allochot         loops in //fgbs:hot functions must avoid per-iteration allocation (fmt, string +, unpreallocated append, interface boxing)
 ctxpropagation   in ctx-holding functions, forbid context.Background()/TODO() args and non-Context variants when a Context variant exists
-determinism      forbid time.Now, wall-clock sleeps, and math/rand: use internal/rng streams, injected clocks, and sleep hooks
+determinism      forbid time.Now, wall-clock sleeps, math/rand, and os.Exit-style aborts: use internal/rng streams, injected clocks, sleep hooks, and returned errors
 errwrap          forbid fmt.Errorf formatting an error operand without %w
 floatcompare     forbid ==/!=/switch on floating-point operands outside tests and internal/stats
 goroutineleak    goroutines launched from ctx-holding functions must observe ctx.Done() or be WaitGroup-joined

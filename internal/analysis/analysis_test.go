@@ -188,6 +188,39 @@ func stamp() time.Time {
 	}
 }
 
+// TestDeterminismAbortExemptionIsScoped is the control for the abort
+// rule's two carve-outs: the exact same os.Exit call is a finding in a
+// library package, silent in package main (a CLI's error exit), and
+// silent under an import path ending in internal/fault (the crashpoint
+// hooks — see the faultpkg corpus for the positive case).
+func TestDeterminismAbortExemptionIsScoped(t *testing.T) {
+	body := `
+
+import "os"
+
+func bail(code int) {
+	os.Exit(code)
+}
+`
+	library := loadSnippet(t, "package snippet"+body)
+	diags, err := Run([]*Package{library}, Options{Checks: []string{"determinism"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "os.Exit aborts the process mid-flight") {
+		t.Fatalf("library os.Exit: got %v, want one abort finding", diags)
+	}
+
+	cli := loadSnippet(t, "package main"+body+"\nfunc main() { bail(0) }\n")
+	diags, err = Run([]*Package{cli}, Options{Checks: []string{"determinism"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("os.Exit flagged in package main: %v", diags)
+	}
+}
+
 var wantLineRe = regexp.MustCompile(`\bwant ("(?:[^"\\]|\\.)*")`)
 var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 

@@ -38,7 +38,7 @@ import (
 // directive inside internal/stage is itself reported as a finding.
 var determinismCheck = &Check{
 	Name: "determinism",
-	Doc:  "forbid time.Now, wall-clock sleeps, and math/rand: use internal/rng streams, injected clocks, and sleep hooks",
+	Doc:  "forbid time.Now, wall-clock sleeps, math/rand, and os.Exit-style aborts: use internal/rng streams, injected clocks, sleep hooks, and returned errors",
 	run:  runDeterminism,
 }
 
@@ -57,6 +57,16 @@ func wallClockExempt(path string) bool {
 // wallClockExempt keeps it path-scoped, not blanket.
 func benchTimingExempt(path string) bool {
 	return strings.HasSuffix(path, "internal/bench")
+}
+
+// abortExempt reports whether pkg may abort the process. Only two
+// places are sanctioned: internal/fault (the deterministic crashpoint
+// hooks abort by design — that is the durability harness's kill
+// switch) and main packages (a CLI's error exit). Everywhere else an
+// os.Exit-style abort skips deferred cleanup and journal writes, which
+// is exactly what the crash-safety contract must never do silently.
+func abortExempt(p *Pass) bool {
+	return strings.HasSuffix(p.Pkg.Path, "internal/fault") || p.Pkg.Types.Name() == "main"
 }
 
 // stagePure reports whether pkg is the content-addressing engine,
@@ -109,6 +119,17 @@ func runDeterminism(p *Pass) {
 				}
 			case "math/rand", "math/rand/v2":
 				report(sel.Pos(), "%s.%s bypasses internal/rng; all randomness must come from a seeded rng.RNG stream", obj.Pkg().Name(), obj.Name())
+			case "os":
+				if obj.Name() == "Exit" && !abortExempt(p) {
+					report(sel.Pos(), "os.Exit aborts the process mid-flight, skipping deferred cleanup and journal writes; return an error, or route deliberate aborts through fault.Crashpoint")
+				}
+			case "log":
+				switch obj.Name() {
+				case "Fatal", "Fatalf", "Fatalln":
+					if !abortExempt(p) {
+						report(sel.Pos(), "log.%s aborts the process mid-flight, skipping deferred cleanup and journal writes; return an error, or route deliberate aborts through fault.Crashpoint", obj.Name())
+					}
+				}
 			}
 			return true
 		})

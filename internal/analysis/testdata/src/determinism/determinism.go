@@ -3,7 +3,9 @@
 package determinism
 
 import (
+	"log"
 	"math/rand"
+	"os"
 	"time"
 )
 
@@ -63,4 +65,21 @@ func pacers() {
 // in place, same as any other finding.
 func suppressedSleep(d time.Duration) {
 	time.Sleep(d) //fgbs:allow determinism corpus: backoff pacing only, no result reads the clock
+}
+
+func bail() {
+	os.Exit(1) // want "os.Exit aborts the process mid-flight"
+}
+
+func bailLogging(err error) {
+	log.Fatal(err)          // want "log.Fatal aborts the process mid-flight"
+	log.Fatalf("%v", err)   // want "log.Fatalf aborts the process mid-flight"
+	log.Fatalln(err, "bye") // want "log.Fatalln aborts the process mid-flight"
+	log.Printf("fine: %v", err)
+}
+
+// exitAsValue: referencing os.Exit without calling it is still an
+// abort handed to whoever invokes it.
+func exitAsValue() func(int) {
+	return os.Exit // want "os.Exit aborts the process mid-flight"
 }

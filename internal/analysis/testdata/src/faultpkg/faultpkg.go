@@ -1,10 +1,15 @@
-// Corpus for the determinism wall-clock exemption. The harness loads
-// this package under the import path corpus/internal/fault, so the
-// pacing calls below are sanctioned — fault injection delays on the
-// wall clock by design — while time.Now stays a finding even here.
+// Corpus for the determinism wall-clock and abort exemptions. The
+// harness loads this package under the import path
+// corpus/internal/fault, so the pacing calls below are sanctioned —
+// fault injection delays on the wall clock by design — and so are
+// os.Exit-style aborts, which is how the crashpoint hooks kill the
+// process at armed sites. time.Now stays a finding even here.
 package faultpkg
 
-import "time"
+import (
+	"os"
+	"time"
+)
 
 func delay(d time.Duration) {
 	time.Sleep(d)
@@ -15,4 +20,14 @@ func delay(d time.Duration) {
 
 func stamp() time.Time {
 	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// crashpoint mirrors fault.Crashpoint: the env-armed deterministic
+// abort the crash-recovery harness drives. Sanctioned here — and only
+// here — by the path-suffix exemption.
+func crashpoint(site string) {
+	if site == "" || os.Getenv("CRASHPOINT") != site {
+		return
+	}
+	os.Exit(86)
 }

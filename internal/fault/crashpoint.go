@@ -1,0 +1,54 @@
+// Crashpoints: deterministic, env-armed process aborts for crash-
+// recovery testing. A durability contract ("a restart finishes what a
+// crash interrupted") is only testable if the process can be killed at
+// exactly the moments the contract protects — after a journal record
+// became durable, halfway through an artifact's bytes, just before the
+// rename that publishes them. Each such moment is a named site; arming
+// one through the environment makes the process abort the first time
+// execution reaches it, so a harness can replay the same crash
+// schedule on every run. Unarmed sites cost one string comparison.
+package fault
+
+import (
+	"fmt"
+	"os"
+)
+
+// CrashEnv is the environment variable that arms a crashpoint: set it
+// to a site name and the process aborts with CrashExitCode the first
+// time that site executes. Only one site can be armed per process —
+// one crash schedule per run is what keeps recovery tests replayable.
+const CrashEnv = "FGBS_CRASHPOINT"
+
+// CrashExitCode is the distinctive status an armed crashpoint exits
+// with, so harnesses can tell a deliberate abort from an ordinary
+// failure.
+const CrashExitCode = 86
+
+// The named crashpoint sites. Each names the instant after (or during)
+// a durability-critical step, chosen so that every persistence
+// invariant has a crash that would violate it if the code were wrong:
+//
+//   - CrashAfterJournalWrite: a job record just became durable but the
+//     submitter never heard back — recovery must adopt and finish it.
+//   - CrashMidArtifactWrite: an artifact's bytes are half-written —
+//     the store must never serve the torn file.
+//   - CrashBeforeRename: an artifact is fully written but unpublished —
+//     a tmp file exists, the published name must not.
+const (
+	CrashAfterJournalWrite = "jobs/after-journal-write"
+	CrashMidArtifactWrite  = "stage/mid-artifact-write"
+	CrashBeforeRename      = "stage/before-rename"
+)
+
+// Crashpoint aborts the process when site is armed via CrashEnv, and
+// is a no-op otherwise. The abort is immediate — no deferred functions
+// run, no buffers flush — which is exactly the SIGKILL-like death the
+// recovery path must survive.
+func Crashpoint(site string) {
+	if site == "" || os.Getenv(CrashEnv) != site {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "fault: crashpoint %s armed, aborting\n", site)
+	os.Exit(CrashExitCode)
+}

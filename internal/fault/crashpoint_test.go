@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestCrashpointUnarmedIsNoop pins the fast path: with no site armed
+// (or a different one armed), Crashpoint returns. If it ever aborted
+// here the test process itself would die, so mere completion is the
+// assertion.
+func TestCrashpointUnarmedIsNoop(t *testing.T) {
+	t.Setenv(CrashEnv, "")
+	Crashpoint(CrashAfterJournalWrite)
+	t.Setenv(CrashEnv, CrashBeforeRename)
+	Crashpoint(CrashAfterJournalWrite)
+	Crashpoint("") // the unnamed site can never be armed
+}
+
+// TestCrashpointArmedAborts re-executes the test binary with the site
+// armed and asserts the child dies with CrashExitCode — the subprocess
+// pattern, since an armed crashpoint kills its own process by design.
+func TestCrashpointArmedAborts(t *testing.T) {
+	if os.Getenv("FGBS_CRASHPOINT_HELPER") == "1" {
+		Crashpoint(CrashMidArtifactWrite)
+		os.Exit(0) // not reached when armed correctly
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashpointArmedAborts$")
+	cmd.Env = append(os.Environ(),
+		"FGBS_CRASHPOINT_HELPER=1",
+		CrashEnv+"="+CrashMidArtifactWrite,
+	)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("armed crashpoint did not abort the child (err %v, output %q)", err, out)
+	}
+	if code := ee.ExitCode(); code != CrashExitCode {
+		t.Errorf("exit code = %d, want %d (output %q)", code, CrashExitCode, out)
+	}
+	if !strings.Contains(string(out), "crashpoint stage/mid-artifact-write armed") {
+		t.Errorf("abort did not announce its site: %q", out)
+	}
+}

@@ -10,8 +10,17 @@
 // the manager's lifetime for cancellation, and live progress counters
 // ("trials 412/1000") the job function updates as it runs. Terminal
 // jobs are retained for polling and garbage-collected after a
-// retention window (or beyond a retained-count cap); completed results
-// can optionally be persisted to disk as JSON.
+// retention window (or beyond a retained-count cap).
+//
+// With a journal directory configured the manager is crash-safe: jobs
+// submitted with a spec (SubmitSpec) are journaled durably at every
+// state transition, and a restarted manager re-adopts the journal —
+// terminal jobs come back pollable with their exact result bytes,
+// interrupted pending/running jobs are rebuilt through the Rehydrate
+// hook and re-enqueued (the pipeline is deterministic, so the re-run
+// reproduces the lost result), GC'd jobs stay dead behind tombstones,
+// and the ID counter resumes past every persisted record so restarts
+// never reuse an ID. See journal.go.
 package jobs
 
 import (
@@ -20,7 +29,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -80,19 +88,23 @@ type Job struct {
 	id   string
 	kind string
 	fn   Fn
+	// spec is the durable form of the job's parameters; non-empty spec
+	// makes the job journaled and resumable (see SubmitSpec).
+	spec json.RawMessage
 
 	// Progress is updated lock-free by the running fn.
 	progress Progress
 
-	mu       sync.Mutex
-	state    State              // guarded by mu
-	result   any                // guarded by mu
-	err      error              // guarded by mu
-	attempts int                // guarded by mu
-	created  time.Time          // guarded by mu
-	started  time.Time          // guarded by mu
-	finished time.Time          // guarded by mu
-	cancel   context.CancelFunc // guarded by mu
+	mu          sync.Mutex
+	state       State              // guarded by mu
+	result      any                // guarded by mu
+	err         error              // guarded by mu
+	attempts    int                // guarded by mu
+	interrupted bool               // guarded by mu; lost a process to a crash/restart
+	created     time.Time          // guarded by mu
+	started     time.Time          // guarded by mu
+	finished    time.Time          // guarded by mu
+	cancel      context.CancelFunc // guarded by mu
 	// done is closed when the job reaches a terminal state.
 	done chan struct{}
 }
@@ -118,8 +130,12 @@ type Snapshot struct {
 	Finished time.Time
 	Err      string
 	// Attempts counts how many times the job has started running
-	// (greater than 1 after transient-failure retries).
+	// (greater than 1 after transient-failure retries), across process
+	// lifetimes for resumed jobs.
 	Attempts int
+	// Interrupted marks a job that lost at least one process to a
+	// crash or restart mid-flight and was re-adopted from the journal.
+	Interrupted bool
 }
 
 // Snapshot captures the job's current observable state.
@@ -131,7 +147,7 @@ func (j *Job) Snapshot() Snapshot {
 		ID: j.id, Kind: j.kind, State: j.state,
 		Done: done, Total: total,
 		Created: j.created, Started: j.started, Finished: j.finished,
-		Attempts: j.attempts,
+		Attempts: j.attempts, Interrupted: j.interrupted,
 	}
 	if j.err != nil {
 		s.Err = j.err.Error()
@@ -141,7 +157,9 @@ func (j *Job) Snapshot() Snapshot {
 
 // Result returns the job's result value once done. ok is false while
 // the job is not in StateDone (pollers should retry or give up based
-// on the snapshot's state).
+// on the snapshot's state). A job re-adopted from the journal after a
+// restart returns its result as json.RawMessage — the exact bytes the
+// original run persisted.
 func (j *Job) Result() (any, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -160,9 +178,21 @@ type Config struct {
 	Retention time.Duration
 	// MaxRetained caps terminal jobs kept in memory (default 128).
 	MaxRetained int
-	// Dir, when set, persists each completed job's result as
-	// <Dir>/<id>.json (best-effort; GC removes the file with the job).
+	// Dir, when set, is the job journal: every durable job (SubmitSpec
+	// with a non-empty spec) is persisted as <Dir>/<id>.json at each
+	// state transition and recovered on the next NewManager over the
+	// same directory; plain Submit jobs persist their completed result
+	// only. GC replaces a dropped job's record with a tombstone so the
+	// ID stays dead (and reserved) across restarts.
 	Dir string
+	// Rehydrate rebuilds a durable job's work function from its
+	// persisted kind and spec when recovery re-adopts a job that was
+	// pending or running at crash time. nil means such jobs are
+	// re-adopted as failed (ErrNotResumable) instead of re-enqueued.
+	Rehydrate func(kind string, spec json.RawMessage) (Fn, error)
+	// Logf receives recovery diagnostics (skipped records, version
+	// mismatches). nil logs to standard error.
+	Logf func(format string, args ...any)
 	// MaxAttempts bounds how many times a job runs before a retryable
 	// failure becomes terminal (default 1: no retries). Failed attempts
 	// requeue the job; it keeps its ID and progress counters.
@@ -193,16 +223,25 @@ func (c *Config) fill() {
 	if c.Retryable == nil {
 		c.Retryable = fault.IsTransient
 	}
+	if c.Logf == nil {
+		c.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
 	if c.now == nil {
 		c.now = time.Now //fgbs:allow determinism the injection point itself: tests swap this hook for a fake clock
 	}
 }
 
-// Errors returned by Submit/Cancel/lookup.
+// Errors returned by Submit/Cancel/lookup and recovery.
 var (
 	ErrClosed    = errors.New("jobs: manager closed")
 	ErrQueueFull = errors.New("jobs: queue full")
 	ErrNotFound  = errors.New("jobs: no such job")
+	// ErrNotResumable finalizes a journaled job that a crash
+	// interrupted but recovery could not re-enqueue (no Rehydrate hook,
+	// no spec, or the hook refused the record).
+	ErrNotResumable = errors.New("jobs: interrupted by restart and not resumable")
 )
 
 // Stats are the /metricz gauges: queued and running are instantaneous,
@@ -216,6 +255,9 @@ type Stats struct {
 	Canceled  int64 `json:"canceled"`
 	// Retried counts requeues after retryable failures (cumulative).
 	Retried int64 `json:"retried"`
+	// Resumed counts interrupted jobs recovery re-enqueued from the
+	// journal at startup.
+	Resumed int64 `json:"resumed"`
 }
 
 // Manager executes jobs on a bounded worker pool. Create with
@@ -237,9 +279,13 @@ type Manager struct {
 	failed    atomic.Int64
 	canceled  atomic.Int64
 	retried   atomic.Int64
+	resumed   atomic.Int64
 }
 
-// NewManager starts the worker pool.
+// NewManager recovers any persisted journal under cfg.Dir — terminal
+// jobs re-adopted, interrupted jobs re-enqueued, the ID counter
+// resumed past every persisted record — and then starts the worker
+// pool.
 func NewManager(cfg Config) *Manager {
 	cfg.fill()
 	ctx, stop := context.WithCancel(context.Background())
@@ -250,6 +296,7 @@ func NewManager(cfg Config) *Manager {
 		queue: make(chan *Job, cfg.QueueDepth),
 		jobs:  make(map[string]*Job),
 	}
+	m.recover()
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -282,8 +329,19 @@ func (m *Manager) Close() {
 
 // Submit enqueues fn under the given kind label and returns the job,
 // already in StatePending. It fails fast when the queue is full or the
-// manager is closed.
+// manager is closed. Jobs submitted this way are not resumable — a
+// crash loses them; use SubmitSpec for durable jobs.
 func (m *Manager) Submit(kind string, fn Fn) (*Job, error) {
+	return m.SubmitSpec(kind, nil, fn)
+}
+
+// SubmitSpec enqueues fn with a JSON spec that makes the job durable:
+// the record is journaled before the job can run, rewritten at every
+// state transition, and — should the process die with the job pending
+// or running — recovered on the next NewManager over the same
+// directory, where the Rehydrate hook turns (kind, spec) back into a
+// runnable Fn. A nil spec degrades to the non-durable Submit behavior.
+func (m *Manager) SubmitSpec(kind string, spec json.RawMessage, fn Fn) (*Job, error) {
 	if m.ctx.Err() != nil {
 		return nil, ErrClosed
 	}
@@ -293,6 +351,7 @@ func (m *Manager) Submit(kind string, fn Fn) (*Job, error) {
 		id:      fmt.Sprintf("job-%08d", m.seq),
 		kind:    kind,
 		fn:      fn,
+		spec:    spec,
 		state:   StatePending,
 		created: m.cfg.now(),
 		done:    make(chan struct{}),
@@ -301,6 +360,12 @@ func (m *Manager) Submit(kind string, fn Fn) (*Job, error) {
 	m.gcLocked()
 	m.mu.Unlock()
 
+	// The record must be durable before the job can run: once
+	// enqueued, a worker may start (and the process may die) at any
+	// instant, and an unjournaled running job is unrecoverable.
+	if len(spec) > 0 {
+		m.journal(j)
+	}
 	select {
 	case m.queue <- j:
 		m.queued.Add(1)
@@ -309,6 +374,9 @@ func (m *Manager) Submit(kind string, fn Fn) (*Job, error) {
 		m.mu.Lock()
 		delete(m.jobs, j.id)
 		m.mu.Unlock()
+		// Never acknowledged to the caller, so no tombstone: the ID
+		// was never observable.
+		m.discardRecord(j.id)
 		return nil, ErrQueueFull
 	}
 }
@@ -357,7 +425,16 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 		j.err = context.Canceled
 		j.finished = m.cfg.now()
 		m.canceled.Add(1)
+		durable := len(j.spec) > 0
 		close(j.done)
+		if durable {
+			// An explicit cancel is a user decision, journaled so the
+			// job stays canceled across restarts (unlike a crash, which
+			// leaves the pending record and resumes).
+			j.mu.Unlock()
+			m.journal(j)
+			j.mu.Lock()
+		}
 	case StateRunning:
 		j.cancel()
 	}
@@ -373,6 +450,7 @@ func (m *Manager) Stats() Stats {
 		Failed:    m.failed.Load(),
 		Canceled:  m.canceled.Load(),
 		Retried:   m.retried.Load(),
+		Resumed:   m.resumed.Load(),
 	}
 }
 
@@ -422,6 +500,13 @@ func (m *Manager) run(j *Job) {
 	attempt := j.attempts
 	j.mu.Unlock()
 	defer cancel()
+	durable := len(j.spec) > 0
+	if durable {
+		// The running record (attempts bumped) must hit disk before
+		// work starts: a crash mid-run then recovers a job whose
+		// attempt count reflects the lost run.
+		m.journal(j)
+	}
 
 	m.running.Add(1)
 	res, err := j.fn(ctx, &j.progress)
@@ -443,6 +528,9 @@ func (m *Manager) run(j *Job) {
 			j.err = nil
 			j.cancel = nil
 			j.mu.Unlock()
+			if durable {
+				m.journal(j)
+			}
 			select {
 			case m.queue <- j:
 				m.queued.Add(1)
@@ -464,57 +552,16 @@ func (m *Manager) run(j *Job) {
 	}
 	done := j.state == StateDone
 	j.mu.Unlock()
-	// Persist before releasing waiters: a poller woken by Done() must
-	// find the result file already durable on disk.
-	if done {
-		m.persist(j)
+	// Journal before releasing waiters: a poller woken by Done() must
+	// find the terminal record already durable on disk. Completed
+	// results are persisted even for non-durable jobs (the archival
+	// behavior plain Submit always had); failed and canceled records
+	// only matter for durable jobs, whose pending/running record on
+	// disk would otherwise resurrect them on restart.
+	if done || durable {
+		m.journal(j)
 	}
 	close(j.done)
-}
-
-// persistedJob is the on-disk form of a completed job.
-type persistedJob struct {
-	ID       string    `json:"id"`
-	Kind     string    `json:"kind"`
-	Created  time.Time `json:"created"`
-	Finished time.Time `json:"finished"`
-	Result   any       `json:"result"`
-}
-
-// persist writes the completed result under the configured directory.
-// Failures are ignored: the in-memory result still serves pollers, the
-// disk copy is an archival convenience.
-func (m *Manager) persist(j *Job) {
-	if m.cfg.Dir == "" {
-		return
-	}
-	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
-		return
-	}
-	s := j.Snapshot()
-	data, err := json.Marshal(persistedJob{
-		ID: s.ID, Kind: s.Kind, Created: s.Created, Finished: s.Finished,
-		Result: j.result,
-	})
-	if err != nil {
-		return
-	}
-	path := filepath.Join(m.cfg.Dir, s.ID+".json")
-	tmp := path + ".tmp"
-	if err := writeFileSync(tmp, data); err != nil {
-		os.Remove(tmp)
-		return
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return
-	}
-	// The rename is only durable once the directory entry is; fsync the
-	// parent so a crash after persist cannot resurrect the tmp state.
-	if d, err := os.Open(m.cfg.Dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
 }
 
 // writeFileSync writes data and fsyncs before closing, so the
@@ -563,11 +610,13 @@ func (m *Manager) gcLocked() {
 	}
 }
 
-// dropLocked removes a job from the map and its persisted file.
+// dropLocked removes a job from the map and tombstones its journal
+// record: the ID stays reserved and the job stays dead across
+// restarts, instead of a deleted record resurrecting on recovery.
 func (m *Manager) dropLocked(j *Job) {
 	//fgbs:allow guardedby the *Locked naming contract: every caller holds m.mu
 	delete(m.jobs, j.id)
 	if m.cfg.Dir != "" {
-		os.Remove(filepath.Join(m.cfg.Dir, j.id+".json"))
+		m.tombstone(j.id)
 	}
 }

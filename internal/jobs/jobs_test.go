@@ -293,11 +293,18 @@ func TestPersistence(t *testing.T) {
 	if pj.ID != j.ID() || pj.Kind != "persisted" {
 		t.Errorf("persisted identity = %q/%q", pj.ID, pj.Kind)
 	}
-	if pj.Result.(map[string]any)["answer"].(float64) != 42 {
-		t.Errorf("persisted result = %v", pj.Result)
+	if pj.SchemaVersion != jobSchemaVersion {
+		t.Errorf("persisted schema version = %d, want %d", pj.SchemaVersion, jobSchemaVersion)
+	}
+	var res map[string]float64
+	if err := json.Unmarshal(pj.Result, &res); err != nil {
+		t.Fatalf("persisted result does not decode: %v", err)
+	}
+	if res["answer"] != 42 {
+		t.Errorf("persisted result = %s", pj.Result)
 	}
 
-	// Failed jobs leave no file.
+	// Non-durable failed jobs leave no file.
 	f, _ := m.Submit("broken", func(ctx context.Context, pr *Progress) (any, error) {
 		return nil, errors.New("no")
 	})

@@ -1,0 +1,322 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// echoRehydrate rebuilds a job that returns its own spec, so resumed
+// results are trivially checkable against the persisted parameters.
+func echoRehydrate(kind string, spec json.RawMessage) (Fn, error) {
+	return func(ctx context.Context, pr *Progress) (any, error) {
+		var v map[string]int
+		if err := json.Unmarshal(spec, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}, nil
+}
+
+// TestRecoveryResumesIDCounter is the regression test for the latent
+// ID collision: a restarted manager over a populated jobs dir must hand
+// out IDs past every persisted record, never reusing one.
+func TestRecoveryResumesIDCounter(t *testing.T) {
+	dir := t.TempDir()
+	m1 := NewManager(Config{Workers: 1, Dir: dir})
+	var lastID string
+	for i := 0; i < 3; i++ {
+		j, err := m1.Submit("fill", func(ctx context.Context, pr *Progress) (any, error) {
+			return i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait(t, j)
+		lastID = j.ID()
+	}
+	m1.Close()
+
+	m2 := NewManager(Config{Workers: 1, Dir: dir})
+	defer m2.Close()
+	j, err := m2.Submit("fresh", func(ctx context.Context, pr *Progress) (any, error) {
+		return "new", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID() <= lastID {
+		t.Errorf("restarted manager issued %s, not past persisted %s", j.ID(), lastID)
+	}
+	if j.ID() != "job-00000004" {
+		t.Errorf("ID after 3 persisted jobs = %s, want job-00000004", j.ID())
+	}
+}
+
+// TestRecoveryAdoptsTerminal pins that a done job survives a restart
+// with its exact result bytes — raw JSON in, raw JSON out, no
+// re-marshal that could reorder keys.
+func TestRecoveryAdoptsTerminal(t *testing.T) {
+	dir := t.TempDir()
+	spec := json.RawMessage(`{"answer":42}`)
+	m1 := NewManager(Config{Workers: 1, Dir: dir})
+	j, err := m1.SubmitSpec("echo", spec, func(ctx context.Context, pr *Progress) (any, error) {
+		return map[string]int{"answer": 42}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+	want, _ := j.Result()
+	wantBytes, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+
+	m2 := NewManager(Config{Workers: 1, Dir: dir})
+	defer m2.Close()
+	j2, err := m2.Get(j.ID())
+	if err != nil {
+		t.Fatalf("re-adopted job not found: %v", err)
+	}
+	s := j2.Snapshot()
+	if s.State != StateDone || s.Kind != "echo" {
+		t.Fatalf("re-adopted state = %s/%s, want done/echo", s.State, s.Kind)
+	}
+	res, ok := j2.Result()
+	if !ok {
+		t.Fatal("re-adopted done job has no result")
+	}
+	raw, isRaw := res.(json.RawMessage)
+	if !isRaw {
+		t.Fatalf("re-adopted result type = %T, want json.RawMessage", res)
+	}
+	if !bytes.Equal(raw, wantBytes) {
+		t.Errorf("re-adopted result = %s, want %s", raw, wantBytes)
+	}
+}
+
+// TestRecoveryResumesInterrupted pins the core durability contract: a
+// job that was pending or running when the process died is rebuilt via
+// Rehydrate, re-enqueued, marked interrupted, and runs to done.
+func TestRecoveryResumesInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a crash mid-run by writing the journal record a live
+	// manager would have left behind: running, one attempt spent.
+	rec := persistedJob{
+		SchemaVersion: jobSchemaVersion,
+		ID:            "job-00000001",
+		Kind:          "echo",
+		State:         StateRunning,
+		Attempts:      1,
+		Spec:          json.RawMessage(`{"answer":7}`),
+	}
+	writeRecordFile(t, dir, rec)
+
+	m := NewManager(Config{Workers: 1, Dir: dir, Rehydrate: echoRehydrate})
+	defer m.Close()
+	if got := m.Stats().Resumed; got != 1 {
+		t.Errorf("Stats().Resumed = %d, want 1", got)
+	}
+	j, err := m.Get("job-00000001")
+	if err != nil {
+		t.Fatalf("interrupted job not adopted: %v", err)
+	}
+	s := wait(t, j)
+	if s.State != StateDone {
+		t.Fatalf("resumed job state = %s (err %s), want done", s.State, s.Err)
+	}
+	if !s.Interrupted {
+		t.Error("resumed job not marked interrupted")
+	}
+	if s.Attempts < 2 {
+		t.Errorf("resumed job attempts = %d, want ≥2 (the lost run counts)", s.Attempts)
+	}
+	res, _ := j.Result()
+	if v := res.(map[string]int)["answer"]; v != 7 {
+		t.Errorf("resumed result = %v, want the spec's 7", res)
+	}
+	// The terminal record must reflect the completed re-run.
+	pj := readRecordFile(t, dir, "job-00000001")
+	if pj.State != StateDone || !pj.Interrupted {
+		t.Errorf("journal after resume = %s/interrupted=%v, want done/true", pj.State, pj.Interrupted)
+	}
+}
+
+// TestRecoveryWithoutRehydrate pins that interrupted jobs are adopted
+// as failed — loudly pollable — when no hook can rebuild them.
+func TestRecoveryWithoutRehydrate(t *testing.T) {
+	dir := t.TempDir()
+	writeRecordFile(t, dir, persistedJob{
+		SchemaVersion: jobSchemaVersion,
+		ID:            "job-00000001",
+		Kind:          "echo",
+		State:         StatePending,
+		Spec:          json.RawMessage(`{"answer":1}`),
+	})
+	m := NewManager(Config{Workers: 1, Dir: dir})
+	defer m.Close()
+	j, err := m.Get("job-00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wait(t, j)
+	if s.State != StateFailed || !strings.Contains(s.Err, ErrNotResumable.Error()) {
+		t.Errorf("adoption without Rehydrate = %s (%q), want failed/ErrNotResumable", s.State, s.Err)
+	}
+}
+
+// TestRecoveryTombstone pins that a GC'd job stays dead across
+// restarts and its ID stays reserved.
+func TestRecoveryTombstone(t *testing.T) {
+	dir := t.TempDir()
+	writeRecordFile(t, dir, persistedJob{
+		SchemaVersion: jobSchemaVersion,
+		ID:            "job-00000005",
+		Tombstone:     true,
+	})
+	m := NewManager(Config{Workers: 1, Dir: dir})
+	defer m.Close()
+	if _, err := m.Get("job-00000005"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("tombstoned job resurrected: err = %v", err)
+	}
+	j, err := m.Submit("fresh", func(ctx context.Context, pr *Progress) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID() != "job-00000006" {
+		t.Errorf("ID after tombstone 5 = %s, want job-00000006 (tombstones reserve IDs)", j.ID())
+	}
+}
+
+// TestRecoverySkipsBadRecords covers the schema-version gate and
+// truncated JSON: both are skipped with a log line naming the file and
+// saying "delete or regenerate", and both still advance the ID
+// counter so a fresh submit cannot collide with the surviving file.
+func TestRecoverySkipsBadRecords(t *testing.T) {
+	dir := t.TempDir()
+	// A record from a future (or past) schema version.
+	writeRecordFile(t, dir, persistedJob{
+		SchemaVersion: jobSchemaVersion + 1,
+		ID:            "job-00000003",
+		Kind:          "echo",
+		State:         StateDone,
+	})
+	// A torn write: truncated JSON.
+	if err := os.WriteFile(filepath.Join(dir, "job-00000009.json"), []byte(`{"schemaVersion":1,"id":"job-0000`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs []string
+	m := NewManager(Config{
+		Workers: 1, Dir: dir,
+		Logf: func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) },
+	})
+	defer m.Close()
+
+	for _, id := range []string{"job-00000003", "job-00000009"} {
+		if _, err := m.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Errorf("bad record %s was adopted: err = %v", id, err)
+		}
+	}
+	joined := strings.Join(logs, "\n")
+	if !strings.Contains(joined, "job-00000003.json") || !strings.Contains(joined, fmt.Sprintf("journal version %d, this build reads version %d", jobSchemaVersion+1, jobSchemaVersion)) {
+		t.Errorf("version mismatch not logged with file name: %q", joined)
+	}
+	if !strings.Contains(joined, "job-00000009.json") || !strings.Contains(joined, "corrupt job record") {
+		t.Errorf("truncated record not logged with file name: %q", joined)
+	}
+	if !strings.Contains(joined, "delete or regenerate") {
+		t.Errorf("logs missing the remediation hint: %q", joined)
+	}
+	// Even unreadable records reserve their IDs.
+	j, err := m.Submit("fresh", func(ctx context.Context, pr *Progress) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID() != "job-00000010" {
+		t.Errorf("ID after skipped records 3 and 9 = %s, want job-00000010", j.ID())
+	}
+}
+
+// TestCancelDurableStaysCanceled pins the cancel-vs-crash distinction:
+// an explicit Cancel is journaled, so the job stays canceled after a
+// restart instead of resuming.
+func TestCancelDurableStaysCanceled(t *testing.T) {
+	dir := t.TempDir()
+	// No workers would be simpler, but Workers is clamped ≥1; submit
+	// through a stalled queue instead: occupy the single worker, then
+	// cancel the queued durable job while it is still pending.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	m1 := NewManager(Config{Workers: 1, Dir: dir, Rehydrate: echoRehydrate})
+	blocker, err := m1.Submit("block", func(ctx context.Context, pr *Progress) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j, err := m1.SubmitSpec("echo", json.RawMessage(`{"answer":3}`), func(ctx context.Context, pr *Progress) (any, error) {
+		return map[string]int{"answer": 3}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	close(block)
+	wait(t, blocker)
+	wait(t, j)
+	m1.Close()
+
+	m2 := NewManager(Config{Workers: 1, Dir: dir, Rehydrate: echoRehydrate})
+	defer m2.Close()
+	if got := m2.Stats().Resumed; got != 0 {
+		t.Errorf("canceled job resumed: Stats().Resumed = %d", got)
+	}
+	j2, err := m2.Get(j.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := j2.Snapshot(); s.State != StateCanceled {
+		t.Errorf("canceled durable job after restart = %s, want canceled", s.State)
+	}
+}
+
+// writeRecordFile plants a journal record as a crashed process would
+// have left it.
+func writeRecordFile(t *testing.T, dir string, pj persistedJob) {
+	t.Helper()
+	data, err := json.Marshal(pj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, pj.ID+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readRecordFile decodes one journal record.
+func readRecordFile(t *testing.T, dir, id string) persistedJob {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, id+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pj persistedJob
+	if err := json.Unmarshal(data, &pj); err != nil {
+		t.Fatal(err)
+	}
+	return pj
+}

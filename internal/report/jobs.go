@@ -25,6 +25,11 @@ type JobJSON struct {
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	// Attempts counts run starts (>1 after retries or a resumed crash).
+	Attempts int `json:"attempts,omitempty"`
+	// Interrupted marks a job re-adopted from the journal after a
+	// process restart.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // NewJobJSON converts a job snapshot to its wire form.
@@ -33,6 +38,7 @@ func NewJobJSON(s jobs.Snapshot) *JobJSON {
 		ID: s.ID, Kind: s.Kind, State: string(s.State),
 		Done: s.Done, Total: s.Total,
 		Created: s.Created, Error: s.Err,
+		Attempts: s.Attempts, Interrupted: s.Interrupted,
 	}
 	if !s.Started.IsZero() {
 		t := s.Started

@@ -319,6 +319,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	queued, depth := s.jobs.Saturation()
 	saturated := queued >= int64(depth)
+	// A degraded disk does NOT turn the status code: the stage store
+	// keeps serving memory-only, so the node stays in rotation — the
+	// field is for operators and dashboards.
+	disk := s.registry.store.DiskHealth()
 	status := "ok"
 	code := http.StatusOK
 	if anyOpen || saturated {
@@ -330,6 +334,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"ok":            status == "ok",
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 		"breakers":      infos,
+		"disk":          disk,
 		"jobQueue": map[string]any{
 			"queued":    queued,
 			"depth":     depth,

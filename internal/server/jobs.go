@@ -143,22 +143,21 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	mask, err := parseFeatureMask(req.Features)
+	fn, err := s.buildJobFn(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-
-	var fn jobs.Fn
-	switch req.Kind {
-	case "sweep":
-		fn = s.sweepJob(req, mask)
-	case "randbaseline":
-		fn = s.randBaselineJob(req, mask)
-	case "ga":
-		fn = s.gaJob(req)
+	// The filled request — defaults resolved, seed pinned — is the
+	// job's durable spec: what the journal persists and what a
+	// restarted daemon rehydrates, so a later change of server defaults
+	// can never alter a resumed job's parameters.
+	spec, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding job spec: %v", err)
+		return
 	}
-	j, err := s.jobs.Submit(req.Kind, fn)
+	j, err := s.jobs.SubmitSpec(req.Kind, spec, fn)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, "job queue full, retry later")
@@ -168,6 +167,46 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, report.NewJobJSON(j.Snapshot()))
+}
+
+// buildJobFn turns a validated, default-filled request into its work
+// function — shared by fresh submits and journal rehydration so a
+// resumed job runs exactly the code a fresh one would.
+func (s *Server) buildJobFn(req jobRequest) (jobs.Fn, error) {
+	mask, err := parseFeatureMask(req.Features)
+	if err != nil {
+		return nil, err
+	}
+	switch req.Kind {
+	case "sweep":
+		return s.sweepJob(req, mask), nil
+	case "randbaseline":
+		return s.randBaselineJob(req, mask), nil
+	case "ga":
+		return s.gaJob(req), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (valid: sweep, randbaseline, ga)", req.Kind)
+	}
+}
+
+// rehydrateJob is the jobs.Manager's Rehydrate hook: it rebuilds the
+// work function for a journaled job that was pending or running when
+// the previous process died. The spec is the filled request the submit
+// handler persisted; it is re-validated so a record from a
+// configuration that no longer accepts it (a removed suite, say) fails
+// the job loudly instead of running unchecked.
+func (s *Server) rehydrateJob(kind string, spec json.RawMessage) (jobs.Fn, error) {
+	var req jobRequest
+	if err := json.Unmarshal(spec, &req); err != nil {
+		return nil, fmt.Errorf("decoding persisted spec: %w", err)
+	}
+	if req.Kind != kind {
+		return nil, fmt.Errorf("spec kind %q does not match record kind %q", req.Kind, kind)
+	}
+	if err := req.validate(s); err != nil {
+		return nil, err
+	}
+	return s.buildJobFn(req)
 }
 
 func (s *Server) sweepJob(req jobRequest, mask features.Mask) jobs.Fn {

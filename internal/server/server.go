@@ -136,15 +136,19 @@ func New(cfg Config) *Server {
 		registry: newRegistry(cfg, breakers),
 		results:  newResultCache(cfg.ResultCacheSize),
 		metrics:  newHTTPMetrics(),
-		jobs: jobs.NewManager(jobs.Config{
-			Workers:    cfg.JobWorkers,
-			QueueDepth: cfg.JobQueueDepth,
-			Retention:  cfg.JobRetention,
-			Dir:        jobDir,
-		}),
-		mux:     http.NewServeMux(),
-		started: time.Now(), //fgbs:allow determinism /healthz uptime reports real wall time; no experiment result depends on it
+		mux:      http.NewServeMux(),
+		started:  time.Now(), //fgbs:allow determinism /healthz uptime reports real wall time; no experiment result depends on it
 	}
+	// The manager is built after the registry exists: NewManager's
+	// recovery scan calls Rehydrate synchronously, and the rebuilt work
+	// functions close over the registry.
+	s.jobs = jobs.NewManager(jobs.Config{
+		Workers:    cfg.JobWorkers,
+		QueueDepth: cfg.JobQueueDepth,
+		Retention:  cfg.JobRetention,
+		Dir:        jobDir,
+		Rehydrate:  s.rehydrateJob,
+	})
 	s.route("/v1/subset", s.handleSubset)
 	s.route("/v1/evaluate", s.handleEvaluate)
 	s.route("/v1/select", s.handleSelect)

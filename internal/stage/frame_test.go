@@ -1,0 +1,204 @@
+package stage
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	for _, payload := range []string{"", "x", strings.Repeat("artifact|", 1000)} {
+		data := []byte(frameHeader([]byte(payload)) + payload)
+		got, framed, err := unframe(data)
+		if err != nil || !framed {
+			t.Fatalf("unframe(%d bytes): framed=%v err=%v", len(payload), framed, err)
+		}
+		if string(got) != payload {
+			t.Errorf("payload of %d bytes did not round-trip", len(payload))
+		}
+	}
+}
+
+func TestUnframeLegacy(t *testing.T) {
+	raw := []byte(`{"plain":"json artifact from before framing"}`)
+	got, framed, err := unframe(raw)
+	if err != nil || framed {
+		t.Fatalf("legacy bytes: framed=%v err=%v", framed, err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Errorf("legacy payload altered: %q", got)
+	}
+}
+
+func TestUnframeRejectsCorruption(t *testing.T) {
+	payload := []byte("the artifact payload")
+	good := frameHeader(payload) + string(payload)
+	cases := map[string]string{
+		"truncated payload": good[:len(good)-3],
+		"flipped bit":       strings.Replace(good, "payload", "paYload", 1),
+		"truncated header":  good[:20],
+		"future version":    strings.Replace(good, " v1 ", " v2 ", 1),
+		"malformed header":  frameMagic + " v1 bogus\n" + string(payload),
+		"malformed length":  strings.Replace(good, "len:", "len:x", 1),
+		"garbage after sum": good + "trailing",
+	}
+	for name, data := range cases {
+		if _, _, err := unframe([]byte(data)); err == nil {
+			t.Errorf("%s: unframe accepted corrupt data", name)
+		}
+	}
+}
+
+// TestQuarantine pins the corruption path end to end: a torn or
+// bit-flipped artifact is renamed to *.corrupt (kept, counted, never
+// silently deleted), the resolve falls through to recompute, and the
+// fresh artifact replaces the corrupt one on disk.
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	codec := testCodec{name: "art.txt", persist: true}
+	ctx := context.Background()
+	s := NewStore(4, dir)
+	if _, _, err := s.Resolve(ctx, "test", testKey(1), codec, func(context.Context) (any, error) {
+		return "original", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the published artifact the way a torn write would.
+	path := filepath.Join(dir, "art.txt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store (fresh LRU) must detect, quarantine, recompute.
+	s2 := NewStore(4, dir)
+	calls := 0
+	v, out, err := s2.Resolve(ctx, "test", testKey(1), codec, func(context.Context) (any, error) {
+		calls++
+		return "recomputed", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disk || calls != 1 || v.(string) != "recomputed" {
+		t.Errorf("corrupt artifact served: out=%+v calls=%d v=%v", out, calls, v)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt artifact not quarantined: %v", err)
+	}
+	if st := s2.Stats(); st.Disk.Quarantined != 1 {
+		t.Errorf("Stats().Disk.Quarantined = %d, want 1", st.Disk.Quarantined)
+	}
+	// The recompute republished a good artifact over the corrupt name.
+	s3 := NewStore(4, dir)
+	v, out, err = s3.Resolve(ctx, "test", testKey(1), codec, func(context.Context) (any, error) {
+		t.Error("recompute ran against the republished artifact")
+		return nil, nil
+	})
+	if err != nil || !out.Disk || v.(string) != "recomputed" {
+		t.Errorf("republished artifact not served: out=%+v v=%v err=%v", out, v, err)
+	}
+}
+
+// TestLegacyUnframedArtifactAdopted pins that pre-framing artifacts —
+// plain codec bytes with no header — still decode, so an upgrade does
+// not orphan existing caches.
+func TestLegacyUnframedArtifactAdopted(t *testing.T) {
+	dir := t.TempDir()
+	codec := testCodec{name: "art.txt", persist: true}
+	if err := os.WriteFile(filepath.Join(dir, "art.txt"), []byte("legacy-artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(4, dir)
+	v, out, err := s.Resolve(context.Background(), "test", testKey(1), codec, func(context.Context) (any, error) {
+		t.Error("compute ran despite a decodable legacy artifact")
+		return nil, nil
+	})
+	if err != nil || !out.Disk || v.(string) != "legacy-artifact" {
+		t.Errorf("legacy artifact not adopted: out=%+v v=%v err=%v", out, v, err)
+	}
+}
+
+// TestDiskBreaker drives the store against an unwritable directory
+// (the path is a regular file) until the breaker trips, checks the
+// store keeps serving memory-only with probes paced by operation
+// count, then repairs the disk and watches a probe close the breaker.
+func TestDiskBreaker(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "store")
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	codec := testCodec{name: "art.txt", persist: true}
+	ctx := context.Background()
+	s := NewStore(4, dir)
+
+	// Disk ops are driven through saveDisk directly so each call is
+	// exactly one breaker-gated operation; Resolve interleaves a load
+	// and a save per miss, which would obscure the pacing arithmetic.
+	for i := 0; i < diskBreakerThreshold; i++ {
+		s.saveDisk("test", codec, "v")
+	}
+	if got := s.DiskHealth(); got != DiskDegraded {
+		t.Fatalf("DiskHealth after %d failures = %q, want %q", diskBreakerThreshold, got, DiskDegraded)
+	}
+	errsAtTrip := s.Stats().Disk.Errors
+
+	// While open, ops are skipped between probes: the next
+	// diskProbeInterval-1 saves must not touch the device at all.
+	for i := 0; i < diskProbeInterval-1; i++ {
+		s.saveDisk("test", codec, fmt.Sprintf("v%d", i))
+	}
+	if got := s.Stats().Disk.Errors; got != errsAtTrip {
+		t.Errorf("skipped ops still hit the disk: errors %d → %d", errsAtTrip, got)
+	}
+	// The next op is the probe; the disk is still broken, so it fails.
+	s.saveDisk("test", codec, "probe")
+	if got := s.Stats().Disk.Errors; got != errsAtTrip+1 {
+		t.Errorf("probe did not hit the disk: errors %d → %d", errsAtTrip, got)
+	}
+	if got := s.DiskHealth(); got != DiskDegraded {
+		t.Errorf("failed probe closed the breaker: %q", got)
+	}
+
+	// Degraded, the store must still serve resolves from memory,
+	// without touching the device (both the load and the save of the
+	// miss are skipped ops).
+	v, _, err := s.Resolve(ctx, "test", testKey(1), codec, func(context.Context) (any, error) {
+		return "served", nil
+	})
+	if err != nil || v.(string) != "served" {
+		t.Fatalf("resolve failed under disk degradation: v=%v err=%v", v, err)
+	}
+	if got := s.Stats().Disk.Errors; got != errsAtTrip+1 {
+		t.Errorf("degraded resolve hit the disk: errors %d → %d", errsAtTrip+1, got)
+	}
+
+	// Repair the disk; the next admitted probe succeeds and closes the
+	// breaker.
+	if err := os.Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < diskProbeInterval; i++ {
+		s.saveDisk("test", codec, "recovered")
+	}
+	if got := s.DiskHealth(); got != DiskOK {
+		t.Errorf("DiskHealth after repair = %q, want %q", got, DiskOK)
+	}
+	// Closed again: writes flow to disk normally.
+	s.saveDisk("test", codec, "recovered")
+	if _, err := os.Stat(filepath.Join(dir, "art.txt")); err != nil {
+		t.Errorf("recovered disk has no artifact: %v", err)
+	}
+}

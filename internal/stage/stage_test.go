@@ -510,7 +510,8 @@ func TestStoreNoPersistStaysOffDisk(t *testing.T) {
 
 // TestSaveDiskBytesIdentical pins the pooled-buffer persist path
 // byte-identical to encoding straight through the codec: the on-disk
-// artifact is exactly what codec.Encode produces, no staging residue.
+// artifact is exactly what codec.Encode produces wrapped in one
+// verifiable frame, no staging residue.
 func TestSaveDiskBytesIdentical(t *testing.T) {
 	dir := t.TempDir()
 	codec := testCodec{name: "ident.txt", persist: true}
@@ -530,8 +531,12 @@ func TestSaveDiskBytesIdentical(t *testing.T) {
 	if err := codec.Encode(&direct, payload); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(onDisk, direct.Bytes()) {
-		t.Errorf("persisted bytes %q != direct encode %q", onDisk, direct.Bytes())
+	got, framed, err := unframe(onDisk)
+	if err != nil || !framed {
+		t.Fatalf("persisted artifact not framed (framed=%v, err=%v)", framed, err)
+	}
+	if !bytes.Equal(got, direct.Bytes()) {
+		t.Errorf("framed payload %q != direct encode %q", got, direct.Bytes())
 	}
 }
 

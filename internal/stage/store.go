@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"fgbs/internal/fault"
 )
 
 // bufPool recycles the scratch buffers the disk layer stages artifact
@@ -81,6 +85,30 @@ type Stats struct {
 	Capacity int                 `json:"capacity"`
 	Total    Counters            `json:"total"`
 	Stages   map[string]Counters `json:"stages"`
+	Disk     DiskStats           `json:"disk"`
+}
+
+// Disk health states reported by DiskHealth and Stats.Disk.State.
+const (
+	// DiskDisabled: the store has no disk layer.
+	DiskDisabled = "disabled"
+	// DiskOK: the disk layer is serving normally.
+	DiskOK = "ok"
+	// DiskDegraded: the breaker has tripped; the store serves
+	// memory-only, probing the disk every diskProbeInterval-th
+	// operation.
+	DiskDegraded = "degraded"
+)
+
+// DiskStats is the disk layer's health row.
+type DiskStats struct {
+	// State is DiskDisabled, DiskOK, or DiskDegraded.
+	State string `json:"state"`
+	// Errors counts I/O failures against the disk layer (cumulative).
+	Errors int64 `json:"errors"`
+	// Quarantined counts artifacts renamed to *.corrupt after failing
+	// integrity or decode checks (cumulative).
+	Quarantined int64 `json:"quarantined"`
 }
 
 // Outcome reports how one Resolve was satisfied.
@@ -107,7 +135,26 @@ type Store struct {
 	items    map[Key]*list.Element // guarded by mu
 	inflight map[Key]*flight       // guarded by mu
 	stages   map[string]*Counters  // guarded by mu
+
+	// Disk-degradation breaker. The store must stay deterministic (no
+	// wall clock), so the half-open state is paced by operation count
+	// rather than a cooldown timer: while degraded, every
+	// diskProbeInterval-th disk operation is admitted as a probe and
+	// one success re-closes the breaker.
+	diskFailures int   // consecutive I/O failures; guarded by mu
+	diskDegraded bool  // guarded by mu
+	diskSkipped  int   // ops skipped since the trip, paces probes; guarded by mu
+	diskErrors   int64 // cumulative I/O failures; guarded by mu
+	quarantined  int64 // cumulative quarantined artifacts; guarded by mu
 }
+
+// diskBreakerThreshold is how many consecutive I/O failures trip the
+// disk breaker (mirrors the serving layer's DefaultBreakerThreshold).
+const diskBreakerThreshold = 3
+
+// diskProbeInterval is how many disk operations are skipped between
+// half-open probes while the breaker is open.
+const diskProbeInterval = 16
 
 // entry is one LRU slot.
 type entry struct {
@@ -143,6 +190,84 @@ func NewStore(capacity int, dir string) *Store {
 
 // Dir returns the store's disk directory ("" when disk is disabled).
 func (s *Store) Dir() string { return s.dir }
+
+// DiskHealth reports the disk layer's state: DiskDisabled, DiskOK, or
+// DiskDegraded. The serving layer surfaces it on /healthz.
+func (s *Store) DiskHealth() string {
+	if s.dir == "" {
+		return DiskDisabled
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.diskDegraded {
+		return DiskDegraded
+	}
+	return DiskOK
+}
+
+// diskAllowed reports whether this disk operation should touch the
+// device. Closed breaker: always. Open breaker: only every
+// diskProbeInterval-th call, which becomes the half-open probe — the
+// operation runs for real and its outcome (diskOK/diskFailed) decides
+// whether the breaker closes.
+func (s *Store) diskAllowed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.diskDegraded {
+		return true
+	}
+	s.diskSkipped++
+	if s.diskSkipped >= diskProbeInterval {
+		s.diskSkipped = 0
+		return true
+	}
+	return false
+}
+
+// diskOK records a successful disk operation: failures reset, and an
+// open breaker closes (the probe succeeded; the disk is back).
+func (s *Store) diskOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.diskFailures = 0
+	s.diskDegraded = false
+	s.diskSkipped = 0
+}
+
+// diskInconclusive refunds a probe that proved nothing about the
+// device — a load admitted through an open breaker that found no file
+// at all. Without the refund, missing-file probes would starve the
+// real ones and a recovered disk could stay degraded indefinitely.
+func (s *Store) diskInconclusive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.diskDegraded {
+		s.diskSkipped = diskProbeInterval - 1
+	}
+}
+
+// diskFailed records an I/O failure (ENOSPC, EIO, permission flaps —
+// not corruption, which quarantines instead). Enough in a row trip the
+// breaker and the store degrades to memory-only.
+func (s *Store) diskFailed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.diskErrors++
+	s.diskFailures++
+	if s.diskFailures >= diskBreakerThreshold {
+		s.diskDegraded = true
+	}
+}
+
+// quarantine moves a corrupt artifact aside as <path>.corrupt — kept
+// for forensics, never silently deleted, and out of the load path so
+// the next resolve recomputes — and counts it.
+func (s *Store) quarantine(path string) {
+	s.mu.Lock()
+	s.quarantined++
+	s.mu.Unlock()
+	os.Rename(path, path+".corrupt")
+}
 
 // counterLocked returns stage's counter row, creating it on first use.
 func (s *Store) counterLocked(stage string) *Counters {
@@ -257,6 +382,9 @@ func (s *Store) loadDisk(stage string, codec Codec) (any, bool) {
 	if s.dir == "" || codec == nil {
 		return nil, false
 	}
+	if !s.diskAllowed() {
+		return nil, false
+	}
 	names := []string{codec.Filename()}
 	if ln, ok := codec.(LegacyNamer); ok {
 		if n := ln.LegacyFilename(); n != "" && n != names[0] {
@@ -271,10 +399,21 @@ func (s *Store) loadDisk(stage string, codec Codec) (any, bool) {
 	return nil, false
 }
 
-// decodeFile decodes one candidate artifact file.
+// decodeFile decodes one candidate artifact file. The frame is
+// verified before the codec runs; any integrity or decode failure
+// quarantines the file (renamed to *.corrupt, counted, kept for
+// forensics) and reports a miss so the caller recomputes — corruption
+// can never poison the LRU or panic a resolve. A missing file is just
+// a miss; I/O errors feed the disk breaker.
 func (s *Store) decodeFile(stage string, codec Codec, name string) (any, bool) {
-	f, err := os.Open(filepath.Join(s.dir, name))
+	path := filepath.Join(s.dir, name)
+	f, err := os.Open(path)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.diskInconclusive()
+		} else {
+			s.diskFailed()
+		}
 		return nil, false
 	}
 	defer f.Close()
@@ -285,26 +424,39 @@ func (s *Store) decodeFile(stage string, codec Codec, name string) (any, bool) {
 	buf.Reset()
 	defer bufPool.Put(buf)
 	if _, err := buf.ReadFrom(f); err != nil {
+		s.diskFailed()
 		return nil, false
 	}
-	v, err := codec.Decode(bytes.NewReader(buf.Bytes()))
+	payload, _, err := unframe(buf.Bytes())
 	if err != nil {
+		s.quarantine(path)
 		return nil, false
 	}
+	v, err := codec.Decode(bytes.NewReader(payload))
+	if err != nil {
+		s.quarantine(path)
+		return nil, false
+	}
+	s.diskOK()
 	s.mu.Lock()
 	s.counterLocked(stage).DiskHits++
 	s.mu.Unlock()
 	return v, true
 }
 
-// saveDisk persists a computed artifact via tmp+rename; failures are
-// ignored (the artifact is already in memory, the disk copy is an
-// optimization).
+// saveDisk persists a computed artifact, framed with a version and
+// checksum, via tmp + fsync + rename + parent-dir fsync; failures feed
+// the disk breaker but never fail the resolve (the artifact is already
+// in memory, the disk copy is an optimization).
 func (s *Store) saveDisk(stage string, codec Codec, v any) {
 	if s.dir == "" || codec == nil || !codec.Persist(v) {
 		return
 	}
+	if !s.diskAllowed() {
+		return
+	}
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		s.diskFailed()
 		return
 	}
 	path := filepath.Join(s.dir, codec.Filename())
@@ -313,33 +465,69 @@ func (s *Store) saveDisk(stage string, codec Codec, v any) {
 	// -profiledir), and a fixed tmp path would let two concurrent
 	// persists of the same filename interleave writes and rename a
 	// corrupt artifact.
-	// Encode into a pooled buffer, then write the file in one call:
-	// the encoder's many small writes land in memory, and a failed
-	// encode never creates a partially-written tmp file at all.
+	// Encode into a pooled buffer, then write the file out: the
+	// encoder's many small writes land in memory, a failed encode never
+	// creates a partially-written tmp file at all, and the frame header
+	// needs the payload's checksum before the first byte hits disk.
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bufPool.Put(buf)
 	if err := codec.Encode(buf, v); err != nil {
-		return
+		return // an unencodable artifact is not a disk failure
 	}
+	payload := buf.Bytes()
 	f, err := os.CreateTemp(s.dir, codec.Filename()+".tmp*")
 	if err != nil {
+		s.diskFailed()
 		return
 	}
 	tmp := f.Name()
-	if _, err := f.Write(buf.Bytes()); err != nil {
+	fail := func() {
+		s.diskFailed()
 		f.Close()
 		os.Remove(tmp)
+	}
+	if _, err := io.WriteString(f, frameHeader(payload)); err != nil {
+		fail()
+		return
+	}
+	// The payload is written in two halves around the mid-write
+	// crashpoint: a crash here leaves a torn tmp file the published
+	// name never points at, which is exactly what the frame (and the
+	// recovery harness) must tolerate.
+	half := len(payload) / 2
+	if _, err := f.Write(payload[:half]); err != nil {
+		fail()
+		return
+	}
+	fault.Crashpoint(fault.CrashMidArtifactWrite)
+	if _, err := f.Write(payload[half:]); err != nil {
+		fail()
+		return
+	}
+	// fsync before rename: the published name must never point at bytes
+	// that exist only in the page cache.
+	if err := f.Sync(); err != nil {
+		fail()
 		return
 	}
 	if err := f.Close(); err != nil {
+		s.diskFailed()
 		os.Remove(tmp)
 		return
 	}
+	fault.Crashpoint(fault.CrashBeforeRename)
 	if err := os.Rename(tmp, path); err != nil {
+		s.diskFailed()
 		os.Remove(tmp)
 		return
 	}
+	// The rename is only durable once the directory entry is.
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	s.diskOK()
 	s.mu.Lock()
 	s.counterLocked(stage).DiskWrites++
 	s.mu.Unlock()
@@ -406,6 +594,12 @@ func (s *Store) Stats() Stats {
 	for name, c := range s.stages {
 		st.Stages[name] = *c
 		st.Total.add(*c)
+	}
+	st.Disk = DiskStats{State: DiskOK, Errors: s.diskErrors, Quarantined: s.quarantined}
+	if s.dir == "" {
+		st.Disk.State = DiskDisabled
+	} else if s.diskDegraded {
+		st.Disk.State = DiskDegraded
 	}
 	return st
 }
