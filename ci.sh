@@ -56,6 +56,15 @@ go test -race -timeout 20m -run '^TestChaos' ./internal/pipeline ./internal/serv
 echo "== crash recovery =="
 go test -race -timeout 10m -run '^TestCrashRecovery$' ./cmd/fgbsd
 
+# The artifact plane gate runs the two-daemon e2e on real binaries: a
+# warm fgbsd serves its profile artifact over /v1/artifacts/{key} to a
+# cold -peers daemon, which must finish the same sweep byte-identically
+# with zero local simulator invocations and every fetched frame
+# verifying. -race because the peer tier sits under the same breaker
+# and promotion machinery the local tiers do.
+echo "== artifact plane =="
+go test -race -timeout 10m -run '^TestPeerArtifactPlane$' ./cmd/fgbsd
+
 echo "== corpus smoke =="
 go run ./cmd/fgbs corpus -family stencil2d -n 8 -seed 42 > /dev/null
 go test -race -timeout 10m -run '^TestCorpusSmokeSubsetEvaluate$' ./internal/corpus
@@ -68,7 +77,7 @@ go test -race -timeout 25m ./...
 
 # The performance trajectory gate (see README "Performance
 # trajectory"): every internal/bench spec runs in quick mode and is
-# diffed against the committed BENCH_8.json baseline; a median or
+# diffed against the committed BENCH_10.json baseline; a median or
 # allocation regression beyond the tolerance is a red build. The
 # tolerance is deliberately wide — CI boxes jitter badly — so only
 # order-of-magnitude mistakes (an accidental O(n²) in a hot path, a
@@ -79,7 +88,7 @@ go test -race -timeout 25m ./...
 # sweep is served by the stage store without extra simulator
 # invocations.
 echo "== bench trajectory =="
-go run ./cmd/fgbs bench -quick -compare BENCH_8.json -tolerance 200
+go run ./cmd/fgbs bench -quick -compare BENCH_10.json -tolerance 200
 # The go-test benchmarks still rot silently if nothing executes them:
 # the Figure 7 parallel baseline carries its byte-identical-to-serial
 # assertion in the bench body, so it must actually run.

@@ -80,6 +80,14 @@
 //	                its <suite>-<key>.json layout with fgbsd's
 //	                -profiledir (and reading the bare <suite>.json
 //	                files earlier releases wrote)
+//	-peers list     comma-separated base URLs of fgbsd daemons; adds a
+//	                peer tier to the stage store that fetches artifacts
+//	                from their /v1/artifacts/{key} endpoints before
+//	                recomputing, so a CLI run can reuse a daemon's
+//	                already-built profile
+//	-stagetiers l   comma-separated stage tier order (memory, disk,
+//	                peer); default: disk when -stagedir is set, then
+//	                peer when -peers is set
 //	-faultprofile p JSON fault-injection profile applied to every
 //	                measurement, with the robust retry/outlier-rejection
 //	                protocol mounted on top (chaos testing; see the
@@ -108,6 +116,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"os/signal"
 	"runtime"
@@ -153,6 +162,8 @@ type config struct {
 	faultPath  string
 	stageCache int
 	stageDir   string
+	peers      string
+	stageTiers string
 	// bench-only flags (the bench experiment shares the flag set).
 	benchSpec    string
 	benchReps    int
@@ -213,6 +224,8 @@ func run(ctx context.Context, args []string) error {
 	fs.StringVar(&cfg.faultPath, "faultprofile", "", "JSON fault-injection profile (chaos testing)")
 	fs.IntVar(&cfg.stageCache, "stagecache", 256, "in-memory stage artifact cache size (entries)")
 	fs.StringVar(&cfg.stageDir, "stagedir", "", "directory for persisted stage artifacts (optional)")
+	fs.StringVar(&cfg.peers, "peers", "", "comma-separated base URLs of peer fgbsd daemons")
+	fs.StringVar(&cfg.stageTiers, "stagetiers", "", "comma-separated stage tier order (memory, disk, peer)")
 	fs.StringVar(&cfg.benchSpec, "spec", "", "bench: run only specs matching this regexp")
 	fs.IntVar(&cfg.benchReps, "reps", 0, "bench: timed repetitions per spec (0 = default)")
 	fs.IntVar(&cfg.benchWarmup, "warmup", -1, "bench: untimed warmup repetitions (-1 = default, 0 = none)")
@@ -235,7 +248,11 @@ func run(ctx context.Context, args []string) error {
 		cfg.measurer = measure.New(fault.NewInjector(fp, nil), measure.Config{})
 		cfg.measurerKey = fp.Fingerprint()
 	}
-	cfg.engine = pipeline.NewEngine(stage.NewStore(cfg.stageCache, cfg.stageDir))
+	store, err := buildStore(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.engine = pipeline.NewEngine(store)
 
 	if exp == "t1" {
 		return report.Table1(os.Stdout, arch.All())
@@ -486,6 +503,35 @@ func run(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// buildStore assembles the stage store's byte-tier chain from
+// -stagedir, -peers and -stagetiers, rejecting bad combinations before
+// any profiling starts.
+func buildStore(cfg config) (*stage.Store, error) {
+	var peers, names []string
+	if cfg.peers != "" {
+		for _, p := range strings.Split(cfg.peers, ",") {
+			p = strings.TrimSpace(p)
+			u, err := url.Parse(p)
+			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				return nil, fmt.Errorf("-peers: peer %q: want an absolute http(s) base URL", p)
+			}
+			peers = append(peers, p)
+		}
+	}
+	if cfg.stageTiers != "" {
+		for _, name := range strings.Split(cfg.stageTiers, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+	} else {
+		names = stage.DefaultTierNames(cfg.stageDir, peers)
+	}
+	tiers, err := stage.NewTierChain(names, stage.TierConfig{Dir: cfg.stageDir, Peers: peers})
+	if err != nil {
+		return nil, fmt.Errorf("-stagetiers: %w", err)
+	}
+	return stage.NewTieredStore(cfg.stageCache, tiers), nil
 }
 
 // pipelineProfileFresh always re-profiles (ignoring any cache), which

@@ -147,14 +147,17 @@ func (b *lockedBuffer) String() string {
 
 // startDaemon launches fgbsd on an ephemeral port over dir, arming the
 // given crashpoint site ("" for none), and waits until it serves.
-func startDaemon(t *testing.T, bin, dir, crashSite string) *daemon {
+// extra flags (say -peers for the peer-fetch e2e) are appended.
+func startDaemon(t *testing.T, bin, dir, crashSite string, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-suites", "syn-smoke",
 		"-profiledir", dir,
 		"-seed", "20140215",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	env := make([]string, 0, len(os.Environ())+1)
 	for _, kv := range os.Environ() {
 		if !strings.HasPrefix(kv, fault.CrashEnv+"=") {

@@ -26,6 +26,13 @@
 //	                 through it, so queries and jobs share work
 //	-stagedir dir    where the stage store persists disk artifacts
 //	                 (default: the -profiledir value)
+//	-peers list      comma-separated base URLs of peer fgbsd daemons;
+//	                 adds a peer tier to the stage store that fetches
+//	                 artifacts from their /v1/artifacts/{key} endpoints
+//	                 before recomputing
+//	-stagetiers list comma-separated stage tier order (memory, disk,
+//	                 peer); default: disk when a directory is set, then
+//	                 peer when -peers is set
 //	-seed N          profiling seed (default 1)
 //	-workers N       concurrent measurements per profiling run
 //	                 (default GOMAXPROCS)
@@ -55,6 +62,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -64,6 +72,7 @@ import (
 	"fgbs/internal/fault"
 	"fgbs/internal/measure"
 	"fgbs/internal/server"
+	"fgbs/internal/stage"
 	"fgbs/internal/suites"
 )
 
@@ -90,6 +99,8 @@ type daemonConfig struct {
 	cacheN       int
 	stageCacheN  int
 	stageDir     string
+	peers        []string
+	stageTiers   []string
 	seed         uint64
 	workers      int
 	jobWorkers   int
@@ -114,6 +125,9 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.IntVar(&cfg.cacheN, "cachesize", 256, "LRU result-cache capacity")
 	fs.IntVar(&cfg.stageCacheN, "stagecache", 512, "in-memory stage artifact store capacity")
 	fs.StringVar(&cfg.stageDir, "stagedir", "", "directory for persisted stage artifacts (default: -profiledir)")
+	var peerList, tierList string
+	fs.StringVar(&peerList, "peers", "", "comma-separated base URLs of peer fgbsd daemons")
+	fs.StringVar(&tierList, "stagetiers", "", "comma-separated stage tier order (memory, disk, peer)")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "profiling seed")
 	fs.IntVar(&cfg.workers, "workers", 0, "concurrent measurements per profiling run (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.jobWorkers, "jobworkers", 0, "concurrently running experiment jobs (0 = GOMAXPROCS)")
@@ -153,7 +167,50 @@ func parseFlags(args []string) (daemonConfig, error) {
 			return cfg, fmt.Errorf("-faultprofile: %w", err)
 		}
 	}
+	if cfg.peers, err = splitPeers(peerList); err != nil {
+		return cfg, fmt.Errorf("-peers: %w", err)
+	}
+	if tierList != "" {
+		for _, name := range strings.Split(tierList, ",") {
+			cfg.stageTiers = append(cfg.stageTiers, strings.TrimSpace(name))
+		}
+	}
+	// Dry-run the tier chain the server will build so a typo in
+	// -stagetiers (or a peer tier without -peers) refuses to start here
+	// instead of panicking inside server.New.
+	stageDir := cfg.stageDir
+	if stageDir == "" {
+		stageDir = cfg.dir
+	}
+	names := cfg.stageTiers
+	if len(names) == 0 {
+		names = stage.DefaultTierNames(stageDir, cfg.peers)
+	}
+	if _, err := stage.NewTierChain(names, stage.TierConfig{Dir: stageDir, Peers: cfg.peers}); err != nil {
+		return cfg, fmt.Errorf("-stagetiers: %w", err)
+	}
 	return cfg, nil
+}
+
+// splitPeers parses the -peers list, requiring absolute http(s) base
+// URLs — a bare host would silently never match anything.
+func splitPeers(list string) ([]string, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		u, err := url.Parse(p)
+		if err != nil {
+			return nil, fmt.Errorf("peer %q: %w", p, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("peer %q: want an absolute http(s) base URL", p)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // splitSuites parses a comma-separated suite list, restricted to the
@@ -186,6 +243,8 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		ResultCacheSize: cfg.cacheN,
 		StageCacheSize:  cfg.stageCacheN,
 		StageDir:        cfg.stageDir,
+		Peers:           cfg.peers,
+		StageTiers:      cfg.stageTiers,
 		SuiteNames:      cfg.serve,
 		JobWorkers:      cfg.jobWorkers,
 		JobRetention:    cfg.jobRetention,

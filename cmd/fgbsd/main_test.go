@@ -54,6 +54,10 @@ func TestParseFlagsRejectsBadInput(t *testing.T) {
 		{"negative jobretention", []string{"-jobretention", "-5m"}, "-jobretention"},
 		{"positional arg", []string{"extra"}, "unexpected argument"},
 		{"unknown flag", []string{"-bogus"}, ""},
+		{"peer without scheme", []string{"-peers", "example.com:8093"}, "absolute http(s) base URL"},
+		{"unknown tier", []string{"-stagetiers", "bogus"}, "unknown tier"},
+		{"disk tier without dir", []string{"-stagetiers", "disk"}, "requires a stage directory"},
+		{"peer tier without peers", []string{"-stagetiers", "memory,peer"}, "requires at least one peer"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -65,6 +69,37 @@ func TestParseFlagsRejectsBadInput(t *testing.T) {
 				t.Errorf("error = %v, want substring %q", err, c.want)
 			}
 		})
+	}
+}
+
+// TestParseFlagsTiers pins the -peers/-stagetiers plumbing: peer URLs
+// parse into the config, explicit tier orders survive, and the dry-run
+// validation accepts what server.New will accept.
+func TestParseFlagsTiers(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := parseFlags([]string{
+		"-profiledir", dir,
+		"-peers", "http://127.0.0.1:9, https://peer.example:8093",
+		"-stagetiers", "memory, disk, peer",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"http://127.0.0.1:9", "https://peer.example:8093"}; !reflect.DeepEqual(cfg.peers, want) {
+		t.Errorf("peers = %v, want %v", cfg.peers, want)
+	}
+	if want := []string{"memory", "disk", "peer"}; !reflect.DeepEqual(cfg.stageTiers, want) {
+		t.Errorf("stageTiers = %v, want %v", cfg.stageTiers, want)
+	}
+
+	// -peers alone (no explicit tier list, no directory) is a valid
+	// memoryless peer-only configuration via DefaultTierNames.
+	cfg, err = parseFlags([]string{"-peers", "http://127.0.0.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.stageTiers != nil {
+		t.Errorf("stageTiers = %v, want default (nil)", cfg.stageTiers)
 	}
 }
 

@@ -18,9 +18,17 @@ import (
 // content-addressed store and, once keys route a multi-node cluster,
 // scatters one artifact across shards.
 //
+// The peer tier's request-path builder is a sink of the same kind:
+// HTTPBackend.artifactURL routes an artifact fetch, so a peer URL
+// pulled out of a map range would scatter fetches nondeterministically
+// across the cluster.
+//
 // Sorting is the sanctioned laundering step: a variable passed to
 // sort.* or slices.Sort* anywhere in the function is treated as clean
-// (the map-keys-into-slice-then-sort idiom).
+// (the map-keys-into-slice-then-sort idiom). So is rendering a key via
+// Key.String(): a Key is a content hash whose assembly the KeyBuilder
+// sinks already guard, so its rendered form — the peer tier derives
+// request paths from it — is deterministic by construction.
 //
 // The pass is flow-insensitive and per-function (nested literals
 // included — closures share the enclosing variables), which
@@ -71,8 +79,9 @@ func hasKeySinks(pkg *Package, body *ast.BlockStmt) bool {
 }
 
 // isKeySink reports whether call writes key material: a method in
-// keyBuilderMethods on a value whose named type is KeyBuilder, or a
-// call to a function named NewKey. Matching is by type name rather
+// keyBuilderMethods on a value whose named type is KeyBuilder, a call
+// to a function named NewKey, or the peer tier's request-path builder
+// artifactURL on an HTTPBackend. Matching is by type name rather
 // than import path so the testdata corpora (which cannot import module
 // packages) exercise the same code path as the real tree.
 func isKeySink(pkg *Package, call *ast.CallExpr) bool {
@@ -81,6 +90,10 @@ func isKeySink(pkg *Package, call *ast.CallExpr) bool {
 		if !keyBuilderMethods[fun.Sel.Name] {
 			if fun.Sel.Name == "NewKey" {
 				return true
+			}
+			if fun.Sel.Name == "artifactURL" {
+				tv, ok := pkg.Info.Types[fun.X]
+				return ok && namedTypeName(tv.Type) == "HTTPBackend"
 			}
 			return false
 		}
@@ -204,8 +217,13 @@ func analyzeKeyPurity(p *Pass, body *ast.BlockStmt) {
 			return true
 		}
 		sink := "NewKey"
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && keyBuilderMethods[sel.Sel.Name] {
-			sink = "KeyBuilder." + sel.Sel.Name
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch {
+			case keyBuilderMethods[sel.Sel.Name]:
+				sink = "KeyBuilder." + sel.Sel.Name
+			case sel.Sel.Name == "artifactURL":
+				sink = "HTTPBackend.artifactURL"
+			}
 		}
 		for _, arg := range call.Args {
 			if reason := exprTaint(pkg, arg, tainted); reason != "" {
@@ -223,6 +241,9 @@ func analyzeKeyPurity(p *Pass, body *ast.BlockStmt) {
 
 // exprTaint returns the reason expr is tainted, or "": it mentions a
 // tainted variable, or contains a nondeterministic source call.
+// Key.String() subtrees are skipped — the rendering of a content hash
+// is clean no matter how the Key variable was picked, because equal
+// keys render equally.
 func exprTaint(pkg *Package, expr ast.Expr, tainted map[types.Object]string) string {
 	reason := ""
 	ast.Inspect(expr, func(n ast.Node) bool {
@@ -238,6 +259,9 @@ func exprTaint(pkg *Package, expr ast.Expr, tainted map[types.Object]string) str
 				}
 			}
 		case *ast.CallExpr:
+			if isKeyStringCall(pkg, e) {
+				return false
+			}
 			if r := sourceCall(pkg, e); r != "" {
 				reason = r
 				return false
@@ -246,6 +270,18 @@ func exprTaint(pkg *Package, expr ast.Expr, tainted map[types.Object]string) str
 		return true
 	})
 	return reason
+}
+
+// isKeyStringCall reports whether call is Key.String() on a value
+// whose named type is Key — the sanctioned way to turn a stage key
+// into a request path or filename.
+func isKeyStringCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "String" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	return ok && namedTypeName(tv.Type) == "Key"
 }
 
 // sourceCall classifies a call as a nondeterminism source: anything in

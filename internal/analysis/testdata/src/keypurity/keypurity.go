@@ -129,3 +129,45 @@ func suppressed(kb *KeyBuilder, opts map[string]bool) {
 		kb.Str(k)
 	}
 }
+
+// Key is the corpus stand-in for stage.Key: a content hash, so its
+// String rendering is deterministic by construction.
+type Key string
+
+func (k Key) String() string { return string(k) }
+
+// HTTPBackend is the corpus stand-in for the peer tier's backend; its
+// artifactURL builds the request path a peer fetch hits, which makes
+// it a keypurity sink like the KeyBuilder writes.
+type HTTPBackend struct{ peers []string }
+
+func (b *HTTPBackend) artifactURL(peer string, key Key) string {
+	return peer + "/v1/artifacts/" + key.String()
+}
+
+// badPeerMapRange: a peer URL pulled out of a map range routes each
+// fetch to a different mirror run to run.
+func badPeerMapRange(b *HTTPBackend, mirrors map[string]bool, key Key) {
+	for base := range mirrors {
+		_ = b.artifactURL(base, key) // want "value derived from map iteration order reaches HTTPBackend.artifactURL"
+	}
+}
+
+// goodPeerSlice mirrors the real fetch loop: peers live in a slice,
+// iterated in order.
+func goodPeerSlice(b *HTTPBackend, key Key) {
+	for _, base := range b.peers {
+		_ = b.artifactURL(base, key)
+	}
+}
+
+// goodKeyString: Key.String() launders — whichever key the map range
+// hands over, its rendered form is a content hash that resolves
+// identically everywhere, so paths derived from it are clean.
+func goodKeyString(kb *KeyBuilder, b *HTTPBackend, index map[string]Key) {
+	for _, k := range index {
+		path := "/v1/artifacts/" + k.String()
+		kb.Str(path)
+		_ = b.artifactURL("http://peer:8093", Key(k.String()))
+	}
+}

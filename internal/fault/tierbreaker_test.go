@@ -1,0 +1,160 @@
+package fault_test
+
+// The breaker decorator on the HTTP peer tier, exercised through a
+// real (httptest) peer from outside the stage package: transient 5xx
+// responses trip the peer tier into degraded, the local memory and
+// disk tiers keep serving throughout, and once the peer heals a
+// half-open probe closes the breaker again. Lives in the fault package
+// because it is resilience behavior; package fault_test because stage
+// imports fault and the test drives stage's public API.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"fgbs/internal/stage"
+)
+
+// tierCodec is a minimal string codec so resolves flow through the
+// byte tiers.
+type tierCodec struct{ name string }
+
+func (c tierCodec) Filename() string                { return c.name }
+func (c tierCodec) Encode(w io.Writer, v any) error { return json.NewEncoder(w).Encode(v) }
+func (c tierCodec) Decode(r io.Reader) (any, error) {
+	var s string
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+func (c tierCodec) Persist(any) bool { return true }
+
+func TestPeerTierBreaker(t *testing.T) {
+	ctx := context.Background()
+	codec := tierCodec{name: "tierbreaker.json"}
+	key := stage.NewKey("tierbreaker", 1).Str("shared").Key()
+	var buf bytes.Buffer
+	if err := codec.Encode(&buf, "peer-artifact"); err != nil {
+		t.Fatal(err)
+	}
+	framed := stage.Frame(buf.Bytes())
+
+	// The peer: serves the shared key framed while healthy, returns
+	// 503 for everything while failing.
+	var failing atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "peer melting", http.StatusServiceUnavailable)
+			return
+		}
+		if r.URL.Path == stage.ArtifactPathPrefix+key.String() {
+			w.Write(framed)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer peer.Close()
+
+	tiers, err := stage.NewTierChain(
+		[]string{stage.TierMemory, stage.TierDisk, stage.TierPeer},
+		stage.TierConfig{Dir: t.TempDir(), Peers: []string{peer.URL}, Client: peer.Client()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stage.NewTieredStore(8, tiers)
+	noCompute := func(context.Context) (any, error) {
+		return nil, errors.New("compute must not run")
+	}
+
+	// Healthy peer serves the cold chain; the artifact is promoted
+	// into memory and disk on the way.
+	v, out, err := s.Resolve(ctx, "tierbreaker", key, codec, noCompute)
+	if err != nil || v != "peer-artifact" || out.Tier != stage.TierPeer {
+		t.Fatalf("cold resolve = %v, %+v, %v; want peer-artifact via peer tier", v, out, err)
+	}
+
+	// Three transient 5xx failures in a row trip the peer breaker.
+	// The resolves themselves still succeed — compute covers the miss
+	// — and the read-only peer tier's no-op Puts must not reset the
+	// failure count on the way.
+	failing.Store(true)
+	for i := 0; i < 3; i++ {
+		missKey := stage.NewKey("tierbreaker", 1).Str("miss").Int(i).Key()
+		missCodec := tierCodec{name: fmt.Sprintf("tierbreaker-miss-%d.json", i)}
+		want := fmt.Sprintf("computed-%d", i)
+		v, _, err := s.Resolve(ctx, "tierbreaker", missKey, missCodec, func(context.Context) (any, error) {
+			return want, nil
+		})
+		if err != nil || v != want {
+			t.Fatalf("resolve %d under failing peer = %v, %v; want computed fallback", i, v, err)
+		}
+	}
+	st := s.Stats().Tiers[stage.TierPeer]
+	if st.State != stage.DiskDegraded {
+		t.Fatalf("peer tier state = %q after 3 transient 5xx, want %q", st.State, stage.DiskDegraded)
+	}
+	if st.Errors < 3 {
+		t.Errorf("peer tier errors = %d, want >= 3", st.Errors)
+	}
+	errsAfterTrip := st.Errors
+
+	// Memory and disk keep serving while the peer is degraded: evict
+	// the value, resolve from memory; evict the memory copy, resolve
+	// from disk. Neither touches the peer.
+	s.Delete(key)
+	if v, out, err := s.Resolve(ctx, "tierbreaker", key, codec, noCompute); err != nil || v != "peer-artifact" || out.Tier != stage.TierMemory {
+		t.Fatalf("degraded-peer resolve = %v, %+v, %v; want memory tier hit", v, out, err)
+	}
+	ref := stage.Ref{Key: key, Name: codec.Filename()}
+	s.Delete(key)
+	if err := tiers[0].Delete(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+	if v, out, err := s.Resolve(ctx, "tierbreaker", key, codec, noCompute); err != nil || v != "peer-artifact" || out.Tier != stage.TierDisk {
+		t.Fatalf("degraded-peer resolve = %v, %+v, %v; want disk tier hit", v, out, err)
+	}
+	if got := s.Stats().Tiers[stage.TierPeer].Errors; got != errsAfterTrip {
+		t.Errorf("peer tier errors moved %d -> %d during local serves; degraded tier must be skipped", errsAfterTrip, got)
+	}
+
+	// Heal the peer and strip the local copies so resolves must reach
+	// it. The open breaker skips most attempts (compute fails here, so
+	// those resolves error), until the paced half-open probe runs for
+	// real, succeeds, and closes the breaker.
+	failing.Store(false)
+	s.Delete(key)
+	if err := tiers[0].Delete(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := tiers[1].Delete(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+	recovered := false
+	for i := 0; i < 64 && !recovered; i++ {
+		s.Delete(key)
+		v, out, err := s.Resolve(ctx, "tierbreaker", key, codec, noCompute)
+		if err != nil {
+			continue // probe not admitted yet: peer skipped, compute refused
+		}
+		if v != "peer-artifact" || out.Tier != stage.TierPeer {
+			t.Fatalf("recovery resolve = %v, %+v; want peer-artifact via peer tier", v, out)
+		}
+		recovered = true
+	}
+	if !recovered {
+		t.Fatal("half-open probe never recovered the healed peer")
+	}
+	if st := s.Stats().Tiers[stage.TierPeer]; st.State != stage.DiskOK {
+		t.Errorf("peer tier state = %q after successful probe, want %q", st.State, stage.DiskOK)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fgbs/internal/features"
 	"fgbs/internal/pipeline"
 	"fgbs/internal/report"
+	"fgbs/internal/stage"
 )
 
 // errorJSON is the uniform error body.
@@ -319,10 +320,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	queued, depth := s.jobs.Saturation()
 	saturated := queued >= int64(depth)
-	// A degraded disk does NOT turn the status code: the stage store
-	// keeps serving memory-only, so the node stays in rotation — the
-	// field is for operators and dashboards.
-	disk := s.registry.store.DiskHealth()
+	// A degraded tier does NOT turn the status code: the stage store
+	// keeps serving around it (memory-only in the worst case), so the
+	// node stays in rotation — the fields are for operators and
+	// dashboards. "tiers" names every byte tier's state; "disk" is the
+	// pre-tier alias of tiers.disk, kept for one release.
+	tiers := make(map[string]string)
+	for name, row := range s.registry.store.Stats().Tiers {
+		tiers[name] = row.State
+	}
 	status := "ok"
 	code := http.StatusOK
 	if anyOpen || saturated {
@@ -334,7 +340,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"ok":            status == "ok",
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 		"breakers":      infos,
-		"disk":          disk,
+		"disk":          s.registry.store.DiskHealth(),
+		"tiers":         tiers,
 		"jobQueue": map[string]any{
 			"queued":    queued,
 			"depth":     depth,
@@ -367,6 +374,7 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 			"builds":         s.registry.builds.Load(),
 			"coalesced":      s.registry.coalesced.Load(),
 			"diskLoads":      s.registry.diskLoads.Load(),
+			"peerLoads":      s.registry.peerLoads.Load(),
 			"inFlightBuilds": s.registry.building.Load(),
 			"staleServes":    s.registry.staleHits.Load(),
 		},
@@ -385,4 +393,62 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 		body["faults"] = s.cfg.FaultStats()
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// validArtifactKey reports whether key has the canonical stage.Key
+// shape: 64 lowercase hex characters (a SHA-256 digest).
+func validArtifactKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleArtifact serves one stage artifact's framed bytes — the
+// peer-fetch endpoint a cold node's HTTPBackend calls before
+// recomputing. The body is the at-rest frame (header + payload)
+// verbatim, so the fetching node verifies integrity itself; the read
+// runs through this node's tier decorators, so a tripped disk breaker
+// degrades the endpoint to 404s instead of error storms. Keys this
+// node has not resolved are plain 404s — the peer falls through to
+// compute.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validArtifactKey(key) {
+		writeError(w, http.StatusBadRequest, "artifact key must be 64 lowercase hex characters")
+		return
+	}
+	data, err := s.registry.store.FetchFramed(r.Context(), stage.Key(key))
+	if err != nil {
+		if errors.Is(err, stage.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "artifact %s not available on this node", key)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "fetching artifact %s: %v", key, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// handleArtifactIndex lists the artifact keys this node can serve over
+// /v1/artifacts/{key} — the index a peer (or an operator) enumerates.
+func (s *Server) handleArtifactIndex(w http.ResponseWriter, r *http.Request) {
+	keys := s.registry.store.Keys()
+	out := struct {
+		Count int      `json:"count"`
+		Keys  []string `json:"keys"`
+	}{Count: len(keys), Keys: make([]string, 0, len(keys))}
+	for _, k := range keys {
+		out.Keys = append(out.Keys, k.String())
+	}
+	writeJSON(w, http.StatusOK, out)
 }

@@ -60,7 +60,8 @@ type registry struct {
 
 	builds    atomic.Int64 // profiling runs started
 	coalesced atomic.Int64 // requests that joined an in-flight build
-	diskLoads atomic.Int64 // builds satisfied from the stage store's disk layer
+	diskLoads atomic.Int64 // builds satisfied from the stage store's disk tier
+	peerLoads atomic.Int64 // builds satisfied by fetching a peer's artifact
 	building  atomic.Int64 // builds currently in flight
 	staleHits atomic.Int64 // requests answered from a degraded or last-good profile
 }
@@ -98,7 +99,18 @@ func newRegistry(cfg Config, breakers *breakerSet) *registry {
 	if size <= 0 {
 		size = 512
 	}
-	store := stage.NewStore(size, stageDir)
+	names := cfg.StageTiers
+	if len(names) == 0 {
+		names = stage.DefaultTierNames(stageDir, cfg.Peers)
+	}
+	tiers, err := stage.NewTierChain(names, stage.TierConfig{Dir: stageDir, Peers: cfg.Peers})
+	if err != nil {
+		// Config.StageTiers documents the contract: tier lists are
+		// validated before the server is constructed (cmd/fgbsd does it
+		// in flag parsing), so reaching here is a programming error.
+		panic(fmt.Sprintf("server: invalid stage tier config: %v", err))
+	}
+	store := stage.NewTieredStore(size, tiers)
 	ctx, stop := context.WithCancel(context.Background())
 	return &registry{
 		programs:    programs,
@@ -319,6 +331,9 @@ func (r *registry) buildStaged(suite string) (*pipeline.Staged, error) {
 	}
 	if out.Disk {
 		r.diskLoads.Add(1)
+	}
+	if out.Tier == stage.TierPeer {
+		r.peerLoads.Add(1)
 	}
 	return st, nil
 }

@@ -12,7 +12,9 @@
 //	POST /v1/evaluate  per-target prediction errors + reduction factor
 //	POST /v1/select    rank all targets, return the best system
 //	GET  /v1/suites    known suites and their load state
-//	GET  /healthz      liveness, breaker state, job-queue saturation (503 when degraded)
+//	GET  /v1/artifacts        index of stage-artifact keys this node can serve
+//	GET  /v1/artifacts/{key}  framed artifact bytes — the peer-fetch endpoint (404 on miss)
+//	GET  /healthz      liveness, breaker + tier state, job-queue saturation (503 when degraded)
 //	GET  /metricz      request/cache/registry/stage/breaker/jobs counters, latency quantiles
 //
 // Long experiments (the Figure 3 sweep, the Figure 7 random baseline,
@@ -61,6 +63,17 @@ type Config struct {
 	// StageDir overrides where the stage store persists disk-layer
 	// artifacts; defaults to ProfileDir.
 	StageDir string
+	// Peers lists base URLs of peer fgbsd daemons. When set, the stage
+	// store gains a peer tier that fetches artifacts from their
+	// /v1/artifacts/{key} endpoints before recomputing (fgbsd's -peers
+	// flag).
+	Peers []string
+	// StageTiers orders the stage store's byte tiers explicitly
+	// (stage.TierMemory, stage.TierDisk, stage.TierPeer). Empty means
+	// stage.DefaultTierNames: disk when a directory is configured, then
+	// peer when Peers is set. Invalid tier configurations panic in New;
+	// cmd/fgbsd validates the flag before constructing the server.
+	StageTiers []string
 	// MeasurerKey identifies the Measurer's configuration in stage keys
 	// (fgbsd passes fault.Profile.Fingerprint()). See
 	// pipeline.StageOptions.MeasurerKey.
@@ -153,6 +166,8 @@ func New(cfg Config) *Server {
 	s.route("/v1/evaluate", s.handleEvaluate)
 	s.route("/v1/select", s.handleSelect)
 	s.route("/v1/suites", s.handleSuites)
+	s.route("GET /v1/artifacts", s.handleArtifactIndex)
+	s.route("GET /v1/artifacts/{key}", s.handleArtifact)
 	s.route("/healthz", s.handleHealthz)
 	s.route("/metricz", s.handleMetricz)
 	s.route("POST /v1/jobs", s.handleJobSubmit)

@@ -42,6 +42,17 @@ func VerifyFrame(data []byte) (framed bool, err error) {
 	return framed, err
 }
 
+// Frame returns payload prefixed with its integrity frame — the at-
+// rest and on-the-wire form of every artifact. Harnesses use it to
+// stage artifacts a peer endpoint would serve; the Framed decorator
+// uses it on every Put.
+func Frame(payload []byte) []byte {
+	h := frameHeader(payload)
+	out := make([]byte, 0, len(h)+len(payload))
+	out = append(out, h...)
+	return append(out, payload...)
+}
+
 // frameHeader builds the header line for payload.
 func frameHeader(payload []byte) string {
 	sum := sha256.Sum256(payload)

@@ -127,8 +127,8 @@ func TestLegacyUnframedArtifactAdopted(t *testing.T) {
 	}
 }
 
-// TestDiskBreaker drives the store against an unwritable directory
-// (the path is a regular file) until the breaker trips, checks the
+// TestDiskBreaker drives the disk tier against an unwritable directory
+// (the path is a regular file) until its breaker trips, checks the
 // store keeps serving memory-only with probes paced by operation
 // count, then repairs the disk and watches a probe close the breaker.
 func TestDiskBreaker(t *testing.T) {
@@ -140,12 +140,14 @@ func TestDiskBreaker(t *testing.T) {
 	codec := testCodec{name: "art.txt", persist: true}
 	ctx := context.Background()
 	s := NewStore(4, dir)
+	// Tier ops are driven through Put directly so each call is exactly
+	// one breaker-gated operation; Resolve interleaves a load and a
+	// save per miss, which would obscure the pacing arithmetic.
+	tier := s.Tiers()[0]
+	ref := Ref{Key: testKey(1), Name: codec.Filename()}
 
-	// Disk ops are driven through saveDisk directly so each call is
-	// exactly one breaker-gated operation; Resolve interleaves a load
-	// and a save per miss, which would obscure the pacing arithmetic.
 	for i := 0; i < diskBreakerThreshold; i++ {
-		s.saveDisk("test", codec, "v")
+		tier.Put(ctx, ref, []byte("v"))
 	}
 	if got := s.DiskHealth(); got != DiskDegraded {
 		t.Fatalf("DiskHealth after %d failures = %q, want %q", diskBreakerThreshold, got, DiskDegraded)
@@ -153,15 +155,15 @@ func TestDiskBreaker(t *testing.T) {
 	errsAtTrip := s.Stats().Disk.Errors
 
 	// While open, ops are skipped between probes: the next
-	// diskProbeInterval-1 saves must not touch the device at all.
+	// diskProbeInterval-1 puts must not touch the device at all.
 	for i := 0; i < diskProbeInterval-1; i++ {
-		s.saveDisk("test", codec, fmt.Sprintf("v%d", i))
+		tier.Put(ctx, ref, []byte(fmt.Sprintf("v%d", i)))
 	}
 	if got := s.Stats().Disk.Errors; got != errsAtTrip {
 		t.Errorf("skipped ops still hit the disk: errors %d → %d", errsAtTrip, got)
 	}
 	// The next op is the probe; the disk is still broken, so it fails.
-	s.saveDisk("test", codec, "probe")
+	tier.Put(ctx, ref, []byte("probe"))
 	if got := s.Stats().Disk.Errors; got != errsAtTrip+1 {
 		t.Errorf("probe did not hit the disk: errors %d → %d", errsAtTrip, got)
 	}
@@ -191,13 +193,13 @@ func TestDiskBreaker(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < diskProbeInterval; i++ {
-		s.saveDisk("test", codec, "recovered")
+		tier.Put(ctx, ref, []byte("recovered"))
 	}
 	if got := s.DiskHealth(); got != DiskOK {
 		t.Errorf("DiskHealth after repair = %q, want %q", got, DiskOK)
 	}
 	// Closed again: writes flow to disk normally.
-	s.saveDisk("test", codec, "recovered")
+	tier.Put(ctx, ref, []byte("recovered"))
 	if _, err := os.Stat(filepath.Join(dir, "art.txt")); err != nil {
 		t.Errorf("recovered disk has no artifact: %v", err)
 	}

@@ -30,6 +30,12 @@ import (
 // comparable strings so they index maps and serialize trivially.
 type Key string
 
+// String returns the key's canonical hex form. It is the wire
+// identity of an artifact: peer-fetch request paths embed it verbatim,
+// and because it is a pure function of the content address, fgbsvet's
+// keypurity check treats values derived from it as deterministic.
+func (k Key) String() string { return string(k) }
+
 // KeyBuilder accumulates a stage's identity and inputs into a digest.
 // Every value is written with a type tag and, for variable-length
 // values, a length prefix, so adjacent fields can never collide by

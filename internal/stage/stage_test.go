@@ -433,9 +433,13 @@ func TestStoreCorruptDiskArtifactRebuilds(t *testing.T) {
 	if out.Cached || out.Disk {
 		t.Errorf("outcome = %+v, want fresh compute", out)
 	}
-	// The rebuild overwrote the corrupt file, so a fresh store reads it.
-	if v, ok := NewStore(4, dir).loadDisk("test", codec); !ok || v != "rebuilt" {
-		t.Errorf("disk after rebuild = %v, %v; want rebuilt artifact", v, ok)
+	// The rebuild republished a good artifact, so a fresh store serves
+	// it from the disk tier.
+	v, out, err = NewStore(4, dir).Resolve(context.Background(), "test", testKey(1), codec, func(context.Context) (any, error) {
+		return nil, errors.New("disk tier must serve the rebuilt artifact")
+	})
+	if err != nil || !out.Disk || v != "rebuilt" {
+		t.Errorf("disk after rebuild: v=%v out=%+v err=%v; want rebuilt artifact", v, out, err)
 	}
 }
 

@@ -4,31 +4,26 @@ import (
 	"bytes"
 	"container/list"
 	"context"
-	"errors"
 	"fmt"
 	"io"
-	"io/fs"
-	"os"
-	"path/filepath"
+	"sort"
 	"sync"
-
-	"fgbs/internal/fault"
 )
 
-// bufPool recycles the scratch buffers the disk layer stages artifact
-// bytes in. Profile artifacts run to megabytes of JSON; without
-// pooling, every persist and every disk hit allocates and grows a
-// fresh buffer of that size. Codecs must not retain the readers or
-// writers they are handed — the buffer behind them returns to the
-// pool when the call ends.
+// bufPool recycles the scratch buffers artifact bytes are encoded
+// into. Profile artifacts run to megabytes of JSON; without pooling,
+// every persist allocates and grows a fresh buffer of that size.
+// Codecs must not retain the readers or writers they are handed — the
+// buffer behind them returns to the pool when the call ends, and
+// tiers copy what they keep (see Backend's Put contract).
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// Codec serializes one stage's artifacts for the Store's disk layer.
+// Codec serializes one stage's artifacts for the Store's byte tiers.
 // Stages whose artifacts are not worth persisting (cheap to recompute,
 // or referencing in-memory structures) resolve with a nil Codec and
-// live only in the LRU.
+// live only in the value LRU.
 type Codec interface {
-	// Filename is the artifact's name inside the store directory.
+	// Filename is the artifact's name inside a local tier's directory.
 	// Names should be qualified by the artifact's key (the profile
 	// stage embeds a key prefix) so differently-keyed resolves never
 	// share a file; a Codec may additionally implement LegacyNamer to
@@ -45,10 +40,10 @@ type Codec interface {
 }
 
 // LegacyNamer is an optional Codec extension: a second, read-only
-// filename probed when Filename misses on disk. It exists for
-// artifacts persisted before filenames were key-qualified (the
-// registry's bare <suite>.json profiles); fresh artifacts are always
-// written under Filename, never the legacy name.
+// filename probed when Filename misses. It exists for artifacts
+// persisted before filenames were key-qualified (the registry's bare
+// <suite>.json profiles); fresh artifacts are always written under
+// Filename, never the legacy name.
 type LegacyNamer interface {
 	// LegacyFilename returns the fallback name, or "" when no legacy
 	// layout applies to this resolve.
@@ -58,16 +53,21 @@ type LegacyNamer interface {
 // Counters is one hit/miss row, either a per-stage breakdown entry or
 // the store-wide total.
 type Counters struct {
-	// Hits served from the in-memory LRU.
+	// Hits served from the in-memory value LRU.
 	Hits int64 `json:"hits"`
 	// Joined resolves that coalesced onto another caller's in-flight
 	// computation of the same key.
 	Joined int64 `json:"joined"`
-	// Misses that entered fill (disk probe, then compute).
+	// Misses that entered fill (tier probe, then compute).
 	Misses int64 `json:"misses"`
-	// DiskHits are misses satisfied by decoding the on-disk artifact.
+	// Computes are misses no tier could satisfy: the stage's compute
+	// function actually ran. Misses - Computes = misses served from a
+	// byte tier.
+	Computes int64 `json:"computes"`
+	// DiskHits are misses satisfied by decoding the disk tier's
+	// artifact (other tiers' hits are under Stats.Tiers).
 	DiskHits int64 `json:"diskHits"`
-	// DiskWrites are computed artifacts persisted to disk.
+	// DiskWrites are computed artifacts persisted to the disk tier.
 	DiskWrites int64 `json:"diskWrites"`
 }
 
@@ -75,36 +75,42 @@ func (c *Counters) add(d Counters) {
 	c.Hits += d.Hits
 	c.Joined += d.Joined
 	c.Misses += d.Misses
+	c.Computes += d.Computes
 	c.DiskHits += d.DiskHits
 	c.DiskWrites += d.DiskWrites
 }
 
 // Stats is a Store snapshot for /metricz.
 type Stats struct {
-	Entries  int                 `json:"entries"`
-	Capacity int                 `json:"capacity"`
-	Total    Counters            `json:"total"`
-	Stages   map[string]Counters `json:"stages"`
-	Disk     DiskStats           `json:"disk"`
+	Entries  int                  `json:"entries"`
+	Capacity int                  `json:"capacity"`
+	Total    Counters             `json:"total"`
+	Stages   map[string]Counters  `json:"stages"`
+	Disk     DiskStats            `json:"disk"`
+	Tiers    map[string]TierStats `json:"tiers"`
 }
 
-// Disk health states reported by DiskHealth and Stats.Disk.State.
+// Tier health states reported by DiskHealth, Stats.Disk.State, and
+// each tier's Stats row. (The Disk* names predate the tier plane; they
+// apply to every tier.)
 const (
-	// DiskDisabled: the store has no disk layer.
+	// DiskDisabled: the store has no such tier.
 	DiskDisabled = "disabled"
-	// DiskOK: the disk layer is serving normally.
+	// DiskOK: the tier is serving normally.
 	DiskOK = "ok"
-	// DiskDegraded: the breaker has tripped; the store serves
-	// memory-only, probing the disk every diskProbeInterval-th
+	// DiskDegraded: the tier's breaker has tripped; the store serves
+	// around it, probing the tier every diskProbeInterval-th
 	// operation.
 	DiskDegraded = "degraded"
 )
 
-// DiskStats is the disk layer's health row.
+// DiskStats is the disk tier's legacy health row — an alias view of
+// Stats.Tiers["disk"] kept for one release so /metricz and /healthz
+// consumers keep working.
 type DiskStats struct {
 	// State is DiskDisabled, DiskOK, or DiskDegraded.
 	State string `json:"state"`
-	// Errors counts I/O failures against the disk layer (cumulative).
+	// Errors counts I/O failures against the disk tier (cumulative).
 	Errors int64 `json:"errors"`
 	// Quarantined counts artifacts renamed to *.corrupt after failing
 	// integrity or decode checks (cumulative).
@@ -114,47 +120,46 @@ type DiskStats struct {
 // Outcome reports how one Resolve was satisfied.
 type Outcome struct {
 	// Cached means compute did not run: the value came from the LRU,
-	// from a coalesced in-flight computation, or from disk.
+	// from a coalesced in-flight computation, or from a byte tier.
 	Cached bool
-	// Disk means the value was decoded from the on-disk artifact.
+	// Disk means the value was decoded from the disk tier's artifact
+	// (alias of Tier == TierDisk).
 	Disk bool
+	// Tier names the byte tier that served the artifact ("" when it
+	// came from the value LRU, a coalesced flight, or compute).
+	Tier string
 }
 
-// Store memoizes stage artifacts: an in-memory LRU over content
-// addresses, with per-key singleflight coalescing (concurrent resolves
-// of the same key run compute once and share the outcome) and an
-// optional disk layer for stages with a Codec. Artifacts are treated
-// as immutable once stored — the same contract pipeline.Profile
-// already carries — so values are shared, never copied.
+// diskBreakerThreshold is how many consecutive I/O failures trip a
+// tier's breaker (mirrors the serving layer's
+// DefaultBreakerThreshold).
+const diskBreakerThreshold = 3
+
+// diskProbeInterval is how many tier operations are skipped between
+// half-open probes while a breaker is open.
+const diskProbeInterval = 16
+
+// Store memoizes stage artifacts on two planes. The value plane is an
+// in-memory LRU over content addresses with per-key singleflight
+// coalescing (concurrent resolves of the same key run compute once and
+// share the outcome); artifacts are treated as immutable once stored —
+// the same contract pipeline.Profile already carries — so values are
+// shared, never copied. Beneath it, for stages with a Codec, sits an
+// ordered chain of byte tiers (see Backend): a value miss probes the
+// tiers top to bottom, a tier hit is decoded and its bytes promoted
+// into every tier above, and a computed artifact is written through
+// the whole chain.
 type Store struct {
-	dir string
-	cap int
+	cap   int
+	tiers []Backend
 
 	mu       sync.Mutex
 	ll       *list.List            // front = most recently used; guarded by mu
 	items    map[Key]*list.Element // guarded by mu
 	inflight map[Key]*flight       // guarded by mu
 	stages   map[string]*Counters  // guarded by mu
-
-	// Disk-degradation breaker. The store must stay deterministic (no
-	// wall clock), so the half-open state is paced by operation count
-	// rather than a cooldown timer: while degraded, every
-	// diskProbeInterval-th disk operation is admitted as a probe and
-	// one success re-closes the breaker.
-	diskFailures int   // consecutive I/O failures; guarded by mu
-	diskDegraded bool  // guarded by mu
-	diskSkipped  int   // ops skipped since the trip, paces probes; guarded by mu
-	diskErrors   int64 // cumulative I/O failures; guarded by mu
-	quarantined  int64 // cumulative quarantined artifacts; guarded by mu
+	refs     map[Key]Ref           // byte-tier names per resolved key; guarded by mu
 }
-
-// diskBreakerThreshold is how many consecutive I/O failures trip the
-// disk breaker (mirrors the serving layer's DefaultBreakerThreshold).
-const diskBreakerThreshold = 3
-
-// diskProbeInterval is how many disk operations are skipped between
-// half-open probes while the breaker is open.
-const diskProbeInterval = 16
 
 // entry is one LRU slot.
 type entry struct {
@@ -173,100 +178,61 @@ type flight struct {
 
 // NewStore builds a store holding at most capacity artifacts in
 // memory, persisting Codec-bearing stages under dir ("" disables the
-// disk layer).
+// byte tiers). The dir form is the single-node configuration: one
+// framed, breakered disk tier. Multi-tier chains come from
+// NewTieredStore.
 func NewStore(capacity int, dir string) *Store {
+	var tiers []Backend
+	if dir != "" {
+		tiers = []Backend{Framed(Breakered(NewDiskBackend(dir)))}
+	}
+	return NewTieredStore(capacity, tiers)
+}
+
+// NewTieredStore builds a store resolving byte misses through tiers,
+// in order (typically from NewTierChain). An empty chain disables the
+// byte plane; Codec-bearing stages then live memory-only.
+func NewTieredStore(capacity int, tiers []Backend) *Store {
 	if capacity <= 0 {
 		capacity = 1
 	}
 	return &Store{
-		dir:      dir,
 		cap:      capacity,
+		tiers:    tiers,
 		ll:       list.New(),
 		items:    make(map[Key]*list.Element),
 		inflight: make(map[Key]*flight),
 		stages:   make(map[string]*Counters),
+		refs:     make(map[Key]Ref),
 	}
 }
 
-// Dir returns the store's disk directory ("" when disk is disabled).
-func (s *Store) Dir() string { return s.dir }
+// Tiers returns the store's byte-tier chain, in resolve order.
+func (s *Store) Tiers() []Backend {
+	out := make([]Backend, len(s.tiers))
+	copy(out, s.tiers)
+	return out
+}
 
-// DiskHealth reports the disk layer's state: DiskDisabled, DiskOK, or
-// DiskDegraded. The serving layer surfaces it on /healthz.
+// tier returns the chain member with the given name, or nil.
+func (s *Store) tier(name string) Backend {
+	for _, t := range s.tiers {
+		if t.Name() == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// DiskHealth reports the disk tier's state: DiskDisabled, DiskOK, or
+// DiskDegraded. The serving layer surfaces it on /healthz (alongside
+// the full per-tier map).
 func (s *Store) DiskHealth() string {
-	if s.dir == "" {
+	t := s.tier(TierDisk)
+	if t == nil {
 		return DiskDisabled
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.diskDegraded {
-		return DiskDegraded
-	}
-	return DiskOK
-}
-
-// diskAllowed reports whether this disk operation should touch the
-// device. Closed breaker: always. Open breaker: only every
-// diskProbeInterval-th call, which becomes the half-open probe — the
-// operation runs for real and its outcome (diskOK/diskFailed) decides
-// whether the breaker closes.
-func (s *Store) diskAllowed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.diskDegraded {
-		return true
-	}
-	s.diskSkipped++
-	if s.diskSkipped >= diskProbeInterval {
-		s.diskSkipped = 0
-		return true
-	}
-	return false
-}
-
-// diskOK records a successful disk operation: failures reset, and an
-// open breaker closes (the probe succeeded; the disk is back).
-func (s *Store) diskOK() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.diskFailures = 0
-	s.diskDegraded = false
-	s.diskSkipped = 0
-}
-
-// diskInconclusive refunds a probe that proved nothing about the
-// device — a load admitted through an open breaker that found no file
-// at all. Without the refund, missing-file probes would starve the
-// real ones and a recovered disk could stay degraded indefinitely.
-func (s *Store) diskInconclusive() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.diskDegraded {
-		s.diskSkipped = diskProbeInterval - 1
-	}
-}
-
-// diskFailed records an I/O failure (ENOSPC, EIO, permission flaps —
-// not corruption, which quarantines instead). Enough in a row trip the
-// breaker and the store degrades to memory-only.
-func (s *Store) diskFailed() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.diskErrors++
-	s.diskFailures++
-	if s.diskFailures >= diskBreakerThreshold {
-		s.diskDegraded = true
-	}
-}
-
-// quarantine moves a corrupt artifact aside as <path>.corrupt — kept
-// for forensics, never silently deleted, and out of the load path so
-// the next resolve recomputes — and counts it.
-func (s *Store) quarantine(path string) {
-	s.mu.Lock()
-	s.quarantined++
-	s.mu.Unlock()
-	os.Rename(path, path+".corrupt")
+	return t.Stats().State
 }
 
 // counterLocked returns stage's counter row, creating it on first use.
@@ -311,7 +277,7 @@ func (s *Store) Resolve(ctx context.Context, stage string, key Key, codec Codec,
 		if f.err != nil {
 			return nil, Outcome{}, f.err
 		}
-		return f.val, Outcome{Cached: true, Disk: f.out.Disk}, nil
+		return f.val, Outcome{Cached: true, Disk: f.out.Disk, Tier: f.out.Tier}, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
@@ -359,178 +325,148 @@ func (s *Store) Resolve(ctx context.Context, stage string, key Key, codec Codec,
 	return f.val, f.out, f.err
 }
 
-// fill satisfies a miss: disk first (when the stage has a Codec), then
-// compute, writing the fresh artifact back to disk.
+// refFor derives the byte-tier Ref for one codec-bearing resolve and
+// records it so FetchFramed can serve the artifact later.
+func (s *Store) refFor(key Key, codec Codec) Ref {
+	ref := Ref{Key: key, Name: codec.Filename()}
+	if ln, ok := codec.(LegacyNamer); ok {
+		if n := ln.LegacyFilename(); n != "" && n != ref.Name {
+			ref.Legacy = n
+		}
+	}
+	s.mu.Lock()
+	s.refs[key] = ref
+	s.mu.Unlock()
+	return ref
+}
+
+// fill satisfies a miss: the byte tiers first (when the stage has a
+// Codec), then compute, writing the fresh artifact through the chain.
 func (s *Store) fill(ctx context.Context, stage string, key Key, codec Codec, compute func(context.Context) (any, error)) (any, Outcome, error) {
-	if v, ok := s.loadDisk(stage, codec); ok {
-		return v, Outcome{Cached: true, Disk: true}, nil
+	tiered := codec != nil && len(s.tiers) > 0
+	var ref Ref
+	if tiered {
+		ref = s.refFor(key, codec)
+		for i, tier := range s.tiers {
+			payload, err := tier.Get(ctx, ref)
+			if err != nil {
+				// A miss, an I/O failure, or corruption (already
+				// quarantined and counted by the tier's decorators):
+				// fall through to the next tier, then to compute — the
+				// artifact can always be regenerated.
+				continue
+			}
+			v, err := codec.Decode(bytes.NewReader(payload))
+			if err != nil {
+				// The frame verified but the codec rejects the payload
+				// (stale schema, truncated legacy file): quarantine in
+				// the serving tier and keep falling through.
+				quarantineTier(ctx, tier, ref)
+				continue
+			}
+			s.promote(ctx, ref, payload, i)
+			name := tier.Name()
+			s.mu.Lock()
+			if name == TierDisk {
+				s.counterLocked(stage).DiskHits++
+			}
+			s.mu.Unlock()
+			return v, Outcome{Cached: true, Disk: name == TierDisk, Tier: name}, nil
+		}
 	}
 	v, err := compute(ctx)
 	if err != nil {
 		return nil, Outcome{}, err
 	}
-	s.saveDisk(stage, codec, v)
+	s.mu.Lock()
+	s.counterLocked(stage).Computes++
+	s.mu.Unlock()
+	if tiered && codec.Persist(v) {
+		s.writeThrough(ctx, stage, ref, codec, v)
+	}
 	return v, Outcome{}, nil
 }
 
-// loadDisk decodes the stage's persisted artifact, probing the keyed
-// name first and then the codec's legacy name, when it declares one.
-// Every failure mode (no disk layer, missing file, stale or corrupt
-// content) reports !ok so the caller recomputes — the artifact can
-// always be regenerated.
-func (s *Store) loadDisk(stage string, codec Codec) (any, bool) {
-	if s.dir == "" || codec == nil {
-		return nil, false
+// promote copies a tier hit's bytes into every tier above it, so the
+// next resolve finds the artifact at the fastest tier that will hold
+// it. Promotion failures are the receiving tier's problem (its breaker
+// saw them); the resolve already has its artifact.
+func (s *Store) promote(ctx context.Context, ref Ref, payload []byte, hit int) {
+	for i := hit - 1; i >= 0; i-- {
+		s.tiers[i].Put(ctx, ref, payload)
 	}
-	if !s.diskAllowed() {
-		return nil, false
-	}
-	names := []string{codec.Filename()}
-	if ln, ok := codec.(LegacyNamer); ok {
-		if n := ln.LegacyFilename(); n != "" && n != names[0] {
-			names = append(names, n)
-		}
-	}
-	for _, name := range names {
-		if v, ok := s.decodeFile(stage, codec, name); ok {
-			return v, true
-		}
-	}
-	return nil, false
 }
 
-// decodeFile decodes one candidate artifact file. The frame is
-// verified before the codec runs; any integrity or decode failure
-// quarantines the file (renamed to *.corrupt, counted, kept for
-// forensics) and reports a miss so the caller recomputes — corruption
-// can never poison the LRU or panic a resolve. A missing file is just
-// a miss; I/O errors feed the disk breaker.
-func (s *Store) decodeFile(stage string, codec Codec, name string) (any, bool) {
-	path := filepath.Join(s.dir, name)
-	f, err := os.Open(path)
-	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			s.diskInconclusive()
-		} else {
-			s.diskFailed()
-		}
-		return nil, false
-	}
-	defer f.Close()
-	// Read the whole artifact into a pooled buffer first: decoders
-	// (json.Decoder especially) issue many small reads, each a syscall
-	// when pointed straight at the file.
-	buf := bufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	defer bufPool.Put(buf)
-	if _, err := buf.ReadFrom(f); err != nil {
-		s.diskFailed()
-		return nil, false
-	}
-	payload, _, err := unframe(buf.Bytes())
-	if err != nil {
-		s.quarantine(path)
-		return nil, false
-	}
-	v, err := codec.Decode(bytes.NewReader(payload))
-	if err != nil {
-		s.quarantine(path)
-		return nil, false
-	}
-	s.diskOK()
-	s.mu.Lock()
-	s.counterLocked(stage).DiskHits++
-	s.mu.Unlock()
-	return v, true
-}
-
-// saveDisk persists a computed artifact, framed with a version and
-// checksum, via tmp + fsync + rename + parent-dir fsync; failures feed
-// the disk breaker but never fail the resolve (the artifact is already
-// in memory, the disk copy is an optimization).
-func (s *Store) saveDisk(stage string, codec Codec, v any) {
-	if s.dir == "" || codec == nil || !codec.Persist(v) {
-		return
-	}
-	if !s.diskAllowed() {
-		return
-	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		s.diskFailed()
-		return
-	}
-	path := filepath.Join(s.dir, codec.Filename())
-	// The tmp name must be unique per writer: the documented workflows
-	// share one directory between processes (fgbs -stagedir and fgbsd
-	// -profiledir), and a fixed tmp path would let two concurrent
-	// persists of the same filename interleave writes and rename a
-	// corrupt artifact.
-	// Encode into a pooled buffer, then write the file out: the
-	// encoder's many small writes land in memory, a failed encode never
-	// creates a partially-written tmp file at all, and the frame header
-	// needs the payload's checksum before the first byte hits disk.
+// writeThrough encodes a computed artifact once and offers it to every
+// tier. Failures feed the per-tier breakers but never fail the resolve
+// (the artifact is already in memory; tier copies are an
+// optimization). A failed encode writes nowhere — an unencodable
+// artifact is not a tier failure.
+func (s *Store) writeThrough(ctx context.Context, stage string, ref Ref, codec Codec, v any) {
+	// Encode into a pooled buffer, then hand the bytes to the tiers:
+	// the encoder's many small writes land in memory, a failed encode
+	// never reaches a device, and the frame header needs the payload's
+	// checksum before the first byte leaves the process.
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bufPool.Put(buf)
 	if err := codec.Encode(buf, v); err != nil {
-		return // an unencodable artifact is not a disk failure
+		return
 	}
 	payload := buf.Bytes()
-	f, err := os.CreateTemp(s.dir, codec.Filename()+".tmp*")
-	if err != nil {
-		s.diskFailed()
-		return
+	for _, tier := range s.tiers {
+		written, err := tier.Put(ctx, ref, payload)
+		if written && err == nil && tier.Name() == TierDisk {
+			s.mu.Lock()
+			s.counterLocked(stage).DiskWrites++
+			s.mu.Unlock()
+		}
 	}
-	tmp := f.Name()
-	fail := func() {
-		s.diskFailed()
-		f.Close()
-		os.Remove(tmp)
-	}
-	if _, err := io.WriteString(f, frameHeader(payload)); err != nil {
-		fail()
-		return
-	}
-	// The payload is written in two halves around the mid-write
-	// crashpoint: a crash here leaves a torn tmp file the published
-	// name never points at, which is exactly what the frame (and the
-	// recovery harness) must tolerate.
-	half := len(payload) / 2
-	if _, err := f.Write(payload[:half]); err != nil {
-		fail()
-		return
-	}
-	fault.Crashpoint(fault.CrashMidArtifactWrite)
-	if _, err := f.Write(payload[half:]); err != nil {
-		fail()
-		return
-	}
-	// fsync before rename: the published name must never point at bytes
-	// that exist only in the page cache.
-	if err := f.Sync(); err != nil {
-		fail()
-		return
-	}
-	if err := f.Close(); err != nil {
-		s.diskFailed()
-		os.Remove(tmp)
-		return
-	}
-	fault.Crashpoint(fault.CrashBeforeRename)
-	if err := os.Rename(tmp, path); err != nil {
-		s.diskFailed()
-		os.Remove(tmp)
-		return
-	}
-	// The rename is only durable once the directory entry is.
-	if d, err := os.Open(s.dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	s.diskOK()
+}
+
+// FetchFramed returns the framed bytes of a previously resolved
+// artifact — the peer-fetch endpoint's read path. Only keys this
+// store has resolved through a Codec are servable (the Ref carries the
+// tier filename); remote tiers are skipped so peers never bounce a
+// fetch back and forth. ErrNotFound means this node cannot serve the
+// key.
+func (s *Store) FetchFramed(ctx context.Context, key Key) ([]byte, error) {
 	s.mu.Lock()
-	s.counterLocked(stage).DiskWrites++
+	ref, ok := s.refs[key]
 	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	for _, tier := range s.tiers {
+		if isRemote(tier) {
+			continue
+		}
+		if fg, ok := tier.(framedGetter); ok {
+			if data, err := fg.GetFramed(ctx, ref); err == nil {
+				return data, nil
+			}
+			continue
+		}
+		// A bare tier holds raw payload bytes; frame them for the wire.
+		if payload, err := tier.Get(ctx, ref); err == nil {
+			return Frame(payload), nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Keys lists the content addresses this store can serve over
+// FetchFramed, sorted for determinism — the artifact index a peer (or
+// an operator) enumerates.
+func (s *Store) Keys() []Key {
+	s.mu.Lock()
+	keys := make([]Key, 0, len(s.refs))
+	for k := range s.refs {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // Put stores an externally produced artifact under key, replacing any
@@ -552,9 +488,10 @@ func (s *Store) Put(key Key, v any) {
 	}
 }
 
-// Delete evicts key from the memory layer; disk artifacts, when any,
+// Delete evicts key from the value LRU; byte-tier artifacts, when any,
 // are left alone. Callers use it to serve an artifact once without
-// memoizing it — a later Resolve of the same key recomputes.
+// memoizing it — a later Resolve of the same key recomputes or reloads
+// from a tier.
 func (s *Store) Delete(key Key) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -564,7 +501,8 @@ func (s *Store) Delete(key Key) {
 	}
 }
 
-// Get peeks at the LRU without counting a hit or touching recency.
+// Get peeks at the value LRU without counting a hit or touching
+// recency.
 func (s *Store) Get(key Key) (any, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -582,10 +520,11 @@ func (s *Store) Len() int {
 	return s.ll.Len()
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters: the value plane's per-stage rows plus
+// one row per byte tier. Stats.Disk mirrors the disk tier's row for
+// consumers of the pre-tier layout.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := Stats{
 		Entries:  s.ll.Len(),
 		Capacity: s.cap,
@@ -595,11 +534,14 @@ func (s *Store) Stats() Stats {
 		st.Stages[name] = *c
 		st.Total.add(*c)
 	}
-	st.Disk = DiskStats{State: DiskOK, Errors: s.diskErrors, Quarantined: s.quarantined}
-	if s.dir == "" {
-		st.Disk.State = DiskDisabled
-	} else if s.diskDegraded {
-		st.Disk.State = DiskDegraded
+	s.mu.Unlock()
+	st.Tiers = make(map[string]TierStats, len(s.tiers))
+	for _, t := range s.tiers {
+		st.Tiers[t.Name()] = t.Stats()
+	}
+	st.Disk = DiskStats{State: DiskDisabled}
+	if row, ok := st.Tiers[TierDisk]; ok {
+		st.Disk = DiskStats{State: row.State, Errors: row.Errors, Quarantined: row.Quarantined}
 	}
 	return st
 }
